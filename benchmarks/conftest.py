@@ -1,0 +1,52 @@
+"""Shared, session-scoped artifacts for the per-figure benchmarks."""
+
+import pytest
+
+from repro.core import RisspFlow, sweep_all
+from repro.synth import synthesize_serv
+
+
+@pytest.fixture(scope="session")
+def flow():
+    return RisspFlow()
+
+
+@pytest.fixture(scope="session")
+def sweeps():
+    """Figure 5 flag sweep over all 25 workloads (compile-only)."""
+    return sweep_all()
+
+
+@pytest.fixture(scope="session")
+def rissp_reports(flow, sweeps):
+    """Synthesized RISSP per application from its -O2 subset."""
+    reports = {}
+    for name, sweep in sweeps.items():
+        profile = sweep.profiles["O2"]
+        result = flow.generate_for_subset(name, list(profile.mnemonics))
+        reports[name] = result.synth
+    return reports
+
+
+@pytest.fixture(scope="session")
+def rv32e_report(flow):
+    return flow.full_isa_baseline().synth
+
+
+@pytest.fixture(scope="session")
+def serv_report():
+    return synthesize_serv()
+
+
+@pytest.fixture(scope="session")
+def paper_subset_reports(flow):
+    """Extreme-edge RISSPs built from the paper's own Table 3 subsets,
+    for apples-to-apples Figure 7/10 comparisons (our compiler's subsets
+    are slightly larger than GCC's)."""
+    from repro.data import paper
+    out = {}
+    for name in ("armpit", "xgboost", "af_detect"):
+        result = flow.generate_for_subset(
+            name, list(paper.TABLE3_SUBSETS[name]))
+        out[name] = result.synth
+    return out

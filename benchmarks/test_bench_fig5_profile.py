@@ -1,0 +1,37 @@
+"""Figure 5: codesize and distinct instructions per app x {-O0..-Oz}."""
+
+from repro.compiler import OPT_LEVELS
+from repro.core.profile import summarize
+from repro.data import paper
+
+
+def test_bench_fig5_profile(benchmark, sweeps):
+    def report():
+        return summarize(sweeps)
+
+    stats = benchmark.pedantic(report, rounds=1, iterations=1)
+    print("\n=== Figure 5: codesize (KB) / #distinct per flag ===")
+    header = f"{'application':<16}" + "".join(
+        f"{lvl + ' KB':>9}{'#d':>4}" for lvl in OPT_LEVELS)
+    print(header)
+    for name, sweep in sorted(sweeps.items()):
+        row = f"{name:<16}"
+        for lvl in OPT_LEVELS:
+            row += f"{sweep.codesize_kb(lvl):>9.2f}{sweep.distinct(lvl):>4}"
+        print(row)
+    print("\nper-flag averages (paper: O0=2027 O1=1149 O2=1207 O3=1586 "
+          "Oz=1018 static instrs; avg distinct ~19):")
+    for lvl in OPT_LEVELS:
+        s = stats[lvl]
+        print(f"  {lvl}: avg_static={s['avg_static_instructions']:7.1f} "
+              f"avg_distinct={s['avg_distinct']:5.2f} "
+              f"range=[{s['min_distinct']},{s['max_distinct']}] "
+              f"isa_usage={100 * s['avg_isa_fraction']:.0f}%")
+    lo, hi = paper.DISTINCT_RANGE
+    for lvl in OPT_LEVELS:
+        assert lo <= stats[lvl]["min_distinct"] + 4          # loose band
+        assert stats[lvl]["max_distinct"] <= hi
+    assert stats["O0"]["avg_static_instructions"] > \
+        2 * stats["O2"]["avg_static_instructions"]
+    assert stats["Oz"]["avg_static_instructions"] <= \
+        stats["O1"]["avg_static_instructions"] + 1

@@ -1,0 +1,29 @@
+"""Figure 6: maximum clock frequency of RISSPs vs RISSP-RV32E vs Serv."""
+
+from repro.data import paper
+
+
+def test_bench_fig6_fmax(benchmark, rissp_reports, rv32e_report,
+                         serv_report):
+    def fmax_table():
+        return {name: rep.fmax_khz for name, rep in rissp_reports.items()}
+
+    table = benchmark.pedantic(fmax_table, rounds=1, iterations=1)
+    print("\n=== Figure 6: max frequency (kHz), 25 kHz sweep ===")
+    for name in sorted(table):
+        print(f"{name:<16} {table[name]:>6} kHz")
+    print(f"{'RISSP-RV32E':<16} {rv32e_report.fmax_khz:>6} kHz "
+          f"(paper {paper.RV32E_FMAX_KHZ})")
+    print(f"{'Serv':<16} {serv_report.fmax_khz:>6} kHz "
+          f"(paper {paper.SERV_FMAX_KHZ})")
+    values = list(table.values())
+    print(f"RISSP range: {min(values)}-{max(values)} kHz "
+          f"(paper {paper.RISSP_FMAX_RANGE_KHZ})")
+    assert rv32e_report.fmax_khz == paper.RV32E_FMAX_KHZ
+    assert serv_report.fmax_khz == paper.SERV_FMAX_KHZ
+    assert serv_report.fmax_khz >= max(values)  # Serv clocks fastest
+    # RISSPs cluster around/above the full-ISA core (the paper's spread
+    # dips below 1700 kHz on synthesis noise; our noise model is milder,
+    # so we only require an overlapping band).
+    assert rv32e_report.fmax_khz <= max(values)
+    assert min(values) <= rv32e_report.fmax_khz + 200

@@ -1,0 +1,32 @@
+"""Figure 7: average NAND2-equivalent gate count across the sweep."""
+
+from repro.core.metrics import saving
+from repro.data import paper
+
+
+def test_bench_fig7_area(benchmark, rissp_reports, rv32e_report,
+                         serv_report, paper_subset_reports):
+    def area_table():
+        return {name: rep.avg_area_ge
+                for name, rep in rissp_reports.items()}
+
+    table = benchmark.pedantic(area_table, rounds=1, iterations=1)
+    base = rv32e_report.avg_area_ge
+    print("\n=== Figure 7: average area (NAND2-eq gates) ===")
+    savings = {}
+    for name in sorted(table):
+        savings[name] = saving(table[name], base)
+        print(f"{name:<16} {table[name]:>8.0f} GE   saving "
+              f"{savings[name]:5.1f}%")
+    print(f"{'RISSP-RV32E':<16} {base:>8.0f} GE   (paper ~3200)")
+    print(f"{'Serv':<16} {serv_report.avg_area_ge:>8.0f} GE")
+    print(f"saving range: {min(savings.values()):.0f}%-"
+          f"{max(savings.values()):.0f}% "
+          f"(paper {paper.AREA_SAVING_RANGE_PCT})")
+    ratio = (paper_subset_reports['xgboost'].avg_area_ge
+             / serv_report.avg_area_ge)
+    print(f"xgboost (paper Table 3 subset) vs Serv: {ratio:.2f}x (paper "
+          f"{paper.XGBOOST_VS_SERV_AREA}x)")
+    assert all(s > 0 for s in savings.values())
+    assert max(savings.values()) < 60
+    assert 1.05 < ratio < 1.45

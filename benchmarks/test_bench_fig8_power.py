@@ -1,0 +1,31 @@
+"""Figure 8: average power (static + dynamic) across the sweep."""
+
+from repro.core.metrics import saving
+from repro.data import paper
+
+
+def test_bench_fig8_power(benchmark, rissp_reports, rv32e_report,
+                          serv_report):
+    def power_table():
+        return {name: rep.avg_power_mw
+                for name, rep in rissp_reports.items()}
+
+    table = benchmark.pedantic(power_table, rounds=1, iterations=1)
+    base = rv32e_report.avg_power_mw
+    print("\n=== Figure 8: average power (mW) ===")
+    savings = {}
+    for name in sorted(table):
+        savings[name] = saving(table[name], base)
+        print(f"{name:<16} {table[name]:>7.3f} mW   saving "
+              f"{savings[name]:5.1f}%")
+    print(f"{'RISSP-RV32E':<16} {base:>7.3f} mW")
+    print(f"{'Serv':<16} {serv_report.avg_power_mw:>7.3f} mW")
+    ratio = (serv_report.power_at_fmax.total_mw
+             / rv32e_report.power_at_fmax.total_mw)
+    print(f"saving range {min(savings.values()):.0f}%-"
+          f"{max(savings.values()):.0f}% (paper "
+          f"{paper.POWER_SAVING_RANGE_PCT}); Serv/RV32E@fmax {ratio:.2f} "
+          f"(paper {paper.SERV_POWER_VS_RV32E})")
+    assert all(s > 0 for s in savings.values())
+    assert serv_report.avg_power_mw > base          # Serv burns more
+    assert 1.2 < ratio < 1.6

@@ -1,0 +1,21 @@
+"""Table 2: the port contract of each instruction hardware block type."""
+
+from repro.isa import INSTRUCTIONS
+from repro.rtl import build_block
+
+
+def test_bench_table2_blocks(benchmark):
+    def build_all():
+        return {d.mnemonic: build_block(d.mnemonic) for d in INSTRUCTIONS}
+
+    blocks = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    print("\n=== Table 2: instruction hardware block port contracts ===")
+    by_type = {}
+    for name, block in blocks.items():
+        by_type.setdefault(block.meta["block_type"], []).append(name)
+    for block_type, names in sorted(by_type.items()):
+        sample = blocks[sorted(names)[0]]
+        ports = ", ".join(f"{p.name}[{p.width}]{'<' if p.direction == 'in' else '>'}"
+                          for p in sample.ports.values())
+        print(f"{block_type:<8} ({len(names):2d} instrs): {ports}")
+    assert len(blocks) == 40

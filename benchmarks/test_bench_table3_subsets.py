@@ -1,0 +1,28 @@
+"""Table 3: distinct-instruction lists at -O2, vs the paper's lists."""
+
+from repro.data import paper
+
+
+def _jaccard(a, b):
+    a, b = set(a), set(b)
+    return len(a & b) / len(a | b)
+
+
+def test_bench_table3_subsets(benchmark, sweeps):
+    def collect():
+        return {name: sweeps[name].profiles["O2"].mnemonics
+                for name in sweeps}
+
+    subsets = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print("\n=== Table 3: distinct instructions per application (-O2) ===")
+    sims = []
+    for name in sorted(subsets):
+        ours = subsets[name]
+        ref = paper.TABLE3_SUBSETS.get(name, ())
+        sim = _jaccard(ours, ref) if ref else 0.0
+        sims.append(sim)
+        print(f"{name:<16} n={len(ours):2d} (paper {len(ref):2d}, "
+              f"jaccard {sim:.2f})  [{', '.join(ours)}]")
+    avg = sum(sims) / len(sims)
+    print(f"\naverage Jaccard similarity vs Table 3: {avg:.2f}")
+    assert avg > 0.5, "subsets should resemble the paper's Table 3"

@@ -1,0 +1,51 @@
+"""Extreme-edge scenario: firmware update for a long-lasting device (§5).
+
+A deployed smart-garment RISSP supports only the minimal 12-instruction
+subset.  A firmware update arrives compiled for the full RV32E ISA; the
+retargeting tool rewrites it (propose -> verify -> retry per instruction)
+and we prove the update runs bit-identically on the deployed core.
+"""
+
+from repro import MINIMAL_SUBSET, RisspFlow, retarget_assembly
+from repro.compiler import compile_to_assembly
+from repro.core import extract_subset
+from repro.isa import assemble
+from repro.rtl import RisspSim
+from repro.sim import run_program
+from repro.workloads import WORKLOADS
+
+
+def main() -> None:
+    print(f"deployed core subset ({len(MINIMAL_SUBSET)}): "
+          f"{', '.join(MINIMAL_SUBSET)}\n")
+
+    assembly = compile_to_assembly(WORKLOADS["xgboost"].source, "O2")
+    original = assemble(assembly)
+    reference = run_program(original, max_instructions=10_000_000)
+    print(f"update compiled for full ISA: "
+          f"{original.code_size_bytes} bytes, "
+          f"{len(extract_subset(original))} distinct instructions")
+
+    result = retarget_assembly(assembly)
+    print(f"\nmacro synthesis: {len(result.report.macros)} instructions "
+          f"rewritten in {result.report.total_attempts} total attempts")
+    for name, macro in sorted(result.report.macros.items()):
+        print(f"  {name:<6} verified on {macro.cases_checked:3d} cases "
+              f"({macro.attempts} attempt(s))")
+
+    retargeted = assemble(result.assembly)
+    print(f"\nretargeted binary: {retargeted.code_size_bytes} bytes "
+          f"(+{100 * (retargeted.code_size_bytes / original.code_size_bytes - 1):.1f}%), "
+          f"{len(extract_subset(retargeted))} distinct instructions")
+
+    flow = RisspFlow()
+    deployed = flow.generate_for_subset("deployed", list(MINIMAL_SUBSET))
+    run = RisspSim(deployed.core, retargeted).run(
+        max_instructions=50_000_000)
+    print(f"\non-device result: {run.exit_code} "
+          f"(reference {reference.exit_code}) -> "
+          f"{'MATCH' if run.exit_code == reference.exit_code else 'FAIL'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""MicroC compiler: the riscv32-gcc stand-in for the RISSP toolflow."""
+
+from .codegen import CodegenError
+from .driver import (
+    CompileResult,
+    OPT_LEVELS,
+    compile_to_assembly,
+    compile_to_program,
+    normalize_level,
+)
+from .irgen import SemaError
+from .lexer import LexError, tokenize
+from .parser import ParseError, parse
+
+__all__ = [
+    "CodegenError", "CompileResult", "LexError", "OPT_LEVELS", "ParseError",
+    "SemaError", "compile_to_assembly", "compile_to_program",
+    "normalize_level", "parse", "tokenize",
+]

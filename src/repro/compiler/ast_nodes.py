@@ -1,0 +1,201 @@
+"""AST node definitions for MicroC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CType:
+    """A MicroC type: base width/signedness plus optional pointer level."""
+
+    base: str            # "int" | "uint" | "char" | "uchar" | "short"
+    #                      | "ushort" | "void"
+    pointer: int = 0     # levels of indirection
+
+    @property
+    def size(self) -> int:
+        if self.pointer:
+            return 4
+        return {"int": 4, "uint": 4, "short": 2, "ushort": 2,
+                "char": 1, "uchar": 1, "void": 0}[self.base]
+
+    @property
+    def signed(self) -> bool:
+        if self.pointer:
+            return False
+        return self.base in ("int", "short", "char")
+
+    def deref(self) -> "CType":
+        if not self.pointer:
+            raise TypeError("dereference of non-pointer")
+        return CType(self.base, self.pointer - 1)
+
+    def ptr(self) -> "CType":
+        return CType(self.base, self.pointer + 1)
+
+
+INT = CType("int")
+UINT = CType("uint")
+
+
+# ---------------------------------------------------------------- expressions
+
+@dataclass
+class Num:
+    value: int
+    type: CType = INT
+
+
+@dataclass
+class StrLit:
+    value: str     # raw bytes, NUL appended at layout time
+    label: str = ""
+
+
+@dataclass
+class Var:
+    name: str
+
+
+@dataclass
+class Unary:
+    op: str        # "-" "~" "!" "*" "&"
+    operand: object
+
+
+@dataclass
+class Binary:
+    op: str
+    left: object
+    right: object
+
+
+@dataclass
+class Assign:
+    op: str        # "=" "+=" ...
+    target: object
+    value: object
+
+
+@dataclass
+class IncDec:
+    op: str        # "++" or "--"
+    target: object
+    prefix: bool
+
+
+@dataclass
+class Ternary:
+    cond: object
+    then: object
+    other: object
+
+
+@dataclass
+class Call:
+    name: str
+    args: list
+
+
+@dataclass
+class Index:
+    base: object
+    index: object
+
+
+@dataclass
+class Cast:
+    type: CType
+    operand: object
+
+
+# ---------------------------------------------------------------- statements
+
+@dataclass
+class ExprStmt:
+    expr: object
+
+
+@dataclass
+class Decl:
+    name: str
+    type: CType
+    array: int | None          # element count, None for scalars
+    init: object | None
+    init_list: list | None = None
+
+
+@dataclass
+class If:
+    cond: object
+    then: object
+    other: object | None
+
+
+@dataclass
+class While:
+    cond: object
+    body: object
+    do_while: bool = False
+
+
+@dataclass
+class For:
+    init: object | None
+    cond: object | None
+    step: object | None
+    body: object
+
+
+@dataclass
+class Return:
+    value: object | None
+
+
+@dataclass
+class Break:
+    pass
+
+
+@dataclass
+class Continue:
+    pass
+
+
+@dataclass
+class Block:
+    statements: list
+
+
+# ----------------------------------------------------------------- top level
+
+@dataclass
+class Param:
+    name: str
+    type: CType
+
+
+@dataclass
+class Function:
+    name: str
+    return_type: CType
+    params: list[Param]
+    body: Block
+
+
+@dataclass
+class Global:
+    name: str
+    type: CType
+    array: int | None
+    init: object | None                 # Num for scalars
+    init_list: list | None = None       # [Num...] for arrays
+    init_str: str | None = None         # for char arrays
+
+
+@dataclass
+class TranslationUnit:
+    globals: list[Global] = field(default_factory=list)
+    functions: list[Function] = field(default_factory=list)
+    strings: list[StrLit] = field(default_factory=list)

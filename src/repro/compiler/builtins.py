@@ -1,0 +1,112 @@
+"""Baremetal runtime helpers (libgcc-analog, emitted only when used).
+
+RV32E base has no hardware multiply/divide; GCC would emit calls to libgcc
+(`__mulsi3` etc.).  The paper compiles baremetal *without* libgcc, so these
+routines are part of the program image — exactly why multiply-heavy
+workloads show larger instruction subsets in Table 3.
+
+Each entry maps the symbol to (assembly text, dependencies).
+"""
+
+_MULSI3 = """__mulsi3:
+    mv a2, a0
+    li a0, 0
+.Lmul_loop:
+    beqz a1, .Lmul_done
+    andi a3, a1, 1
+    beqz a3, .Lmul_skip
+    add a0, a0, a2
+.Lmul_skip:
+    slli a2, a2, 1
+    srli a1, a1, 1
+    j .Lmul_loop
+.Lmul_done:
+    ret"""
+
+_UDIVSI3 = """__udivsi3:
+    li a2, 0
+    li a3, 0
+    li a4, 32
+.Ludiv_loop:
+    beqz a4, .Ludiv_done
+    slli a3, a3, 1
+    srli a5, a0, 31
+    or a3, a3, a5
+    slli a0, a0, 1
+    slli a2, a2, 1
+    bltu a3, a1, .Ludiv_skip
+    sub a3, a3, a1
+    ori a2, a2, 1
+.Ludiv_skip:
+    addi a4, a4, -1
+    j .Ludiv_loop
+.Ludiv_done:
+    mv a0, a2
+    ret"""
+
+_UMODSI3 = """__umodsi3:
+    li a2, 0
+    li a3, 0
+    li a4, 32
+.Lumod_loop:
+    beqz a4, .Lumod_done
+    slli a3, a3, 1
+    srli a5, a0, 31
+    or a3, a3, a5
+    slli a0, a0, 1
+    bltu a3, a1, .Lumod_skip
+    sub a3, a3, a1
+.Lumod_skip:
+    addi a4, a4, -1
+    j .Lumod_loop
+.Lumod_done:
+    mv a0, a3
+    ret"""
+
+_DIVSI3 = """__divsi3:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    xor t0, a0, a1
+    sw t0, 8(sp)
+    bgez a0, .Ldiv_absb
+    neg a0, a0
+.Ldiv_absb:
+    bgez a1, .Ldiv_go
+    neg a1, a1
+.Ldiv_go:
+    call __udivsi3
+    lw t0, 8(sp)
+    bgez t0, .Ldiv_done
+    neg a0, a0
+.Ldiv_done:
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret"""
+
+_MODSI3 = """__modsi3:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    sw a0, 8(sp)
+    bgez a0, .Lmod_absb
+    neg a0, a0
+.Lmod_absb:
+    bgez a1, .Lmod_go
+    neg a1, a1
+.Lmod_go:
+    call __umodsi3
+    lw t0, 8(sp)
+    bgez t0, .Lmod_done
+    neg a0, a0
+.Lmod_done:
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret"""
+
+#: symbol -> (assembly text, dependency symbols)
+BUILTIN_ASM: dict[str, tuple[str, tuple[str, ...]]] = {
+    "__mulsi3": (_MULSI3, ()),
+    "__udivsi3": (_UDIVSI3, ()),
+    "__umodsi3": (_UMODSI3, ()),
+    "__divsi3": (_DIVSI3, ("__udivsi3",)),
+    "__modsi3": (_MODSI3, ("__umodsi3",)),
+}

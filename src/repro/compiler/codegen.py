@@ -1,0 +1,377 @@
+"""RV32E assembly emission from optimized IR."""
+
+from __future__ import annotations
+
+from .ir import GlobalData, IrFunction, IrInstr, IrModule, VReg
+from .regalloc import (
+    ARG_REGS,
+    Assignment,
+    LinearScanAllocator,
+    SCRATCH,
+    SpillAllAllocator,
+)
+
+_BRANCH = {"eq": "beq", "ne": "bne", "lt": "blt", "ge": "bge",
+           "ltu": "bltu", "geu": "bgeu"}
+
+_BIN_ASM = {"add": "add", "sub": "sub", "and": "and", "or": "or",
+            "xor": "xor", "shl": "sll", "shr": "sra", "ushr": "srl",
+            "slt": "slt", "sltu": "sltu"}
+
+_BINI_ASM = {"add": "addi", "and": "andi", "or": "ori", "xor": "xori",
+             "slt": "slti", "sltu": "sltiu", "shl": "slli", "shr": "srai",
+             "ushr": "srli"}
+
+_LOAD_ASM = {(1, True): "lb", (1, False): "lbu", (2, True): "lh",
+             (2, False): "lhu", (4, True): "lw", (4, False): "lw"}
+
+_STORE_ASM = {1: "sb", 2: "sh", 4: "sw"}
+
+_BUILTIN = {"mul": "__mulsi3", "div": "__divsi3", "udiv": "__udivsi3",
+            "rem": "__modsi3", "urem": "__umodsi3"}
+
+
+class CodegenError(ValueError):
+    pass
+
+
+class FunctionEmitter:
+    def __init__(self, fn: IrFunction, assignment: Assignment,
+                 module: IrModule):
+        self.fn = fn
+        self.assign = assignment
+        self.module = module
+        self.lines: list[str] = []
+        self._scratch_turn = 0
+        self.has_call = any(
+            instr.op == "call"
+            or (instr.op == "bin" and instr.subop in _BUILTIN)
+            for instr in fn.instrs)
+        self._layout_frame()
+
+    # ----------------------------------------------------------- frame
+
+    def _layout_frame(self) -> None:
+        offset = 0
+        self.spill_base = offset
+        offset += 4 * self.assign.num_spill_slots
+        self.slot_offsets: dict[str, int] = {}
+        for slot in self.fn.slots:
+            self.slot_offsets[slot.name] = offset
+            offset += slot.size
+        self.save_offsets: dict[str, int] = {}
+        for name in (["ra"] if self.has_call else []) \
+                + list(self.assign.used_callee_saved):
+            self.save_offsets[name] = offset
+            offset += 4
+        self.frame_size = (offset + 15) & ~15
+
+    # ------------------------------------------------------------ helpers
+
+    def emit(self, text: str) -> None:
+        self.lines.append("    " + text)
+
+    def label(self, name: str) -> None:
+        self.lines.append(f"{name}:")
+
+    def _scratch(self) -> str:
+        name = SCRATCH[self._scratch_turn % len(SCRATCH)]
+        self._scratch_turn += 1
+        return name
+
+    def src(self, reg: VReg) -> str:
+        """Materialize a vreg for reading; may emit a reload."""
+        loc = self.assign.location(reg)
+        if isinstance(loc, str):
+            return loc
+        scratch = self._scratch()
+        offset = self.spill_base + 4 * loc
+        if offset <= 2047:
+            self.emit(f"lw {scratch}, {offset}(sp)")
+        else:
+            self.emit(f"li {scratch}, {offset}")
+            self.emit(f"add {scratch}, {scratch}, sp")
+            self.emit(f"lw {scratch}, 0({scratch})")
+        return scratch
+
+    def dst(self, reg: VReg) -> tuple[str, int | None]:
+        """Destination register and (if spilled) the slot to store back."""
+        loc = self.assign.location(reg)
+        if isinstance(loc, str):
+            return loc, None
+        return self._scratch(), loc
+
+    def store_back(self, name: str, slot: int | None) -> None:
+        if slot is None:
+            return
+        offset = self.spill_base + 4 * slot
+        if offset <= 2047:
+            self.emit(f"sw {name}, {offset}(sp)")
+        else:
+            other = SCRATCH[1] if name == SCRATCH[0] else SCRATCH[0]
+            self.emit(f"li {other}, {offset}")
+            self.emit(f"add {other}, {other}, sp")
+            self.emit(f"sw {name}, 0({other})")
+
+
+    def _sp_load(self, dst: str, offset: int) -> None:
+        if offset <= 2047:
+            self.emit(f"lw {dst}, {offset}(sp)")
+        else:
+            self.emit(f"li {dst}, {offset}")
+            self.emit(f"add {dst}, {dst}, sp")
+            self.emit(f"lw {dst}, 0({dst})")
+
+    def _sp_store(self, src: str, offset: int, scratch: str = "gp") -> None:
+        if offset <= 2047:
+            self.emit(f"sw {src}, {offset}(sp)")
+        else:
+            if scratch == src:
+                scratch = "tp"
+            self.emit(f"li {scratch}, {offset}")
+            self.emit(f"add {scratch}, {scratch}, sp")
+            self.emit(f"sw {src}, 0({scratch})")
+
+    def _parallel_move(self, moves: list[tuple[str, str]]) -> None:
+        """Resolve register-to-register parallel moves (cycles via gp)."""
+        pending = [(dst, src) for dst, src in moves if dst != src]
+        while pending:
+            progressed = False
+            blocked_sources = {src for _, src in pending}
+            for move in list(pending):
+                dst, src = move
+                if dst not in blocked_sources:
+                    self.emit(f"mv {dst}, {src}")
+                    pending.remove(move)
+                    progressed = True
+                    blocked_sources = {s for _, s in pending}
+            if pending and not progressed:
+                dst, src = pending.pop(0)
+                self.emit(f"mv gp, {src}")
+                pending = [(d, "gp" if s == src else s) for d, s in pending]
+                pending.append((dst, "gp"))
+
+    # -------------------------------------------------------------- emit
+
+    def run(self) -> list[str]:
+        self.label(self.fn.name)
+        if self.frame_size:
+            if self.frame_size <= 2048:
+                self.emit(f"addi sp, sp, -{self.frame_size}")
+            else:
+                self.emit(f"li gp, {self.frame_size}")
+                self.emit("sub sp, sp, gp")
+        for name, offset in self.save_offsets.items():
+            self._sp_store(name, offset)
+        self._bind_params()
+        self.epilogue_label = f".Lret_{self.fn.name}"
+        used_epilogue = False
+        instrs = self.fn.instrs
+        for index, instr in enumerate(instrs):
+            is_last = index == len(instrs) - 1
+            if instr.op == "ret":
+                if instr.a is not None:
+                    value = self.src(instr.a)
+                    if value != "a0":
+                        self.emit(f"mv a0, {value}")
+                if not is_last:
+                    self.emit(f"j {self.epilogue_label}")
+                    used_epilogue = True
+                continue
+            self._instr(instr, instrs, index)
+        if used_epilogue:
+            self.label(self.epilogue_label)
+        for name, offset in self.save_offsets.items():
+            self._sp_load(name, offset)
+        if self.frame_size:
+            if self.frame_size <= 2047:
+                self.emit(f"addi sp, sp, {self.frame_size}")
+            else:
+                self.emit(f"li gp, {self.frame_size}")
+                self.emit("add sp, sp, gp")
+        self.emit("ret")
+        return self.lines
+
+    def _bind_params(self) -> None:
+        reg_moves: list[tuple[str, str]] = []
+        for index, param in enumerate(self.fn.params):
+            loc = self.assign.location(param)
+            if isinstance(loc, str):
+                reg_moves.append((loc, ARG_REGS[index]))
+            else:
+                self._sp_store(ARG_REGS[index],
+                               self.spill_base + 4 * loc)
+        self._parallel_move(reg_moves)
+
+    def _emit_call(self, target: str, args: list[VReg],
+                   dest: VReg | None) -> None:
+        reg_moves: list[tuple[str, str]] = []
+        spill_loads: list[tuple[str, int]] = []
+        for index, arg in enumerate(args):
+            loc = self.assign.location(arg)
+            if isinstance(loc, str):
+                reg_moves.append((ARG_REGS[index], loc))
+            else:
+                spill_loads.append((ARG_REGS[index],
+                                    self.spill_base + 4 * loc))
+        # Register moves first: a spilled reload into aX would clobber a
+        # register-resident argument still waiting to be moved out of aX.
+        self._parallel_move(reg_moves)
+        for reg, offset in spill_loads:
+            self._sp_load(reg, offset)
+        self.emit(f"call {target}")
+        if dest is not None:
+            name, slot = self.dst(dest)
+            if slot is not None:
+                self.store_back("a0", slot)
+            elif name != "a0":
+                self.emit(f"mv {name}, a0")
+
+    def _instr(self, instr: IrInstr, instrs: list[IrInstr],
+               index: int) -> None:
+        op = instr.op
+        if op == "label":
+            self.label(instr.symbol)
+            return
+        if op == "jmp":
+            if not self._falls_through(instrs, index, instr.target):
+                self.emit(f"j {instr.target}")
+            return
+        if op == "const":
+            name, slot = self.dst(instr.dest)
+            value = instr.value
+            if value & 0x80000000:
+                value -= 0x100000000
+            self.emit(f"li {name}, {value}")
+            self.store_back(name, slot)
+            return
+        if op == "mov":
+            src = self.src(instr.a)
+            name, slot = self.dst(instr.dest)
+            if slot is not None:
+                self.store_back(src, slot)
+            elif name != src:
+                self.emit(f"mv {name}, {src}")
+            return
+        if op == "la":
+            name, slot = self.dst(instr.dest)
+            self.emit(f"la {name}, {instr.symbol}")
+            self.store_back(name, slot)
+            return
+        if op == "localaddr":
+            offset = self.slot_offsets[instr.symbol]
+            name, slot = self.dst(instr.dest)
+            if offset <= 2047:
+                self.emit(f"addi {name}, sp, {offset}")
+            else:
+                self.emit(f"li {name}, {offset}")
+                self.emit(f"add {name}, {name}, sp")
+            self.store_back(name, slot)
+            return
+        if op == "bin":
+            if instr.subop in _BUILTIN:
+                self.module.builtins_used.add(_BUILTIN[instr.subop])
+                self._emit_call(_BUILTIN[instr.subop],
+                                [instr.a, instr.b], instr.dest)
+                return
+            a = self.src(instr.a)
+            b = self.src(instr.b)
+            name, slot = self.dst(instr.dest)
+            self.emit(f"{_BIN_ASM[instr.subop]} {name}, {a}, {b}")
+            self.store_back(name, slot)
+            return
+        if op == "bini":
+            a = self.src(instr.a)
+            name, slot = self.dst(instr.dest)
+            self.emit(f"{_BINI_ASM[instr.subop]} {name}, {a}, "
+                      f"{instr.value}")
+            self.store_back(name, slot)
+            return
+        if op == "load":
+            addr = self.src(instr.a)
+            name, slot = self.dst(instr.dest)
+            mnemonic = _LOAD_ASM[(instr.width, instr.signed)]
+            self.emit(f"{mnemonic} {name}, 0({addr})")
+            self.store_back(name, slot)
+            return
+        if op == "store":
+            addr = self.src(instr.a)
+            value = self.src(instr.b)
+            self.emit(f"{_STORE_ASM[instr.width]} {value}, 0({addr})")
+            return
+        if op == "call":
+            self._emit_call(instr.symbol, instr.args, instr.dest)
+            return
+        if op == "cbr":
+            a = self.src(instr.a)
+            b = self.src(instr.b)
+            self.emit(f"{_BRANCH[instr.subop]} {a}, {b}, {instr.target}")
+            if not self._falls_through(instrs, index, instr.target2):
+                self.emit(f"j {instr.target2}")
+            return
+        if op == "br":
+            value = self.src(instr.a)
+            self.emit(f"bnez {value}, {instr.target}")
+            if not self._falls_through(instrs, index, instr.target2):
+                self.emit(f"j {instr.target2}")
+            return
+        raise CodegenError(f"cannot emit IR op {op!r}")
+
+    @staticmethod
+    def _falls_through(instrs: list[IrInstr], index: int,
+                       target: str) -> bool:
+        follow = index + 1
+        while follow < len(instrs) and instrs[follow].op == "label":
+            if instrs[follow].symbol == target:
+                return True
+            follow += 1
+        return False
+
+
+def emit_data(data: list[GlobalData]) -> list[str]:
+    lines = [".data"]
+    for glob in data:
+        lines.append(f"{glob.name}:")
+        if glob.raw is not None:
+            blob = glob.raw
+            for start in range(0, len(blob), 12):
+                chunk = ", ".join(str(b) for b in blob[start:start + 12])
+                lines.append(f"    .byte {chunk}")
+            if len(blob) % 4:
+                lines.append(f"    .space {4 - len(blob) % 4}")
+        elif glob.words is not None:
+            words = glob.words
+            for start in range(0, len(words), 8):
+                chunk = ", ".join(
+                    str(w & 0xFFFFFFFF) for w in words[start:start + 8])
+                lines.append(f"    .word {chunk}")
+        else:
+            lines.append(f"    .space {glob.size}")
+    return lines
+
+
+def emit_module(module: IrModule, opt_level: str) -> str:
+    """Emit the whole module as assembly text (entry function first)."""
+    lines: list[str] = emit_data(module.data)
+    lines.append(".text")
+    allocator = SpillAllAllocator() if opt_level == "O0" \
+        else LinearScanAllocator()
+    order = sorted(module.functions,
+                   key=lambda name: (name != "main", name))
+    for name in order:
+        fn = module.functions[name]
+        assignment = allocator.allocate(fn)
+        lines.extend(FunctionEmitter(fn, assignment, module).run())
+    from .builtins import BUILTIN_ASM
+    emitted = set()
+    # builtins may reference each other (__divsi3 calls __udivsi3)
+    queue = sorted(module.builtins_used)
+    while queue:
+        builtin = queue.pop(0)
+        if builtin in emitted:
+            continue
+        emitted.add(builtin)
+        text, deps = BUILTIN_ASM[builtin]
+        lines.append(text)
+        queue.extend(d for d in deps if d not in emitted)
+    return "\n".join(lines) + "\n"

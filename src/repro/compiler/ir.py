@@ -1,0 +1,102 @@
+"""Three-address intermediate representation for the MicroC compiler.
+
+A function body is a flat list of :class:`IrInstr` with symbolic labels.
+Virtual registers (:class:`VReg`) are produced once and consumed freely;
+the register allocator maps them onto the RV32E register file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: IR binary operators (RISC-V-shaped; *ushr* is logical shift right).
+BIN_OPS = ("add", "sub", "and", "or", "xor", "shl", "shr", "ushr",
+           "slt", "sltu", "mul", "div", "udiv", "rem", "urem")
+
+#: Fused compare-and-branch conditions (map 1:1 onto B-type instructions).
+CBR_OPS = ("eq", "ne", "lt", "ge", "ltu", "geu")
+
+
+@dataclass(frozen=True)
+class VReg:
+    id: int
+
+    def __repr__(self) -> str:
+        return f"%{self.id}"
+
+
+@dataclass
+class IrInstr:
+    """One IR operation.
+
+    op is one of: const, la, localaddr, mov, bin, bini, load, store, call,
+    ret, br (conditional on a value), cbr (fused compare+branch), jmp,
+    label.
+    """
+
+    op: str
+    dest: VReg | None = None
+    a: VReg | None = None
+    b: VReg | None = None
+    value: int = 0                 # const value / immediate / width
+    symbol: str = ""               # global name / call target / label name
+    subop: str = ""                # bin operator or cbr condition
+    width: int = 4                 # load/store width
+    signed: bool = True            # load extension
+    args: list[VReg] = field(default_factory=list)   # call arguments
+    target: str = ""               # branch target label
+    target2: str = ""              # cbr false-target / fall-through
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.op, self.subop, str(self.dest or ""),
+                 str(self.a or ""), str(self.b or ""),
+                 self.symbol or self.target]
+        return " ".join(p for p in parts if p)
+
+
+@dataclass
+class FrameSlot:
+    """A stack-frame object: local array or spill slot."""
+
+    name: str
+    size: int
+    offset: int = -1      # assigned at frame layout
+
+
+@dataclass
+class IrFunction:
+    name: str
+    params: list[VReg]
+    instrs: list[IrInstr] = field(default_factory=list)
+    slots: list[FrameSlot] = field(default_factory=list)
+    next_vreg: int = 0
+    returns_value: bool = True
+
+    def new_vreg(self) -> VReg:
+        reg = VReg(self.next_vreg)
+        self.next_vreg += 1
+        return reg
+
+    def add_slot(self, name: str, size: int) -> FrameSlot:
+        slot = FrameSlot(f"{name}.{len(self.slots)}", (size + 3) & ~3)
+        self.slots.append(slot)
+        return slot
+
+
+@dataclass
+class GlobalData:
+    """A global object laid out in .data."""
+
+    name: str
+    size: int
+    words: list[int] | None = None      # word initializer (ints)
+    raw: bytes | None = None            # byte initializer (strings/chars)
+    element_size: int = 4
+
+
+@dataclass
+class IrModule:
+    functions: dict[str, IrFunction] = field(default_factory=dict)
+    data: list[GlobalData] = field(default_factory=list)
+    #: runtime builtins referenced (emitted as assembly when used).
+    builtins_used: set[str] = field(default_factory=set)

@@ -1,0 +1,617 @@
+"""AST -> IR lowering with type checking for MicroC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import ast_nodes as ast
+from .ir import FrameSlot, GlobalData, IrFunction, IrInstr, IrModule, VReg
+
+
+class SemaError(ValueError):
+    pass
+
+
+@dataclass
+class _Local:
+    """A scalar local bound to a vreg, or an array bound to a frame slot."""
+
+    ctype: ast.CType
+    vreg: VReg | None = None
+    slot: FrameSlot | None = None
+    element: ast.CType | None = None     # array element type
+
+
+@dataclass
+class _GlobalInfo:
+    ctype: ast.CType
+    is_array: bool
+    element: ast.CType
+
+
+class IrGen:
+    """Lower one translation unit."""
+
+    def __init__(self, unit: ast.TranslationUnit):
+        self.unit = unit
+        self.module = IrModule()
+        self.globals: dict[str, _GlobalInfo] = {}
+        self.func_types: dict[str, ast.CType] = {}
+        self._label_count = 0
+        #: -O2/-O3 loop-header copying: the condition is emitted twice
+        #: (guard + latch), trading codesize for one jump per iteration.
+        self.rotate_loops = False
+
+    # ------------------------------------------------------------ plumbing
+
+    def new_label(self, hint: str) -> str:
+        self._label_count += 1
+        return f".L{hint}{self._label_count}"
+
+    def run(self) -> IrModule:
+        for glob in self.unit.globals:
+            self._layout_global(glob)
+        for lit in self.unit.strings:
+            self.module.data.append(GlobalData(
+                lit.label, len(lit.value) + 1,
+                raw=lit.value.encode("latin1") + b"\x00", element_size=1))
+            self.globals[lit.label] = _GlobalInfo(
+                ast.CType("char", 1), True, ast.CType("char"))
+        for func in self.unit.functions:
+            self.func_types[func.name] = func.return_type
+        for func in self.unit.functions:
+            self.module.functions[func.name] = self._lower_function(func)
+        return self.module
+
+    def _layout_global(self, glob: ast.Global) -> None:
+        element = glob.type
+        is_array = glob.array is not None
+        size = element.size * (glob.array or 1)
+        data = GlobalData(glob.name, size, element_size=element.size)
+        if glob.init_str is not None:
+            raw = glob.init_str.encode("latin1") + b"\x00"
+            raw += b"\x00" * (size - len(raw))
+            data.raw = raw
+        elif glob.init_list is not None:
+            values = [n.value for n in glob.init_list]
+            values += [0] * ((glob.array or len(values)) - len(values))
+            if element.size == 4:
+                data.words = values
+            else:
+                raw = bytearray()
+                for value in values:
+                    raw += (value & ((1 << (8 * element.size)) - 1)
+                            ).to_bytes(element.size, "little")
+                data.raw = bytes(raw)
+        elif glob.init is not None:
+            data.words = [glob.init.value]
+        else:
+            data.words = [0] * ((size + 3) // 4)
+        self.module.data.append(data)
+        self.globals[glob.name] = _GlobalInfo(
+            element.ptr() if is_array else element, is_array, element)
+
+    # ----------------------------------------------------------- functions
+
+    def _lower_function(self, func: ast.Function) -> IrFunction:
+        self.fn = IrFunction(func.name, [],
+                             returns_value=func.return_type.base != "void"
+                             or func.return_type.pointer > 0)
+        self.scopes: list[dict[str, _Local]] = [{}]
+        self.loop_stack: list[tuple[str, str]] = []   # (continue, break)
+        if len(func.params) > 6:
+            raise SemaError(f"{func.name}: more than 6 parameters")
+        for param in func.params:
+            vreg = self.fn.new_vreg()
+            self.fn.params.append(vreg)
+            self.scopes[0][param.name] = _Local(param.type, vreg=vreg)
+        self._stmt(func.body)
+        self._emit(IrInstr("ret"))
+        return self.fn
+
+    def _emit(self, instr: IrInstr) -> IrInstr:
+        self.fn.instrs.append(instr)
+        return instr
+
+    def _lookup(self, name: str) -> _Local | None:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    # ------------------------------------------------------------- statements
+
+    def _stmt(self, node) -> None:
+        if isinstance(node, ast.Block):
+            self.scopes.append({})
+            for statement in node.statements:
+                self._stmt(statement)
+            self.scopes.pop()
+        elif isinstance(node, ast.Decl):
+            self._decl(node)
+        elif isinstance(node, ast.ExprStmt):
+            self._rvalue(node.expr)
+        elif isinstance(node, ast.If):
+            self._if(node)
+        elif isinstance(node, ast.While):
+            self._while(node)
+        elif isinstance(node, ast.For):
+            self._for(node)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                value, _ = self._rvalue(node.value)
+                self._emit(IrInstr("ret", a=value))
+            else:
+                self._emit(IrInstr("ret"))
+        elif isinstance(node, ast.Break):
+            if not self.loop_stack:
+                raise SemaError("break outside loop")
+            self._emit(IrInstr("jmp", target=self.loop_stack[-1][1]))
+        elif isinstance(node, ast.Continue):
+            if not self.loop_stack:
+                raise SemaError("continue outside loop")
+            self._emit(IrInstr("jmp", target=self.loop_stack[-1][0]))
+        else:
+            raise SemaError(f"unsupported statement {type(node).__name__}")
+
+    def _decl(self, node: ast.Decl) -> None:
+        if node.array is not None:
+            slot = self.fn.add_slot(node.name, node.type.size * node.array)
+            local = _Local(node.type.ptr(), slot=slot, element=node.type)
+            self.scopes[-1][node.name] = local
+            if node.init_list:
+                base = self.fn.new_vreg()
+                self._emit(IrInstr("localaddr", dest=base,
+                                   symbol=slot.name, value=id(slot)))
+                for index, num in enumerate(node.init_list):
+                    value = self._const(num.value)
+                    addr = self.fn.new_vreg()
+                    off = self._const(index * node.type.size)
+                    self._emit(IrInstr("bin", subop="add", dest=addr,
+                                       a=base, b=off))
+                    self._emit(IrInstr("store", a=addr, b=value,
+                                       width=node.type.size))
+            return
+        vreg = self.fn.new_vreg()
+        self.scopes[-1][node.name] = _Local(node.type, vreg=vreg)
+        if node.init is not None:
+            value, _ = self._rvalue(node.init)
+            self._emit(IrInstr("mov", dest=vreg, a=value))
+        else:
+            self._emit(IrInstr("const", dest=vreg, value=0))
+
+    def _if(self, node: ast.If) -> None:
+        then_label = self.new_label("then")
+        else_label = self.new_label("else")
+        end_label = self.new_label("endif") if node.other else else_label
+        self._branch(node.cond, then_label, else_label)
+        self._emit(IrInstr("label", symbol=then_label))
+        self._stmt(node.then)
+        if node.other is not None:
+            self._emit(IrInstr("jmp", target=end_label))
+            self._emit(IrInstr("label", symbol=else_label))
+            self._stmt(node.other)
+        self._emit(IrInstr("label", symbol=end_label))
+
+    def _while(self, node: ast.While) -> None:
+        head = self.new_label("loop")
+        body = self.new_label("body")
+        done = self.new_label("done")
+        if node.do_while:
+            self._emit(IrInstr("label", symbol=body))
+            self.loop_stack.append((head, done))
+            self._stmt(node.body)
+            self.loop_stack.pop()
+            self._emit(IrInstr("label", symbol=head))
+            self._branch(node.cond, body, done)
+        elif self.rotate_loops:
+            # Loop-header copying: guard + bottom-tested latch.
+            self._branch(node.cond, body, done)
+            self._emit(IrInstr("label", symbol=body))
+            self.loop_stack.append((head, done))
+            self._stmt(node.body)
+            self.loop_stack.pop()
+            self._emit(IrInstr("label", symbol=head))
+            self._branch(node.cond, body, done)
+        else:
+            self._emit(IrInstr("label", symbol=head))
+            self._branch(node.cond, body, done)
+            self._emit(IrInstr("label", symbol=body))
+            self.loop_stack.append((head, done))
+            self._stmt(node.body)
+            self.loop_stack.pop()
+            self._emit(IrInstr("jmp", target=head))
+        self._emit(IrInstr("label", symbol=done))
+
+    def _for(self, node: ast.For) -> None:
+        self.scopes.append({})
+        if node.init is not None:
+            self._stmt(node.init)
+        head = self.new_label("for")
+        body = self.new_label("fbody")
+        step = self.new_label("fstep")
+        done = self.new_label("fdone")
+        if self.rotate_loops and node.cond is not None:
+            # Loop-header copying (see _while).
+            self._branch(node.cond, body, done)
+            self._emit(IrInstr("label", symbol=body))
+            self.loop_stack.append((step, done))
+            self._stmt(node.body)
+            self.loop_stack.pop()
+            self._emit(IrInstr("label", symbol=step))
+            if node.step is not None:
+                self._rvalue(node.step)
+            self._branch(node.cond, body, done)
+        else:
+            self._emit(IrInstr("label", symbol=head))
+            if node.cond is not None:
+                self._branch(node.cond, body, done)
+            self._emit(IrInstr("label", symbol=body))
+            self.loop_stack.append((step, done))
+            self._stmt(node.body)
+            self.loop_stack.pop()
+            self._emit(IrInstr("label", symbol=step))
+            if node.step is not None:
+                self._rvalue(node.step)
+            self._emit(IrInstr("jmp", target=head))
+        self._emit(IrInstr("label", symbol=done))
+        self.scopes.pop()
+
+    # ------------------------------------------------------------ branching
+
+    _CMP_TO_CBR = {"==": "eq", "!=": "ne", "<": "lt", ">=": "ge",
+                   ">": "lt", "<=": "ge"}
+
+    def _branch(self, cond, true_label: str, false_label: str) -> None:
+        """Lower a condition with fused compare-and-branch when possible."""
+        if isinstance(cond, ast.Unary) and cond.op == "!":
+            self._branch(cond.operand, false_label, true_label)
+            return
+        if isinstance(cond, ast.Binary) and cond.op == "&&":
+            middle = self.new_label("and")
+            self._branch(cond.left, middle, false_label)
+            self._emit(IrInstr("label", symbol=middle))
+            self._branch(cond.right, true_label, false_label)
+            return
+        if isinstance(cond, ast.Binary) and cond.op == "||":
+            middle = self.new_label("or")
+            self._branch(cond.left, true_label, middle)
+            self._emit(IrInstr("label", symbol=middle))
+            self._branch(cond.right, true_label, false_label)
+            return
+        if isinstance(cond, ast.Binary) \
+                and cond.op in self._CMP_TO_CBR:
+            left, lt = self._rvalue(cond.left)
+            right, rt = self._rvalue(cond.right)
+            unsigned = not (lt.signed and rt.signed)
+            subop = self._CMP_TO_CBR[cond.op]
+            if cond.op in (">", "<="):
+                left, right = right, left
+            if subop in ("lt", "ge") and unsigned:
+                subop += "u"
+            self._emit(IrInstr("cbr", subop=subop, a=left, b=right,
+                               target=true_label, target2=false_label))
+            return
+        value, _ = self._rvalue(cond)
+        self._emit(IrInstr("br", a=value, target=true_label,
+                           target2=false_label))
+
+    # ----------------------------------------------------------- expressions
+
+    def _const(self, value: int) -> VReg:
+        dest = self.fn.new_vreg()
+        self._emit(IrInstr("const", dest=dest, value=value & 0xFFFFFFFF))
+        return dest
+
+    def _rvalue(self, node) -> tuple[VReg, ast.CType]:
+        """Lower an expression; returns (value vreg, static type)."""
+        if isinstance(node, ast.Num):
+            return self._const(node.value), ast.INT
+        if isinstance(node, ast.StrLit):
+            dest = self.fn.new_vreg()
+            self._emit(IrInstr("la", dest=dest, symbol=node.label))
+            return dest, ast.CType("char", 1)
+        if isinstance(node, ast.Var):
+            return self._load_var(node.name)
+        if isinstance(node, ast.Cast):
+            value, vtype = self._rvalue(node.operand)
+            return self._narrow(value, vtype, node.type), node.type
+        if isinstance(node, ast.Unary):
+            return self._unary(node)
+        if isinstance(node, ast.Binary):
+            return self._binary(node)
+        if isinstance(node, ast.Assign):
+            return self._assign(node)
+        if isinstance(node, ast.IncDec):
+            return self._incdec(node)
+        if isinstance(node, ast.Ternary):
+            return self._ternary(node)
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.Index):
+            addr, element = self._index_addr(node)
+            dest = self.fn.new_vreg()
+            self._emit(IrInstr("load", dest=dest, a=addr,
+                               width=element.size, signed=element.signed))
+            return dest, element
+        raise SemaError(f"unsupported expression {type(node).__name__}")
+
+    def _load_var(self, name: str) -> tuple[VReg, ast.CType]:
+        local = self._lookup(name)
+        if local is not None:
+            if local.slot is not None:      # local array decays to pointer
+                dest = self.fn.new_vreg()
+                self._emit(IrInstr("localaddr", dest=dest,
+                                   symbol=local.slot.name,
+                                   value=id(local.slot)))
+                return dest, local.ctype
+            return local.vreg, local.ctype
+        if name in self.globals:
+            info = self.globals[name]
+            addr = self.fn.new_vreg()
+            self._emit(IrInstr("la", dest=addr, symbol=name))
+            if info.is_array:
+                return addr, info.ctype
+            dest = self.fn.new_vreg()
+            self._emit(IrInstr("load", dest=dest, a=addr,
+                               width=info.ctype.size,
+                               signed=info.ctype.signed))
+            return dest, info.ctype
+        raise SemaError(f"undefined variable {name!r}")
+
+    def _narrow(self, value: VReg, src: ast.CType,
+                dst: ast.CType) -> VReg:
+        """Integer conversion: truncate + extend for sub-word targets."""
+        if dst.pointer or dst.size == 4:
+            return value
+        if src.size == dst.size and src.signed == dst.signed \
+                and not src.pointer:
+            return value
+        bits = 8 * dst.size
+        shifted = self.fn.new_vreg()
+        amount = self._const(32 - bits)
+        self._emit(IrInstr("bin", subop="shl", dest=shifted, a=value,
+                           b=amount))
+        dest = self.fn.new_vreg()
+        amount2 = self._const(32 - bits)
+        self._emit(IrInstr("bin", subop="shr" if dst.signed else "ushr",
+                           dest=dest, a=shifted, b=amount2))
+        return dest
+
+    def _unary(self, node: ast.Unary) -> tuple[VReg, ast.CType]:
+        if node.op == "&":
+            if isinstance(node.operand, ast.Var):
+                local = self._lookup(node.operand.name)
+                if local is not None and local.slot is not None:
+                    dest = self.fn.new_vreg()
+                    self._emit(IrInstr("localaddr", dest=dest,
+                                       symbol=local.slot.name,
+                                       value=id(local.slot)))
+                    return dest, local.ctype
+                if node.operand.name in self.globals:
+                    info = self.globals[node.operand.name]
+                    dest = self.fn.new_vreg()
+                    self._emit(IrInstr("la", dest=dest,
+                                       symbol=node.operand.name))
+                    return dest, info.element.ptr()
+                raise SemaError("cannot take address of register variable")
+            if isinstance(node.operand, ast.Index):
+                addr, element = self._index_addr(node.operand)
+                return addr, element.ptr()
+            raise SemaError("unsupported address-of operand")
+        if node.op == "*":
+            ptr, ptype = self._rvalue(node.operand)
+            element = ptype.deref()
+            dest = self.fn.new_vreg()
+            self._emit(IrInstr("load", dest=dest, a=ptr,
+                               width=element.size, signed=element.signed))
+            return dest, element
+        value, vtype = self._rvalue(node.operand)
+        dest = self.fn.new_vreg()
+        if node.op == "-":
+            zero = self._const(0)
+            self._emit(IrInstr("bin", subop="sub", dest=dest, a=zero,
+                               b=value))
+        elif node.op == "~":
+            ones = self._const(0xFFFFFFFF)
+            self._emit(IrInstr("bin", subop="xor", dest=dest, a=value,
+                               b=ones))
+        elif node.op == "!":
+            one = self._const(1)
+            self._emit(IrInstr("bin", subop="sltu", dest=dest, a=value,
+                               b=one))
+            return dest, ast.INT
+        else:
+            raise SemaError(f"unsupported unary {node.op}")
+        return dest, vtype
+
+    _BIN_TO_IR = {"+": "add", "-": "sub", "&": "and", "|": "or", "^": "xor",
+                  "<<": "shl", "*": "mul"}
+
+    def _binary(self, node: ast.Binary) -> tuple[VReg, ast.CType]:
+        op = node.op
+        if op == ",":
+            self._rvalue(node.left)
+            return self._rvalue(node.right)
+        if op in ("&&", "||"):
+            return self._short_circuit(node)
+        left, lt = self._rvalue(node.left)
+        right, rt = self._rvalue(node.right)
+        unsigned = not (lt.signed and rt.signed) or lt.pointer or rt.pointer
+        dest = self.fn.new_vreg()
+        if op in self._BIN_TO_IR:
+            subop = self._BIN_TO_IR[op]
+            # pointer arithmetic scales by element size
+            if op in ("+", "-") and lt.pointer and not rt.pointer:
+                right = self._scale(right, lt.deref().size)
+            elif op == "+" and rt.pointer and not lt.pointer:
+                left = self._scale(left, rt.deref().size)
+                lt = rt
+            self._emit(IrInstr("bin", subop=subop, dest=dest, a=left,
+                               b=right))
+            return dest, lt if lt.pointer else (
+                ast.UINT if unsigned else ast.INT)
+        if op == ">>":
+            subop = "ushr" if not lt.signed or lt.pointer else "shr"
+            self._emit(IrInstr("bin", subop=subop, dest=dest, a=left,
+                               b=right))
+            return dest, lt
+        if op in ("/", "%"):
+            subop = {"/": "udiv" if unsigned else "div",
+                     "%": "urem" if unsigned else "rem"}[op]
+            self._emit(IrInstr("bin", subop=subop, dest=dest, a=left,
+                               b=right))
+            return dest, ast.UINT if unsigned else ast.INT
+        if op in ("<", ">", "<=", ">=", "==", "!="):
+            return self._compare(op, left, right, unsigned), ast.INT
+        raise SemaError(f"unsupported binary {op}")
+
+    def _scale(self, value: VReg, size: int) -> VReg:
+        if size == 1:
+            return value
+        shift = {2: 1, 4: 2}[size]
+        amount = self._const(shift)
+        dest = self.fn.new_vreg()
+        self._emit(IrInstr("bin", subop="shl", dest=dest, a=value, b=amount))
+        return dest
+
+    def _compare(self, op: str, left: VReg, right: VReg,
+                 unsigned: bool) -> VReg:
+        slt = "sltu" if unsigned else "slt"
+        dest = self.fn.new_vreg()
+        if op == "<":
+            self._emit(IrInstr("bin", subop=slt, dest=dest, a=left, b=right))
+            return dest
+        if op == ">":
+            self._emit(IrInstr("bin", subop=slt, dest=dest, a=right, b=left))
+            return dest
+        if op in (">=", "<="):
+            inner = self.fn.new_vreg()
+            a, b = (left, right) if op == ">=" else (right, left)
+            self._emit(IrInstr("bin", subop=slt, dest=inner, a=a, b=b))
+            one = self._const(1)
+            self._emit(IrInstr("bin", subop="xor", dest=dest, a=inner,
+                               b=one))
+            return dest
+        diff = self.fn.new_vreg()
+        self._emit(IrInstr("bin", subop="xor", dest=diff, a=left, b=right))
+        if op == "==":
+            one = self._const(1)
+            self._emit(IrInstr("bin", subop="sltu", dest=dest, a=diff,
+                               b=one))
+        else:
+            zero = self._const(0)
+            self._emit(IrInstr("bin", subop="sltu", dest=dest, a=zero,
+                               b=diff))
+        return dest
+
+    def _short_circuit(self, node: ast.Binary) -> tuple[VReg, ast.CType]:
+        result = self.fn.new_vreg()
+        true_label = self.new_label("sct")
+        false_label = self.new_label("scf")
+        end_label = self.new_label("sce")
+        self._branch(node, true_label, false_label)
+        self._emit(IrInstr("label", symbol=true_label))
+        self._emit(IrInstr("const", dest=result, value=1))
+        self._emit(IrInstr("jmp", target=end_label))
+        self._emit(IrInstr("label", symbol=false_label))
+        self._emit(IrInstr("const", dest=result, value=0))
+        self._emit(IrInstr("label", symbol=end_label))
+        return result, ast.INT
+
+    def _ternary(self, node: ast.Ternary) -> tuple[VReg, ast.CType]:
+        result = self.fn.new_vreg()
+        true_label = self.new_label("tt")
+        false_label = self.new_label("tf")
+        end_label = self.new_label("te")
+        self._branch(node.cond, true_label, false_label)
+        self._emit(IrInstr("label", symbol=true_label))
+        value, vtype = self._rvalue(node.then)
+        self._emit(IrInstr("mov", dest=result, a=value))
+        self._emit(IrInstr("jmp", target=end_label))
+        self._emit(IrInstr("label", symbol=false_label))
+        other, _ = self._rvalue(node.other)
+        self._emit(IrInstr("mov", dest=result, a=other))
+        self._emit(IrInstr("label", symbol=end_label))
+        return result, vtype
+
+    def _call(self, node: ast.Call) -> tuple[VReg, ast.CType]:
+        if len(node.args) > 6:
+            raise SemaError(f"call to {node.name}: more than 6 arguments")
+        args = [self._rvalue(arg)[0] for arg in node.args]
+        rtype = self.func_types.get(node.name, ast.INT)
+        dest = self.fn.new_vreg()
+        self._emit(IrInstr("call", dest=dest, symbol=node.name, args=args))
+        return dest, rtype
+
+    # ------------------------------------------------------------- lvalues
+
+    def _index_addr(self, node: ast.Index) -> tuple[VReg, ast.CType]:
+        base, btype = self._rvalue(node.base)
+        if not btype.pointer:
+            raise SemaError("indexing a non-pointer")
+        element = btype.deref()
+        index, _ = self._rvalue(node.index)
+        scaled = self._scale(index, element.size)
+        addr = self.fn.new_vreg()
+        self._emit(IrInstr("bin", subop="add", dest=addr, a=base, b=scaled))
+        return addr, element
+
+    def _assign(self, node: ast.Assign) -> tuple[VReg, ast.CType]:
+        target = node.target
+        if node.op != "=":
+            # compound assignment: rewrite a op= b as a = a op b
+            binop = node.op[:-1]
+            node = ast.Assign("=", target,
+                              ast.Binary(binop, target, node.value))
+        value, vtype = self._rvalue(node.value)
+        if isinstance(target, ast.Var):
+            local = self._lookup(target.name)
+            if local is not None and local.vreg is not None:
+                narrowed = self._narrow(value, vtype, local.ctype)
+                self._emit(IrInstr("mov", dest=local.vreg, a=narrowed))
+                return local.vreg, local.ctype
+            if target.name in self.globals:
+                info = self.globals[target.name]
+                if info.is_array:
+                    raise SemaError(f"cannot assign to array "
+                                    f"{target.name!r}")
+                addr = self.fn.new_vreg()
+                self._emit(IrInstr("la", dest=addr, symbol=target.name))
+                self._emit(IrInstr("store", a=addr, b=value,
+                                   width=info.ctype.size))
+                return value, info.ctype
+            raise SemaError(f"undefined variable {target.name!r}")
+        if isinstance(target, ast.Index):
+            addr, element = self._index_addr(target)
+            self._emit(IrInstr("store", a=addr, b=value,
+                               width=element.size))
+            return value, element
+        if isinstance(target, ast.Unary) and target.op == "*":
+            ptr, ptype = self._rvalue(target.operand)
+            element = ptype.deref()
+            self._emit(IrInstr("store", a=ptr, b=value, width=element.size))
+            return value, element
+        raise SemaError("unsupported assignment target")
+
+    def _incdec(self, node: ast.IncDec) -> tuple[VReg, ast.CType]:
+        delta = 1
+        target = node.target
+        if isinstance(target, ast.Var):
+            local = self._lookup(target.name)
+            if local is not None and local.ctype.pointer:
+                delta = local.ctype.deref().size
+        binop = "+" if node.op == "++" else "-"
+        if node.prefix:
+            return self._assign(ast.Assign(
+                "=", target, ast.Binary(binop, target, ast.Num(delta))))
+        old, vtype = self._rvalue(target)
+        saved = self.fn.new_vreg()
+        self._emit(IrInstr("mov", dest=saved, a=old))
+        self._assign(ast.Assign(
+            "=", target, ast.Binary(binop, target, ast.Num(delta))))
+        return saved, vtype
+
+
+def lower(unit: ast.TranslationUnit) -> IrModule:
+    return IrGen(unit).run()

@@ -1,0 +1,117 @@
+"""Lexer for MicroC, the C subset the workload kernels are written in."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = {
+    "int", "unsigned", "char", "short", "void", "if", "else", "while",
+    "for", "do", "return", "break", "continue", "const", "static",
+}
+
+_PUNCT = (
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+)
+
+
+class LexError(ValueError):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str        # "num" | "ident" | "kw" | "punct" | "str" | "char" | "eof"
+    text: str
+    value: int = 0
+    line: int = 0
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize MicroC source; raises :class:`LexError` on bad input."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    length = len(source)
+    while pos < length:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = length if end < 0 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", pos, end)
+            pos = end + 2
+            continue
+        if ch.isdigit():
+            start = pos
+            if source.startswith("0x", pos) or source.startswith("0X", pos):
+                pos += 2
+                while pos < length and source[pos] in "0123456789abcdefABCDEF":
+                    pos += 1
+                value = int(source[start:pos], 16)
+            else:
+                while pos < length and source[pos].isdigit():
+                    pos += 1
+                value = int(source[start:pos], 10)
+            if pos < length and source[pos] in "uUlL":
+                pos += 1  # accept single integer suffix
+            tokens.append(Token("num", source[start:pos], value, line))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < length and (source[pos].isalnum()
+                                    or source[pos] == "_"):
+                pos += 1
+            text = source[start:pos]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, 0, line))
+            continue
+        if ch == "'":
+            end = pos + 1
+            if end < length and source[end] == "\\":
+                end += 1
+            end += 1
+            if end >= length or source[end] != "'":
+                raise LexError("bad character literal", line)
+            inner = source[pos + 1:end].encode().decode("unicode_escape")
+            tokens.append(Token("char", source[pos:end + 1],
+                                ord(inner), line))
+            pos = end + 1
+            continue
+        if ch == '"':
+            end = pos + 1
+            while end < length and source[end] != '"':
+                if source[end] == "\\":
+                    end += 1
+                end += 1
+            if end >= length:
+                raise LexError("unterminated string literal", line)
+            raw = source[pos + 1:end].encode().decode("unicode_escape")
+            tokens.append(Token("str", raw, 0, line))
+            pos = end + 1
+            continue
+        for punct in _PUNCT:
+            if source.startswith(punct, pos):
+                tokens.append(Token("punct", punct, 0, line))
+                pos += len(punct)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", 0, line))
+    return tokens

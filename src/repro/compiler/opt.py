@@ -1,0 +1,466 @@
+"""IR optimization passes.
+
+The five optimization pipelines (`-O0/-O1/-O2/-O3/-Oz`) are assembled in
+:mod:`repro.compiler.driver` from these passes:
+
+  * :func:`const_fold` — fold operations over known constants
+  * :func:`fold_immediates` — use I-format immediates where they fit
+  * :func:`strength_reduce` — multiply/divide by powers of two -> shifts
+  * :func:`copy_propagate` — intra-block copy forwarding
+  * :func:`cse_local` — intra-block common-subexpression elimination
+    (loads participate; stores and calls invalidate)
+  * :func:`dead_code` — remove unused pure definitions
+  * :func:`simplify_branches` — drop jumps-to-next and unused labels
+  * :func:`inline_calls` — bottom-up inlining under a size threshold
+"""
+
+from __future__ import annotations
+
+from .ir import IrFunction, IrInstr, IrModule, VReg
+
+_PURE_OPS = ("const", "mov", "bin", "bini", "la", "localaddr", "load")
+_BLOCK_ENDERS = ("label", "jmp", "br", "cbr", "ret", "call")
+
+
+def _def_counts(fn: IrFunction) -> dict[VReg, int]:
+    counts: dict[VReg, int] = {}
+    for instr in fn.instrs:
+        if instr.dest is not None:
+            counts[instr.dest] = counts.get(instr.dest, 0) + 1
+    return counts
+
+
+def _known_constants(fn: IrFunction) -> dict[VReg, int]:
+    """vregs defined exactly once, by a const instruction."""
+    counts = _def_counts(fn)
+    known: dict[VReg, int] = {}
+    for instr in fn.instrs:
+        if instr.op == "const" and counts.get(instr.dest) == 1:
+            known[instr.dest] = instr.value
+    return known
+
+
+def _s32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def _eval_bin(subop: str, a: int, b: int) -> int | None:
+    a &= 0xFFFFFFFF
+    b &= 0xFFFFFFFF
+    if subop == "add":
+        return a + b
+    if subop == "sub":
+        return a - b
+    if subop == "and":
+        return a & b
+    if subop == "or":
+        return a | b
+    if subop == "xor":
+        return a ^ b
+    if subop == "shl":
+        return a << (b & 31)
+    if subop == "ushr":
+        return a >> (b & 31)
+    if subop == "shr":
+        return _s32(a) >> (b & 31)
+    if subop == "slt":
+        return int(_s32(a) < _s32(b))
+    if subop == "sltu":
+        return int(a < b)
+    if subop == "mul":
+        return a * b
+    if subop == "udiv":
+        return a // b if b else 0xFFFFFFFF
+    if subop == "urem":
+        return a % b if b else a
+    if subop == "div":
+        if b == 0:
+            return 0xFFFFFFFF
+        q = abs(_s32(a)) // abs(_s32(b))
+        return q if (_s32(a) < 0) == (_s32(b) < 0) else -q
+    if subop == "rem":
+        if b == 0:
+            return a
+        r = abs(_s32(a)) % abs(_s32(b))
+        return r if _s32(a) >= 0 else -r
+    return None
+
+
+_CBR_EVAL = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: _s32(a) < _s32(b),
+    "ge": lambda a, b: _s32(a) >= _s32(b),
+    "ltu": lambda a, b: a < b,
+    "geu": lambda a, b: a >= b,
+}
+
+
+def const_fold(fn: IrFunction) -> None:
+    known = _known_constants(fn)
+    out: list[IrInstr] = []
+    for instr in fn.instrs:
+        if instr.op == "bin" and instr.a in known and instr.b in known:
+            value = _eval_bin(instr.subop, known[instr.a], known[instr.b])
+            if value is not None:
+                out.append(IrInstr("const", dest=instr.dest,
+                                   value=value & 0xFFFFFFFF))
+                continue
+        if instr.op == "cbr" and instr.a in known and instr.b in known:
+            taken = _CBR_EVAL[instr.subop](known[instr.a] & 0xFFFFFFFF,
+                                           known[instr.b] & 0xFFFFFFFF)
+            out.append(IrInstr("jmp",
+                               target=instr.target if taken
+                               else instr.target2))
+            continue
+        if instr.op == "br" and instr.a in known:
+            out.append(IrInstr("jmp",
+                               target=instr.target if known[instr.a]
+                               else instr.target2))
+            continue
+        out.append(instr)
+    fn.instrs = out
+
+
+_IMM_OPS = {"add": "add", "and": "and", "or": "or", "xor": "xor",
+            "slt": "slt", "sltu": "sltu", "shl": "shl", "shr": "shr",
+            "ushr": "ushr"}
+
+
+def fold_immediates(fn: IrFunction) -> None:
+    """bin(op, a, const) -> bini with an I-format immediate when legal."""
+    known = _known_constants(fn)
+    out: list[IrInstr] = []
+    for instr in fn.instrs:
+        if instr.op == "bin" and instr.subop in _IMM_OPS \
+                and instr.b in known:
+            imm = _s32(known[instr.b])
+            if instr.subop in ("shl", "shr", "ushr"):
+                if 0 <= imm < 32:
+                    out.append(IrInstr("bini", subop=instr.subop,
+                                       dest=instr.dest, a=instr.a,
+                                       value=imm))
+                    continue
+            elif -2048 <= imm <= 2047:
+                out.append(IrInstr("bini", subop=instr.subop,
+                                   dest=instr.dest, a=instr.a, value=imm))
+                continue
+        if instr.op == "bin" and instr.subop == "sub" and instr.b in known:
+            imm = -_s32(known[instr.b])
+            if -2048 <= imm <= 2047:
+                out.append(IrInstr("bini", subop="add", dest=instr.dest,
+                                   a=instr.a, value=imm))
+                continue
+        if instr.op == "bin" and instr.subop == "add" and instr.a in known \
+                and instr.b not in known:
+            imm = _s32(known[instr.a])
+            if -2048 <= imm <= 2047:
+                out.append(IrInstr("bini", subop="add", dest=instr.dest,
+                                   a=instr.b, value=imm))
+                continue
+        out.append(instr)
+    fn.instrs = out
+
+
+def strength_reduce(fn: IrFunction) -> None:
+    """mul/div/rem by powers of two -> shifts and masks."""
+    known = _known_constants(fn)
+    out: list[IrInstr] = []
+    for instr in fn.instrs:
+        if instr.op == "bin" and instr.subop in ("mul", "udiv", "urem",
+                                                 "div"):
+            const_operand = None
+            other = None
+            if instr.b in known:
+                const_operand = known[instr.b] & 0xFFFFFFFF
+                other = instr.a
+            elif instr.subop == "mul" and instr.a in known:
+                const_operand = known[instr.a] & 0xFFFFFFFF
+                other = instr.b
+            if const_operand is not None and const_operand > 0 \
+                    and (const_operand & (const_operand - 1)) == 0:
+                shift = const_operand.bit_length() - 1
+                if instr.subop == "mul":
+                    out.append(IrInstr("bini", subop="shl",
+                                       dest=instr.dest, a=other,
+                                       value=shift))
+                    continue
+                if instr.subop == "udiv":
+                    out.append(IrInstr("bini", subop="ushr",
+                                       dest=instr.dest, a=other,
+                                       value=shift))
+                    continue
+                if instr.subop == "urem" and const_operand <= 2048:
+                    out.append(IrInstr("bini", subop="and",
+                                       dest=instr.dest, a=other,
+                                       value=const_operand - 1))
+                    continue
+                if instr.subop == "div" and shift > 0:
+                    # round-toward-zero: bias negative dividends
+                    sign = fn.new_vreg()
+                    out.append(IrInstr("bini", subop="shr", dest=sign,
+                                       a=other, value=31))
+                    bias = fn.new_vreg()
+                    if const_operand - 1 <= 2047:
+                        out.append(IrInstr("bini", subop="and", dest=bias,
+                                           a=sign,
+                                           value=const_operand - 1))
+                    else:
+                        mask = fn.new_vreg()
+                        out.append(IrInstr("const", dest=mask,
+                                           value=const_operand - 1))
+                        out.append(IrInstr("bin", subop="and", dest=bias,
+                                           a=sign, b=mask))
+                    biased = fn.new_vreg()
+                    out.append(IrInstr("bin", subop="add", dest=biased,
+                                       a=other, b=bias))
+                    out.append(IrInstr("bini", subop="shr",
+                                       dest=instr.dest, a=biased,
+                                       value=shift))
+                    continue
+        out.append(instr)
+    fn.instrs = out
+
+
+def copy_propagate(fn: IrFunction) -> None:
+    """Forward mov sources within basic blocks."""
+    out: list[IrInstr] = []
+    copies: dict[VReg, VReg] = {}
+
+    def resolve(reg: VReg | None) -> VReg | None:
+        seen = set()
+        while reg in copies and reg not in seen:
+            seen.add(reg)
+            reg = copies[reg]
+        return reg
+
+    def kill(reg: VReg) -> None:
+        copies.pop(reg, None)
+        for key in [k for k, v in copies.items() if v == reg]:
+            copies.pop(key)
+
+    for instr in fn.instrs:
+        if instr.op == "label":
+            copies.clear()
+            out.append(instr)
+            continue
+        instr.a = resolve(instr.a)
+        instr.b = resolve(instr.b)
+        instr.args = [resolve(arg) for arg in instr.args]
+        if instr.dest is not None:
+            kill(instr.dest)
+        if instr.op == "mov" and instr.a is not None \
+                and instr.dest != instr.a:
+            copies[instr.dest] = instr.a
+        out.append(instr)
+    fn.instrs = out
+
+
+def cse_local(fn: IrFunction) -> None:
+    """Intra-block value numbering over pure ops and loads."""
+    out: list[IrInstr] = []
+    table: dict[tuple, VReg] = {}
+    loads: dict[tuple, VReg] = {}
+    multi_def = {reg for reg, count in _def_counts(fn).items() if count > 1}
+
+    def invalidate(dest: VReg) -> None:
+        for cache in (table, loads):
+            for key in [k for k, v in cache.items()
+                        if v == dest or dest in k]:
+                cache.pop(key)
+
+    for instr in fn.instrs:
+        if instr.op == "label":
+            table.clear()
+            loads.clear()
+            out.append(instr)
+            continue
+        if instr.op in ("call",):
+            loads.clear()
+        if instr.op == "store":
+            loads.clear()
+        replaced = False
+        if instr.dest is not None and instr.dest not in multi_def:
+            key = None
+            cache = table
+            if instr.op == "bin":
+                key = ("bin", instr.subop, instr.a, instr.b)
+            elif instr.op == "bini":
+                key = ("bini", instr.subop, instr.a, instr.value)
+            elif instr.op == "la":
+                key = ("la", instr.symbol)
+            elif instr.op == "localaddr":
+                key = ("localaddr", instr.symbol)
+            elif instr.op == "const":
+                key = ("const", instr.value)
+            elif instr.op == "load":
+                key = ("load", instr.a, instr.width, instr.signed)
+                cache = loads
+            if key is not None:
+                prior = cache.get(key)
+                if prior is not None and prior not in multi_def:
+                    out.append(IrInstr("mov", dest=instr.dest, a=prior))
+                    replaced = True
+                else:
+                    cache[key] = instr.dest
+        if not replaced:
+            out.append(instr)
+        if instr.dest is not None and instr.dest in multi_def:
+            invalidate(instr.dest)
+    fn.instrs = out
+
+
+def dead_code(fn: IrFunction) -> None:
+    """Iteratively drop pure definitions whose results are never used."""
+    changed = True
+    while changed:
+        changed = False
+        used: set[VReg] = set()
+        for instr in fn.instrs:
+            for reg in (instr.a, instr.b):
+                if reg is not None:
+                    used.add(reg)
+            used.update(instr.args)
+        out = []
+        for instr in fn.instrs:
+            if instr.op in _PURE_OPS and instr.dest is not None \
+                    and instr.dest not in used:
+                changed = True
+                continue
+            out.append(instr)
+        fn.instrs = out
+
+
+def simplify_branches(fn: IrFunction) -> None:
+    """Remove jumps to the next label and labels nothing refers to."""
+    changed = True
+    while changed:
+        changed = False
+        out: list[IrInstr] = []
+        instrs = fn.instrs
+        for index, instr in enumerate(instrs):
+            if instr.op == "jmp":
+                follow = index + 1
+                while follow < len(instrs) \
+                        and instrs[follow].op == "label":
+                    if instrs[follow].symbol == instr.target:
+                        break
+                    follow += 1
+                if follow < len(instrs) and instrs[follow].op == "label" \
+                        and instrs[follow].symbol == instr.target:
+                    changed = True
+                    continue
+            out.append(instr)
+        referenced = set()
+        for instr in out:
+            if instr.target:
+                referenced.add(instr.target)
+            if instr.target2:
+                referenced.add(instr.target2)
+        final = [i for i in out
+                 if not (i.op == "label" and i.symbol not in referenced)]
+        if len(final) != len(out):
+            changed = True
+        fn.instrs = final
+        # Dead code after unconditional jumps (until next label).
+        trimmed: list[IrInstr] = []
+        skipping = False
+        for instr in fn.instrs:
+            if instr.op == "label":
+                skipping = False
+            if skipping:
+                changed = True
+                continue
+            trimmed.append(instr)
+            if instr.op in ("jmp", "ret"):
+                skipping = True
+        fn.instrs = trimmed
+
+
+def inline_calls(module: IrModule, threshold: int) -> None:
+    """Bottom-up inlining of small non-recursive callees."""
+    if threshold <= 0:
+        return
+    sizes = {name: len(fn.instrs) for name, fn in module.functions.items()}
+
+    def is_candidate(name: str, caller: str) -> bool:
+        callee = module.functions.get(name)
+        if callee is None or name == caller:
+            return False
+        if sizes.get(name, 1 << 30) > threshold:
+            return False
+        return all(i.op != "call" or i.symbol in module.functions
+                   and i.symbol != name
+                   for i in callee.instrs) and not any(
+                       i.op == "call" and i.symbol == name
+                       for i in callee.instrs)
+
+    for caller_name in list(module.functions):
+        caller = module.functions[caller_name]
+        out: list[IrInstr] = []
+        budget = 4  # bounded inlining rounds per caller
+        for instr in caller.instrs:
+            if instr.op != "call" or budget == 0 \
+                    or not is_candidate(instr.symbol, caller_name):
+                out.append(instr)
+                continue
+            budget -= 1
+            callee = module.functions[instr.symbol]
+            mapping: dict[VReg, VReg] = {}
+
+            def fresh(reg: VReg | None) -> VReg | None:
+                if reg is None:
+                    return None
+                if reg not in mapping:
+                    mapping[reg] = caller.new_vreg()
+                return mapping[reg]
+
+            slot_map: dict[str, str] = {}
+            for slot in callee.slots:
+                clone = caller.add_slot(f"inl_{slot.name}", slot.size)
+                slot_map[slot.name] = clone.name
+            suffix = f"_inl{len(out)}"
+            end_label = f".Linl_end{caller_name}{len(out)}"
+            for param, arg in zip(callee.params, instr.args):
+                out.append(IrInstr("mov", dest=fresh(param), a=arg))
+            for inner in callee.instrs:
+                if inner.op == "ret":
+                    if inner.a is not None and instr.dest is not None:
+                        out.append(IrInstr("mov", dest=instr.dest,
+                                           a=fresh(inner.a)))
+                    out.append(IrInstr("jmp", target=end_label))
+                    continue
+                clone = IrInstr(
+                    inner.op, dest=fresh(inner.dest), a=fresh(inner.a),
+                    b=fresh(inner.b), value=inner.value,
+                    symbol=slot_map.get(inner.symbol,
+                                        inner.symbol + suffix
+                                        if inner.op == "label"
+                                        else inner.symbol),
+                    subop=inner.subop, width=inner.width,
+                    signed=inner.signed,
+                    args=[fresh(arg) for arg in inner.args],
+                    target=inner.target + suffix if inner.target else "",
+                    target2=inner.target2 + suffix if inner.target2 else "")
+                out.append(clone)
+            out.append(IrInstr("label", symbol=end_label))
+        caller.instrs = out
+
+
+def run_pipeline(module: IrModule, level: str) -> None:
+    """Apply the optimization pipeline for one ``-O`` level."""
+    if level == "O0":
+        return
+    inline_threshold = {"O1": 0, "O2": 12, "O3": 48, "Oz": 0}[level]
+    inline_calls(module, inline_threshold)
+    for fn in module.functions.values():
+        for _ in range(2):   # two rounds let folds expose more folds
+            const_fold(fn)
+            copy_propagate(fn)
+            if level in ("O2", "O3", "Oz"):
+                strength_reduce(fn)
+            fold_immediates(fn)
+            cse_local(fn)
+            dead_code(fn)
+            simplify_branches(fn)

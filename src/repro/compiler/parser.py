@@ -1,0 +1,388 @@
+"""Recursive-descent parser for MicroC."""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+from .lexer import Token, tokenize
+
+
+class ParseError(ValueError):
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"line {token.line}: {message} (at {token.text!r})")
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.unit = ast.TranslationUnit()
+        self._str_count = 0
+
+    # ---------------------------------------------------------- token utils
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def accept(self, text: str) -> bool:
+        token = self.peek()
+        if token.kind in ("punct", "kw") and token.text == text:
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        token = self.peek()
+        if not self.accept(text):
+            raise ParseError(f"expected {text!r}", token)
+        return token
+
+    def expect_ident(self) -> str:
+        token = self.next()
+        if token.kind != "ident":
+            raise ParseError("expected identifier", token)
+        return token.text
+
+    # -------------------------------------------------------------- types
+
+    def at_type(self) -> bool:
+        token = self.peek()
+        if token.kind != "kw":
+            return False
+        return token.text in ("int", "unsigned", "char", "short", "void",
+                              "const", "static")
+
+    def parse_type(self) -> ast.CType:
+        while self.accept("const") or self.accept("static"):
+            pass
+        unsigned = self.accept("unsigned")
+        token = self.peek()
+        base = "int"
+        if token.kind == "kw" and token.text in ("int", "char", "short",
+                                                 "void"):
+            self.next()
+            base = token.text
+        elif not unsigned:
+            raise ParseError("expected type name", token)
+        if unsigned:
+            base = {"int": "uint", "char": "uchar", "short": "ushort",
+                    "void": "uint"}.get(base, "uint")
+        ctype = ast.CType(base)
+        while self.accept("*"):
+            ctype = ctype.ptr()
+        while self.accept("const"):
+            pass
+        return ctype
+
+    # ---------------------------------------------------------- top level
+
+    def parse(self) -> ast.TranslationUnit:
+        while self.peek().kind != "eof":
+            self.parse_top_level()
+        return self.unit
+
+    def parse_top_level(self) -> None:
+        ctype = self.parse_type()
+        name = self.expect_ident()
+        if self.peek().text == "(":
+            func = self.parse_function(ctype, name)
+            if func is not None:
+                self.unit.functions.append(func)
+            return
+        # global variable(s)
+        while True:
+            array = None
+            if self.accept("["):
+                array = self.parse_const_expr()
+                self.expect("]")
+            init = None
+            init_list = None
+            init_str = None
+            if self.accept("="):
+                if self.peek().kind == "str":
+                    init_str = self.next().text
+                    if array is None:
+                        array = len(init_str) + 1
+                elif self.accept("{"):
+                    init_list = []
+                    while not self.accept("}"):
+                        init_list.append(ast.Num(self.parse_const_expr()))
+                        if not self.accept(","):
+                            self.expect("}")
+                            break
+                    if array is None:
+                        array = len(init_list)
+                else:
+                    init = ast.Num(self.parse_const_expr())
+            self.unit.globals.append(
+                ast.Global(name, ctype, array, init, init_list, init_str))
+            if self.accept(","):
+                name = self.expect_ident()
+                continue
+            self.expect(";")
+            break
+
+    def parse_function(self, return_type: ast.CType,
+                       name: str) -> ast.Function:
+        self.expect("(")
+        params: list[ast.Param] = []
+        if not self.accept(")"):
+            if self.peek().text == "void" and self.peek(1).text == ")":
+                self.next()
+                self.expect(")")
+            else:
+                while True:
+                    ptype = self.parse_type()
+                    pname = self.expect_ident()
+                    if self.accept("["):
+                        self.expect("]")
+                        ptype = ptype.ptr()   # array param decays
+                    params.append(ast.Param(pname, ptype))
+                    if not self.accept(","):
+                        break
+                self.expect(")")
+        if self.accept(";"):
+            return None    # forward declaration (prototype)
+        body = self.parse_block()
+        return ast.Function(name, return_type, params, body)
+
+    # ------------------------------------------------------- const exprs
+
+    def parse_const_expr(self) -> int:
+        expr = self.parse_ternary()
+        value = _const_eval(expr)
+        if value is None:
+            raise ParseError("constant expression required", self.peek())
+        return value
+
+    # --------------------------------------------------------- statements
+
+    def parse_block(self) -> ast.Block:
+        self.expect("{")
+        statements = []
+        while not self.accept("}"):
+            statements.append(self.parse_statement())
+        return ast.Block(statements)
+
+    def parse_statement(self):
+        token = self.peek()
+        if token.text == "{":
+            return self.parse_block()
+        if self.accept(";"):
+            return ast.Block([])
+        if self.at_type():
+            return self.parse_decl()
+        if self.accept("if"):
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            then = self.parse_statement()
+            other = self.parse_statement() if self.accept("else") else None
+            return ast.If(cond, then, other)
+        if self.accept("while"):
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            return ast.While(cond, self.parse_statement())
+        if self.accept("do"):
+            body = self.parse_statement()
+            self.expect("while")
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            self.expect(";")
+            return ast.While(cond, body, do_while=True)
+        if self.accept("for"):
+            self.expect("(")
+            init = None
+            if not self.accept(";"):
+                init = self.parse_decl() if self.at_type() else \
+                    ast.ExprStmt(self.parse_expr())
+                if isinstance(init, ast.ExprStmt):
+                    self.expect(";")
+            cond = None
+            if not self.accept(";"):
+                cond = self.parse_expr()
+                self.expect(";")
+            step = None
+            if self.peek().text != ")":
+                step = self.parse_expr()
+            self.expect(")")
+            return ast.For(init, cond, step, self.parse_statement())
+        if self.accept("return"):
+            value = None
+            if self.peek().text != ";":
+                value = self.parse_expr()
+            self.expect(";")
+            return ast.Return(value)
+        if self.accept("break"):
+            self.expect(";")
+            return ast.Break()
+        if self.accept("continue"):
+            self.expect(";")
+            return ast.Continue()
+        expr = self.parse_expr()
+        self.expect(";")
+        return ast.ExprStmt(expr)
+
+    def parse_decl(self) -> ast.Decl:
+        ctype = self.parse_type()
+        name = self.expect_ident()
+        array = None
+        if self.accept("["):
+            array = self.parse_const_expr()
+            self.expect("]")
+        init = None
+        init_list = None
+        if self.accept("="):
+            if self.accept("{"):
+                init_list = []
+                while not self.accept("}"):
+                    init_list.append(ast.Num(self.parse_const_expr()))
+                    if not self.accept(","):
+                        self.expect("}")
+                        break
+            else:
+                init = self.parse_assignment()
+        self.expect(";")
+        return ast.Decl(name, ctype, array, init, init_list)
+
+    # ------------------------------------------------------- expressions
+
+    def parse_expr(self):
+        expr = self.parse_assignment()
+        while self.accept(","):
+            expr = ast.Binary(",", expr, self.parse_assignment())
+        return expr
+
+    _ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+                   "<<=", ">>=")
+
+    def parse_assignment(self):
+        left = self.parse_ternary()
+        token = self.peek()
+        if token.kind == "punct" and token.text in self._ASSIGN_OPS:
+            self.next()
+            return ast.Assign(token.text, left, self.parse_assignment())
+        return left
+
+    def parse_ternary(self):
+        cond = self.parse_binary(0)
+        if self.accept("?"):
+            then = self.parse_assignment()
+            self.expect(":")
+            return ast.Ternary(cond, then, self.parse_ternary())
+        return cond
+
+    _PRECEDENCE = [
+        ("||",), ("&&",), ("|",), ("^",), ("&",), ("==", "!="),
+        ("<", "<=", ">", ">="), ("<<", ">>"), ("+", "-"), ("*", "/", "%"),
+    ]
+
+    def parse_binary(self, level: int):
+        if level >= len(self._PRECEDENCE):
+            return self.parse_unary()
+        left = self.parse_binary(level + 1)
+        while True:
+            token = self.peek()
+            if token.kind == "punct" and token.text in self._PRECEDENCE[level]:
+                self.next()
+                right = self.parse_binary(level + 1)
+                left = ast.Binary(token.text, left, right)
+            else:
+                return left
+
+    def parse_unary(self):
+        token = self.peek()
+        if token.kind == "punct" and token.text in ("-", "~", "!", "*", "&"):
+            self.next()
+            return ast.Unary(token.text, self.parse_unary())
+        if token.kind == "punct" and token.text in ("++", "--"):
+            self.next()
+            return ast.IncDec(token.text, self.parse_unary(), prefix=True)
+        if token.text == "(" and self.peek(1).kind == "kw" \
+                and self.peek(1).text in ("int", "unsigned", "char", "short",
+                                          "void", "const"):
+            self.next()
+            ctype = self.parse_type()
+            self.expect(")")
+            return ast.Cast(ctype, self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self):
+        expr = self.parse_primary()
+        while True:
+            if self.accept("["):
+                index = self.parse_expr()
+                self.expect("]")
+                expr = ast.Index(expr, index)
+            elif self.peek().text in ("++", "--") \
+                    and self.peek().kind == "punct":
+                op = self.next().text
+                expr = ast.IncDec(op, expr, prefix=False)
+            else:
+                return expr
+
+    def parse_primary(self):
+        token = self.next()
+        if token.kind in ("num", "char"):
+            return ast.Num(token.value)
+        if token.kind == "str":
+            label = f".str{self._str_count}"
+            self._str_count += 1
+            lit = ast.StrLit(token.text, label)
+            self.unit.strings.append(lit)
+            return lit
+        if token.kind == "ident":
+            if self.peek().text == "(" and self.peek().kind == "punct":
+                self.next()
+                args = []
+                if not self.accept(")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept(","):
+                            break
+                    self.expect(")")
+                return ast.Call(token.text, args)
+            return ast.Var(token.text)
+        if token.kind == "punct" and token.text == "(":
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        raise ParseError("expected expression", token)
+
+
+def _const_eval(expr):
+    """Fold a constant AST expression to an int, or None."""
+    if isinstance(expr, ast.Num):
+        return expr.value
+    if isinstance(expr, ast.Unary):
+        inner = _const_eval(expr.operand)
+        if inner is None:
+            return None
+        return {"-": -inner, "~": ~inner,
+                "!": int(not inner)}.get(expr.op)
+    if isinstance(expr, ast.Binary):
+        left = _const_eval(expr.left)
+        right = _const_eval(expr.right)
+        if left is None or right is None:
+            return None
+        try:
+            return {
+                "+": left + right, "-": left - right, "*": left * right,
+                "/": left // right if right else None,
+                "%": left % right if right else None,
+                "<<": left << right, ">>": left >> right,
+                "&": left & right, "|": left | right, "^": left ^ right,
+            }.get(expr.op)
+        except (ValueError, ZeroDivisionError):
+            return None
+    return None
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    return Parser(source).parse()

@@ -1,0 +1,227 @@
+"""Register allocation for RV32E.
+
+Two allocators implement the paper's compiler-flag spectrum:
+
+  * :class:`SpillAllAllocator` (-O0): every virtual register lives on the
+    stack; operands are reloaded around each use — the classic unoptimized
+    code GCC emits at -O0, and the source of the large -O0 codesizes in
+    Figure 5.
+  * :class:`LinearScanAllocator` (-O1 and up): block-level liveness + linear
+    scan over live intervals.  Intervals that cross a call are restricted to
+    the callee-saved registers (s0/s1) or spilled, so call sites need no
+    caller-save spills.
+
+RV32E register budget: t0-t2, a0-a5, s0, s1 are allocatable; gp/tp are
+reserved as spill scratch (baremetal, no global pointer / thread pointer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ir import IrFunction, IrInstr, VReg
+
+ALLOCATABLE = ("t0", "t1", "t2", "a0", "a1", "a2", "a3", "a4", "a5",
+               "s0", "s1")
+CALLEE_SAVED = ("s0", "s1")
+SCRATCH = ("gp", "tp")
+ARG_REGS = ("a0", "a1", "a2", "a3", "a4", "a5")
+
+_CALL_OPS = {"call"}
+_CALL_SUBOPS = {"mul", "div", "udiv", "rem", "urem"}   # lowered to calls
+
+
+def _is_call_site(instr: IrInstr) -> bool:
+    if instr.op in _CALL_OPS:
+        return True
+    return instr.op == "bin" and instr.subop in _CALL_SUBOPS
+
+
+@dataclass
+class Assignment:
+    """Result of allocation: vreg -> register name or spill slot index."""
+
+    regs: dict[VReg, str] = field(default_factory=dict)
+    spills: dict[VReg, int] = field(default_factory=dict)
+    num_spill_slots: int = 0
+    used_callee_saved: list[str] = field(default_factory=list)
+
+    def location(self, reg: VReg) -> str | int:
+        if reg in self.regs:
+            return self.regs[reg]
+        return self.spills[reg]
+
+
+class SpillAllAllocator:
+    """-O0: every vreg gets a stack slot."""
+
+    def allocate(self, fn: IrFunction) -> Assignment:
+        assignment = Assignment()
+        slot = 0
+        seen: set[VReg] = set()
+        for instr in fn.instrs:
+            for reg in [instr.dest, instr.a, instr.b, *instr.args]:
+                if reg is not None and reg not in seen:
+                    seen.add(reg)
+                    assignment.spills[reg] = slot
+                    slot += 1
+        for param in fn.params:
+            if param not in seen:
+                assignment.spills[param] = slot
+                slot += 1
+        assignment.num_spill_slots = slot
+        return assignment
+
+
+@dataclass
+class _Interval:
+    reg: VReg
+    start: int
+    end: int
+    crosses_call: bool = False
+
+
+def _block_boundaries(fn: IrFunction) -> list[tuple[int, int]]:
+    """(start, end) index pairs of basic blocks in the flat list."""
+    starts = [0]
+    for index, instr in enumerate(fn.instrs):
+        if instr.op == "label" and index != 0:
+            starts.append(index)
+        elif instr.op in ("jmp", "br", "cbr", "ret") \
+                and index + 1 < len(fn.instrs):
+            starts.append(index + 1)
+    starts = sorted(set(starts))
+    blocks = []
+    for pos, start in enumerate(starts):
+        end = starts[pos + 1] if pos + 1 < len(starts) else len(fn.instrs)
+        if start < end:
+            blocks.append((start, end))
+    return blocks
+
+
+def _liveness(fn: IrFunction) -> tuple[list[tuple[int, int]],
+                                       list[set[VReg]], list[set[VReg]]]:
+    """Block live-in/live-out via iterative backward dataflow."""
+    blocks = _block_boundaries(fn)
+    label_block = {}
+    for block_id, (start, _) in enumerate(blocks):
+        if fn.instrs[start].op == "label":
+            label_block[fn.instrs[start].symbol] = block_id
+
+    successors: list[list[int]] = []
+    for block_id, (start, end) in enumerate(blocks):
+        last = fn.instrs[end - 1]
+        succ: list[int] = []
+        if last.op == "jmp":
+            succ.append(label_block[last.target])
+        elif last.op in ("br", "cbr"):
+            succ.append(label_block[last.target])
+            succ.append(label_block[last.target2])
+        elif last.op == "ret":
+            pass
+        elif block_id + 1 < len(blocks):
+            succ.append(block_id + 1)
+        successors.append(succ)
+
+    uses: list[set[VReg]] = []
+    defs: list[set[VReg]] = []
+    for start, end in blocks:
+        use: set[VReg] = set()
+        define: set[VReg] = set()
+        for instr in fn.instrs[start:end]:
+            for reg in [instr.a, instr.b, *instr.args]:
+                if reg is not None and reg not in define:
+                    use.add(reg)
+            if instr.dest is not None:
+                define.add(instr.dest)
+        uses.append(use)
+        defs.append(define)
+
+    live_in = [set() for _ in blocks]
+    live_out = [set() for _ in blocks]
+    changed = True
+    while changed:
+        changed = False
+        for block_id in reversed(range(len(blocks))):
+            out: set[VReg] = set()
+            for succ in successors[block_id]:
+                out |= live_in[succ]
+            inn = uses[block_id] | (out - defs[block_id])
+            if out != live_out[block_id] or inn != live_in[block_id]:
+                live_out[block_id] = out
+                live_in[block_id] = inn
+                changed = True
+    return blocks, live_in, live_out
+
+
+class LinearScanAllocator:
+    """-O1+: classic linear scan over liveness-derived intervals."""
+
+    def allocate(self, fn: IrFunction) -> Assignment:
+        blocks, live_in, live_out = _liveness(fn)
+        start: dict[VReg, int] = {}
+        end: dict[VReg, int] = {}
+        crosses: dict[VReg, bool] = {}
+
+        def touch(reg: VReg, index: int) -> None:
+            start.setdefault(reg, index)
+            start[reg] = min(start[reg], index)
+            end[reg] = max(end.get(reg, index), index)
+
+        for param in fn.params:
+            touch(param, 0)
+        for block_id, (bstart, bend) in enumerate(blocks):
+            for reg in live_in[block_id]:
+                touch(reg, bstart)
+            for reg in live_out[block_id]:
+                touch(reg, bend - 1)
+        for index, instr in enumerate(fn.instrs):
+            for reg in [instr.dest, instr.a, instr.b, *instr.args]:
+                if reg is not None:
+                    touch(reg, index)
+
+        call_sites = [index for index, instr in enumerate(fn.instrs)
+                      if _is_call_site(instr)]
+        for reg in start:
+            crosses[reg] = any(start[reg] < site < end[reg]
+                               for site in call_sites)
+
+        intervals = sorted(
+            (_Interval(reg, start[reg], end[reg], crosses[reg])
+             for reg in start),
+            key=lambda iv: (iv.start, iv.end))
+
+        assignment = Assignment()
+        active: list[tuple[int, str, VReg]] = []   # (end, reg name, vreg)
+        free_caller = [r for r in ALLOCATABLE if r not in CALLEE_SAVED]
+        free_callee = list(CALLEE_SAVED)
+
+        def expire(now: int) -> None:
+            for entry in list(active):
+                if entry[0] < now:
+                    active.remove(entry)
+                    name = entry[1]
+                    if name in CALLEE_SAVED:
+                        free_callee.append(name)
+                    else:
+                        free_caller.append(name)
+
+        for interval in intervals:
+            expire(interval.start)
+            pool = free_callee if interval.crosses_call else free_caller
+            alt = free_callee if not interval.crosses_call else []
+            if pool:
+                name = pool.pop(0)
+            elif alt:
+                name = alt.pop(0)
+            else:
+                assignment.spills[interval.reg] = \
+                    assignment.num_spill_slots
+                assignment.num_spill_slots += 1
+                continue
+            assignment.regs[interval.reg] = name
+            active.append((interval.end, name, interval.reg))
+        assignment.used_callee_saved = sorted(
+            {name for name in assignment.regs.values()
+             if name in CALLEE_SAVED})
+        return assignment

@@ -1,0 +1,22 @@
+"""Evaluation metrics shared by the Figure 6-9 benchmarks."""
+
+from __future__ import annotations
+
+from ..synth.report import SynthReport
+from ..synth.serv_model import SERV_CPI
+
+#: Single-cycle RISSPs retire one instruction per clock.
+RISSP_CPI = 1.0
+
+
+def energy_per_instruction_nj(report: SynthReport,
+                              cpi: float | None = None) -> float:
+    """EPI = P(fmax) / fmax x CPI in nanojoules (Figure 9 protocol)."""
+    if cpi is None:
+        cpi = SERV_CPI if report.name == "serv" else RISSP_CPI
+    return report.energy_per_instruction_nj(cpi)
+
+
+def saving(value: float, baseline: float) -> float:
+    """Relative saving vs a baseline, as a percentage."""
+    return 100.0 * (1.0 - value / baseline) if baseline else 0.0

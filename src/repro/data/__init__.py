@@ -1,0 +1,5 @@
+"""Published paper numbers used for comparisons (never as model inputs)."""
+
+from . import paper
+
+__all__ = ["paper"]

@@ -1,0 +1,112 @@
+"""Published numbers from the paper, used for comparison in benchmarks,
+EXPERIMENTS.md and regression tests.  Nothing here feeds the models —
+these are the *targets*, not inputs (except the three calibration anchors
+documented in repro.synth.techlib).
+"""
+
+#: Table 3 — distinct instructions per application at -O2.
+TABLE3_SUBSETS: dict[str, tuple[str, ...]] = {
+    "aha-mont64": ("add", "addi", "and", "andi", "beq", "bge", "bgeu",
+                   "bltu", "bne", "jal", "jalr", "lui", "lw", "or", "slli",
+                   "sltiu", "sltu", "srai", "srli", "sub", "sw", "xor",
+                   "xori"),
+    "crc32": ("add", "addi", "andi", "bge", "bne", "jal", "jalr", "lui",
+              "lw", "slli", "sltiu", "srli", "sub", "sw", "xor", "xori"),
+    "cubic": ("addi", "and", "andi", "beq", "bge", "blt", "bne", "jal",
+              "jalr", "lui", "lw", "slti", "sltiu", "sw", "xor"),
+    "edn": ("add", "addi", "andi", "beq", "bge", "bne", "jal", "jalr",
+            "lh", "lhu", "lui", "lw", "sh", "slli", "sltiu", "sra", "srai",
+            "srli", "sub", "sw"),
+    "huffbench": ("add", "addi", "and", "andi", "beq", "bge", "bgeu",
+                  "blt", "bltu", "bne", "jal", "jalr", "lbu", "lui", "lw",
+                  "or", "ori", "sb", "sll", "slli", "sltiu", "srai",
+                  "srli", "sub", "sw"),
+    "matmult-int": ("add", "addi", "bge", "bne", "jal", "jalr", "lui",
+                    "lw", "slli", "sltiu", "sw"),
+    "md5sum": ("add", "addi", "and", "andi", "beq", "bge", "bgeu", "blt",
+               "bltu", "bne", "jal", "jalr", "lui", "lw", "or", "sb",
+               "sll", "slli", "sltiu", "srl", "srli", "sub", "sw", "xor",
+               "xori"),
+    "minver": ("add", "addi", "and", "beq", "bge", "bne", "jal", "jalr",
+               "lui", "lw", "slli", "slti", "sltiu", "sub", "sw", "xor"),
+    "nbody": ("add", "addi", "and", "andi", "beq", "bge", "bne", "jal",
+              "jalr", "lui", "lw", "slli", "slti", "sltiu", "srli", "sw"),
+    "nettle-aes": ("add", "addi", "and", "andi", "beq", "bge", "bgeu",
+                   "bltu", "bne", "jal", "jalr", "lbu", "lui", "lw", "or",
+                   "sb", "slli", "sltiu", "srli", "sub", "sw", "xor"),
+    "nettle-sha256": ("add", "addi", "and", "andi", "beq", "bge", "bgeu",
+                      "bltu", "bne", "jal", "jalr", "lbu", "lhu", "lui",
+                      "lw", "or", "sb", "slli", "sltiu", "sltu", "srli",
+                      "sub", "sw", "xor"),
+    "nsichneu": ("add", "addi", "beq", "bge", "blt", "bne", "jal", "jalr",
+                 "lui", "lw", "slli", "sltiu", "sub", "sw"),
+    "picojpeg": ("add", "addi", "and", "andi", "beq", "bge", "bgeu", "blt",
+                 "bltu", "bne", "jal", "jalr", "lb", "lbu", "lh", "lhu",
+                 "lui", "lw", "or", "sb", "sh", "sll", "slli", "sltiu",
+                 "sltu", "sra", "srai", "srli", "sub", "sw", "xori"),
+    "primecount": ("add", "addi", "beq", "bge", "blt", "bne", "jal",
+                   "jalr", "lui", "lw", "slli", "sltiu", "sw"),
+    "qrduino": ("add", "addi", "and", "andi", "beq", "bge", "bgeu", "blt",
+                "bltu", "bne", "jal", "jalr", "lbu", "lhu", "lui", "lw",
+                "or", "ori", "sb", "sh", "slli", "sltiu", "sltu", "sra",
+                "srai", "srl", "srli", "sub", "sw", "xor", "xori"),
+    "sglib-combined": ("add", "addi", "andi", "beq", "bge", "bgeu", "blt",
+                       "bltu", "bne", "jal", "jalr", "lbu", "lh", "lui",
+                       "lw", "sb", "sh", "slli", "sltiu", "sltu", "srai",
+                       "sub", "sw", "xori"),
+    "slre": ("add", "addi", "and", "andi", "beq", "bge", "bgeu", "blt",
+             "bltu", "bne", "jal", "jalr", "lbu", "lui", "lw", "or",
+             "slli", "slt", "sltiu", "sltu", "srai", "sub", "sw", "xori"),
+    "st": ("add", "addi", "and", "bge", "blt", "bne", "jal", "jalr",
+           "lui", "lw", "slli", "slti", "sltiu", "sw"),
+    "statemate": ("addi", "beq", "bge", "blt", "bne", "jal", "jalr", "lbu",
+                  "lui", "lw", "or", "sb", "sh", "sltiu", "sub", "sw"),
+    "tarfind": ("add", "addi", "andi", "beq", "bge", "bgeu", "bltu", "bne",
+                "jal", "jalr", "lbu", "lui", "lw", "sb", "slli", "sltiu",
+                "srli", "sub", "sw"),
+    "ud": ("add", "addi", "beq", "bge", "blt", "bne", "jal", "jalr", "lui",
+           "lw", "or", "slli", "sltiu", "sub", "sw"),
+    "wikisort": ("add", "addi", "andi", "beq", "bge", "blt", "bne", "jal",
+                 "jalr", "lui", "lw", "or", "slli", "slt", "sltiu", "sltu",
+                 "srai", "srli", "sub", "sw"),
+    "armpit": ("add", "addi", "andi", "beq", "bge", "blt", "bne", "jal",
+               "jalr", "lbu", "lui", "lw", "slli", "sltiu", "sw"),
+    "xgboost": ("addi", "andi", "bge", "blt", "jal", "jalr", "lui", "lw",
+                "srli", "sw", "xor", "xori"),
+    "af_detect": ("add", "addi", "andi", "beq", "bge", "bgeu", "blt",
+                  "bltu", "bne", "jal", "jalr", "lbu", "lui", "lw", "sb",
+                  "sh", "slli", "sltiu", "srai", "srli", "sub", "sw",
+                  "xor"),
+}
+
+#: §4.1 — average static instruction counts per optimization flag.
+AVG_STATIC_PER_FLAG = {"O0": 2027, "O1": 1149, "O2": 1207, "O3": 1586,
+                       "Oz": 1018}
+
+#: §4.1 — distinct-instruction statistics across apps/flags.
+DISTINCT_RANGE = (9, 32)
+AVG_DISTINCT = 19
+ISA_USAGE_RANGE = (0.24, 0.86)
+
+#: §4.2 — synthesis anchors and bands.
+RV32E_FMAX_KHZ = 1700
+SERV_FMAX_KHZ = 2050
+RISSP_FMAX_RANGE_KHZ = (1500, 1850)
+AREA_SAVING_RANGE_PCT = (8, 43)
+POWER_SAVING_RANGE_PCT = (3, 30)
+SERV_POWER_VS_RV32E = 1.40
+EPI_RATIO_RV32E = 35.0
+EPI_RATIO_RISSP_AVG = 40.0
+XGBOOST_VS_SERV_AREA = 1.23   # xgboost RISSP 23% larger than Serv (synth)
+
+#: §4.3 — Figure 10 physical implementation relations (at 300 kHz, 3 V).
+PHYS_AREA_SAVING_PCT = {"af_detect": 8, "armpit": 35, "xgboost": 42}
+PHYS_POWER_SAVING_PCT = {"af_detect": 0, "armpit": 8, "xgboost": 21}
+SERV_FF_FRACTION = 0.60
+RV32E_FF_FRACTION = 0.06
+XGBOOST_SMALLER_THAN_SERV_PCT = 11
+
+#: §5 / Figure 12 — retargeting results.
+RETARGET_SIZE_INCREASE_PCT = {"armpit": 13, "xgboost": 5.2,
+                              "af_detect": 36}
+RETARGET_DISTINCT = {"af_detect": (23, 12)}

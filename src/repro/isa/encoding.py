@@ -1,0 +1,226 @@
+"""Binary encoding and decoding of RV32I/E instructions.
+
+The encoder/decoder pair is exercised heavily by property tests: for every
+instruction and every legal operand combination, ``decode(encode(x)) == x``.
+The subset analyser decodes compiled binaries with :func:`decode`, exactly as
+the paper's Step 1 characterises an application from its compiled form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .bits import bits, fits_signed, sign_extend, to_u32
+from .instructions import (
+    BY_MNEMONIC,
+    Format,
+    InstrDef,
+    OP_BRANCH,
+    OP_IMM,
+    OP_JAL,
+    OP_JALR,
+    OP_LOAD,
+    OP_LUI,
+    OP_AUIPC,
+    OP_MISC_MEM,
+    OP_REG,
+    OP_STORE,
+    OP_SYSTEM,
+)
+
+
+class EncodingError(ValueError):
+    """Raised when operands cannot be represented in the target format."""
+
+
+class DecodeError(ValueError):
+    """Raised when a 32-bit word is not a legal RV32I/E instruction."""
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A fully decoded instruction: definition plus operand fields.
+
+    ``imm`` is the *sign-extended* immediate (a plain Python int), matching
+    what the spec semantics consume.  Fields that a format does not carry are
+    zero.
+    """
+
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    @property
+    def definition(self) -> InstrDef:
+        return BY_MNEMONIC[self.mnemonic]
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"{self.mnemonic} rd={self.rd} rs1={self.rs1} "
+                f"rs2={self.rs2} imm={self.imm}")
+
+
+def _check_reg(value: int, what: str, num_regs: int) -> None:
+    if not 0 <= value < num_regs:
+        raise EncodingError(f"{what}=x{value} outside register file "
+                            f"of {num_regs} registers")
+
+
+def encode(instr: Instruction, num_regs: int = 32) -> int:
+    """Encode an :class:`Instruction` into its 32-bit word.
+
+    ``num_regs`` enforces the RV32E register constraint when set to 16.
+    """
+    d = instr.definition
+    rd, rs1, rs2, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
+    if d.fmt in (Format.R, Format.I, Format.U, Format.J):
+        _check_reg(rd, "rd", num_regs)
+    if d.fmt in (Format.R, Format.I, Format.S, Format.B):
+        _check_reg(rs1, "rs1", num_regs)
+    if d.fmt in (Format.R, Format.S, Format.B):
+        _check_reg(rs2, "rs2", num_regs)
+
+    if d.fmt is Format.R:
+        return (d.funct7 << 25 | rs2 << 20 | rs1 << 15 | d.funct3 << 12
+                | rd << 7 | d.opcode)
+    if d.fmt is Format.I:
+        if d.is_shift_imm:
+            if not 0 <= imm < 32:
+                raise EncodingError(f"{d.mnemonic} shamt {imm} out of range")
+            return (d.funct7 << 25 | imm << 20 | rs1 << 15 | d.funct3 << 12
+                    | rd << 7 | d.opcode)
+        if not fits_signed(imm, 12):
+            raise EncodingError(f"{d.mnemonic} immediate {imm} not a signed "
+                                f"12-bit value")
+        return (to_u32(imm) >> 0 & 0xFFF) << 20 | rs1 << 15 | d.funct3 << 12 \
+            | rd << 7 | d.opcode
+    if d.fmt is Format.S:
+        if not fits_signed(imm, 12):
+            raise EncodingError(f"{d.mnemonic} offset {imm} not signed 12-bit")
+        u = to_u32(imm)
+        return (bits(u, 11, 5) << 25 | rs2 << 20 | rs1 << 15
+                | d.funct3 << 12 | bits(u, 4, 0) << 7 | d.opcode)
+    if d.fmt is Format.B:
+        if imm % 2:
+            raise EncodingError(f"{d.mnemonic} offset {imm} not 2-byte aligned")
+        if not fits_signed(imm, 13):
+            raise EncodingError(f"{d.mnemonic} offset {imm} not signed 13-bit")
+        u = to_u32(imm)
+        return (bits(u, 12, 12) << 31 | bits(u, 10, 5) << 25 | rs2 << 20
+                | rs1 << 15 | d.funct3 << 12 | bits(u, 4, 1) << 8
+                | bits(u, 11, 11) << 7 | d.opcode)
+    if d.fmt is Format.U:
+        if not fits_signed(imm, 32) and not 0 <= imm < (1 << 32):
+            raise EncodingError(f"{d.mnemonic} immediate {imm} out of range")
+        if to_u32(imm) & 0xFFF:
+            raise EncodingError(f"{d.mnemonic} immediate {imm:#x} has non-zero "
+                                f"low 12 bits")
+        return to_u32(imm) & 0xFFFFF000 | rd << 7 | d.opcode
+    if d.fmt is Format.J:
+        if imm % 2:
+            raise EncodingError(f"jal offset {imm} not 2-byte aligned")
+        if not fits_signed(imm, 21):
+            raise EncodingError(f"jal offset {imm} not signed 21-bit")
+        u = to_u32(imm)
+        return (bits(u, 20, 20) << 31 | bits(u, 10, 1) << 21
+                | bits(u, 11, 11) << 20 | bits(u, 19, 12) << 12
+                | rd << 7 | d.opcode)
+    if d.fmt is Format.SYS:
+        if d.mnemonic == "fence":
+            return d.opcode | d.funct3 << 12
+        return d.funct7 << 20 | d.opcode  # ecall=0, ebreak=1 in imm[0]
+    raise AssertionError(f"unhandled format {d.fmt}")
+
+
+_R_BY_KEY = {(d.funct3, d.funct7): d.mnemonic
+             for d in BY_MNEMONIC.values() if d.fmt is Format.R}
+_B_BY_F3 = {d.funct3: d.mnemonic
+            for d in BY_MNEMONIC.values() if d.fmt is Format.B}
+_L_BY_F3 = {d.funct3: d.mnemonic
+            for d in BY_MNEMONIC.values()
+            if d.fmt is Format.I and d.opcode == OP_LOAD}
+_S_BY_F3 = {d.funct3: d.mnemonic
+            for d in BY_MNEMONIC.values() if d.fmt is Format.S}
+_IMM_BY_F3 = {d.funct3: d.mnemonic
+              for d in BY_MNEMONIC.values()
+              if d.fmt is Format.I and d.opcode == OP_IMM and not d.is_shift_imm}
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word into an :class:`Instruction`.
+
+    Raises :class:`DecodeError` for illegal encodings — the subset analyser
+    relies on this to reject data words misinterpreted as code.
+    """
+    word = to_u32(word)
+    opcode = bits(word, 6, 0)
+    rd = bits(word, 11, 7)
+    funct3 = bits(word, 14, 12)
+    rs1 = bits(word, 19, 15)
+    rs2 = bits(word, 24, 20)
+    funct7 = bits(word, 31, 25)
+
+    if opcode == OP_LUI:
+        return Instruction("lui", rd=rd, imm=sign_extend(word & 0xFFFFF000, 32))
+    if opcode == OP_AUIPC:
+        return Instruction("auipc", rd=rd,
+                           imm=sign_extend(word & 0xFFFFF000, 32))
+    if opcode == OP_JAL:
+        imm = (bits(word, 31, 31) << 20 | bits(word, 19, 12) << 12
+               | bits(word, 20, 20) << 11 | bits(word, 30, 21) << 1)
+        return Instruction("jal", rd=rd, imm=sign_extend(imm, 21))
+    if opcode == OP_JALR:
+        if funct3 != 0:
+            raise DecodeError(f"illegal jalr funct3={funct3}")
+        return Instruction("jalr", rd=rd, rs1=rs1,
+                           imm=sign_extend(bits(word, 31, 20), 12))
+    if opcode == OP_BRANCH:
+        if funct3 not in _B_BY_F3:
+            raise DecodeError(f"illegal branch funct3={funct3}")
+        imm = (bits(word, 31, 31) << 12 | bits(word, 7, 7) << 11
+               | bits(word, 30, 25) << 5 | bits(word, 11, 8) << 1)
+        return Instruction(_B_BY_F3[funct3], rs1=rs1, rs2=rs2,
+                           imm=sign_extend(imm, 13))
+    if opcode == OP_LOAD:
+        if funct3 not in _L_BY_F3:
+            raise DecodeError(f"illegal load funct3={funct3}")
+        return Instruction(_L_BY_F3[funct3], rd=rd, rs1=rs1,
+                           imm=sign_extend(bits(word, 31, 20), 12))
+    if opcode == OP_STORE:
+        if funct3 not in _S_BY_F3:
+            raise DecodeError(f"illegal store funct3={funct3}")
+        imm = bits(word, 31, 25) << 5 | bits(word, 11, 7)
+        return Instruction(_S_BY_F3[funct3], rs1=rs1, rs2=rs2,
+                           imm=sign_extend(imm, 12))
+    if opcode == OP_IMM:
+        if funct3 == 0b001:
+            if funct7 != 0:
+                raise DecodeError("illegal slli funct7")
+            return Instruction("slli", rd=rd, rs1=rs1, imm=rs2)
+        if funct3 == 0b101:
+            if funct7 == 0b0000000:
+                return Instruction("srli", rd=rd, rs1=rs1, imm=rs2)
+            if funct7 == 0b0100000:
+                return Instruction("srai", rd=rd, rs1=rs1, imm=rs2)
+            raise DecodeError(f"illegal shift funct7={funct7:#09b}")
+        if funct3 not in _IMM_BY_F3:
+            raise DecodeError(f"illegal op-imm funct3={funct3}")
+        return Instruction(_IMM_BY_F3[funct3], rd=rd, rs1=rs1,
+                           imm=sign_extend(bits(word, 31, 20), 12))
+    if opcode == OP_REG:
+        key = (funct3, funct7)
+        if key not in _R_BY_KEY:
+            raise DecodeError(f"illegal R-type funct3={funct3} "
+                              f"funct7={funct7:#09b}")
+        return Instruction(_R_BY_KEY[key], rd=rd, rs1=rs1, rs2=rs2)
+    if opcode == OP_MISC_MEM:
+        return Instruction("fence")
+    if opcode == OP_SYSTEM:
+        imm12 = bits(word, 31, 20)
+        if imm12 == 0 and rd == 0 and rs1 == 0 and funct3 == 0:
+            return Instruction("ecall")
+        if imm12 == 1 and rd == 0 and rs1 == 0 and funct3 == 0:
+            return Instruction("ebreak")
+        raise DecodeError(f"unsupported SYSTEM encoding {word:#010x}")
+    raise DecodeError(f"illegal opcode {opcode:#09b} in word {word:#010x}")

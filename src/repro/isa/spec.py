@@ -1,0 +1,153 @@
+"""Executable specification of RV32I/E instruction semantics.
+
+Each instruction's architectural effect is a *pure function* of the program
+counter, the decoded fields, the source register values, and (for loads) a
+memory-read callback.  The golden ISS, the per-instruction hardware-block
+testbenches, the formal-lite property checker and the RVFI trace checker all
+consume this single spec — it plays the role the RISC-V ISA manual plays for
+the paper's SVA assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .bits import to_s32, to_u32
+from .encoding import Instruction
+
+#: Memory read callback: (address, width_bytes, signed) -> value.
+LoadFn = Callable[[int, int, bool], int]
+
+
+@dataclass(frozen=True)
+class MemWrite:
+    """A store effect: ``width`` bytes of ``data`` at ``addr``."""
+
+    addr: int
+    data: int
+    width: int
+
+
+@dataclass(frozen=True)
+class Effects:
+    """Architectural effects of retiring one instruction.
+
+    ``rd`` is None when no register is written (branches, stores and writes
+    to x0 — the spec canonicalises ``rd == x0`` to "no write" so consumers
+    never have to special-case the zero register).
+    """
+
+    next_pc: int
+    rd: int | None = None
+    rd_data: int | None = None
+    mem_write: MemWrite | None = None
+    halt: bool = False      # ecall/ebreak terminate simulation
+    is_ecall: bool = False
+
+
+class SpecError(ValueError):
+    """Raised for misaligned control transfers or unknown mnemonics."""
+
+
+_ALU_OPS: dict[str, Callable[[int, int], int]] = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "sll": lambda a, b: a << (b & 31),
+    "slt": lambda a, b: 1 if to_s32(a) < to_s32(b) else 0,
+    "sltu": lambda a, b: 1 if to_u32(a) < to_u32(b) else 0,
+    "xor": lambda a, b: a ^ b,
+    "srl": lambda a, b: to_u32(a) >> (b & 31),
+    "sra": lambda a, b: to_s32(a) >> (b & 31),
+    "or": lambda a, b: a | b,
+    "and": lambda a, b: a & b,
+}
+
+#: op-imm mnemonics mapped to their register-register ALU function.
+_IMM_TO_ALU = {
+    "addi": "add", "slti": "slt", "sltiu": "sltu", "xori": "xor",
+    "ori": "or", "andi": "and", "slli": "sll", "srli": "srl", "srai": "sra",
+}
+
+_BRANCH_TAKEN: dict[str, Callable[[int, int], bool]] = {
+    "beq": lambda a, b: to_u32(a) == to_u32(b),
+    "bne": lambda a, b: to_u32(a) != to_u32(b),
+    "blt": lambda a, b: to_s32(a) < to_s32(b),
+    "bge": lambda a, b: to_s32(a) >= to_s32(b),
+    "bltu": lambda a, b: to_u32(a) < to_u32(b),
+    "bgeu": lambda a, b: to_u32(a) >= to_u32(b),
+}
+
+_LOAD_WIDTH = {"lb": (1, True), "lh": (2, True), "lw": (4, True),
+               "lbu": (1, False), "lhu": (2, False)}
+_STORE_WIDTH = {"sb": 1, "sh": 2, "sw": 4}
+
+
+def _wr(rd: int, value: int) -> tuple[int | None, int | None]:
+    """Canonicalise a register write: x0 writes are dropped."""
+    if rd == 0:
+        return None, None
+    return rd, to_u32(value)
+
+
+def step(instr: Instruction, pc: int, rs1_val: int, rs2_val: int,
+         load: LoadFn | None = None) -> Effects:
+    """Compute the architectural effects of ``instr`` executing at ``pc``.
+
+    ``rs1_val``/``rs2_val`` are the current source register values (ignored
+    by formats that do not read them).  ``load`` is required for loads only.
+    """
+    m = instr.mnemonic
+    pc = to_u32(pc)
+    seq_pc = to_u32(pc + 4)
+
+    if m in _ALU_OPS:
+        rd, data = _wr(instr.rd, _ALU_OPS[m](rs1_val, rs2_val))
+        return Effects(seq_pc, rd, data)
+    if m in _IMM_TO_ALU:
+        rd, data = _wr(instr.rd, _ALU_OPS[_IMM_TO_ALU[m]](rs1_val, instr.imm))
+        return Effects(seq_pc, rd, data)
+    if m in _BRANCH_TAKEN:
+        taken = _BRANCH_TAKEN[m](rs1_val, rs2_val)
+        target = to_u32(pc + instr.imm) if taken else seq_pc
+        if target & 0x3:
+            raise SpecError(f"misaligned branch target {target:#x}")
+        return Effects(target)
+    if m in _LOAD_WIDTH:
+        if load is None:
+            raise SpecError("load semantics require a memory callback")
+        width, signed = _LOAD_WIDTH[m]
+        addr = to_u32(rs1_val + instr.imm)
+        rd, data = _wr(instr.rd, load(addr, width, signed))
+        return Effects(seq_pc, rd, data)
+    if m in _STORE_WIDTH:
+        width = _STORE_WIDTH[m]
+        addr = to_u32(rs1_val + instr.imm)
+        mask = (1 << (8 * width)) - 1
+        return Effects(seq_pc,
+                       mem_write=MemWrite(addr, to_u32(rs2_val) & mask, width))
+    if m == "lui":
+        rd, data = _wr(instr.rd, instr.imm)
+        return Effects(seq_pc, rd, data)
+    if m == "auipc":
+        rd, data = _wr(instr.rd, pc + instr.imm)
+        return Effects(seq_pc, rd, data)
+    if m == "jal":
+        target = to_u32(pc + instr.imm)
+        if target & 0x3:
+            raise SpecError(f"misaligned jal target {target:#x}")
+        rd, data = _wr(instr.rd, seq_pc)
+        return Effects(target, rd, data)
+    if m == "jalr":
+        target = to_u32(rs1_val + instr.imm) & ~1
+        if target & 0x3:
+            raise SpecError(f"misaligned jalr target {target:#x}")
+        rd, data = _wr(instr.rd, seq_pc)
+        return Effects(target, rd, data)
+    if m == "fence":
+        return Effects(seq_pc)
+    if m == "ecall":
+        return Effects(seq_pc, halt=True, is_ecall=True)
+    if m == "ebreak":
+        return Effects(seq_pc, halt=True)
+    raise SpecError(f"no semantics for mnemonic {m!r}")

@@ -1,0 +1,23 @@
+"""Physical implementation model: floorplan, CTS, routing, layout reports."""
+
+from .flow import (
+    BASE_UTILIZATION,
+    CLOCK_TREE_ENERGY_PER_FF,
+    DIE_FIXED_GE,
+    FIXED_POWER_MW,
+    LayoutReport,
+    PAPER_IMPL_KHZ,
+    ROUTING_DELAY_FACTOR,
+    UM2_PER_GE,
+    UTIL_FF_PENALTY,
+    cts_buffer_count,
+    find_common_frequency,
+    implement,
+)
+
+__all__ = [
+    "BASE_UTILIZATION", "CLOCK_TREE_ENERGY_PER_FF", "DIE_FIXED_GE",
+    "FIXED_POWER_MW", "LayoutReport", "PAPER_IMPL_KHZ",
+    "ROUTING_DELAY_FACTOR", "UM2_PER_GE", "UTIL_FF_PENALTY",
+    "cts_buffer_count", "find_common_frequency", "implement",
+]

@@ -1,0 +1,18 @@
+"""Code retargeting for long-lasting extreme-edge applications (§5)."""
+
+from .rewriter import AssemblyRewriter, RetargetResult, retarget_assembly
+from .synthesizer import (
+    MAX_ATTEMPTS,
+    RetargetError,
+    SynthesisReport,
+    VerifiedMacro,
+    synthesize_macro,
+    synthesize_macros,
+)
+from .templates import MINIMAL_SUBSET
+
+__all__ = [
+    "AssemblyRewriter", "MAX_ATTEMPTS", "MINIMAL_SUBSET", "RetargetError",
+    "RetargetResult", "SynthesisReport", "VerifiedMacro",
+    "retarget_assembly", "synthesize_macro", "synthesize_macros",
+]

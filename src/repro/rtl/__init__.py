@@ -1,0 +1,43 @@
+"""RTL substrate: IR, instruction hardware blocks, library, ModularEX, RISSP."""
+
+from .blocks import BlockBuildError, build_block, match_key
+from .core_sim import CosimMismatch, RisspSim, cosimulate
+from .ir import (
+    Binary,
+    Cat,
+    Const,
+    Expr,
+    Ext,
+    IrError,
+    Module,
+    Mux,
+    Not,
+    Op,
+    Port,
+    RegFileSpec,
+    Register,
+    Sig,
+    Slice,
+    cat,
+    const,
+    expr_signals,
+    inline,
+    mux,
+    substitute,
+    topo_order,
+)
+from .library import IsaHardwareLibrary, LibraryEntry, LibraryError, default_library
+from .modularex import build_modularex
+from .rissp import build_rissp
+from .sim import RtlSim, eval_expr
+from .verilog import emit_module
+
+__all__ = [
+    "Binary", "BlockBuildError", "Cat", "Const", "CosimMismatch", "Expr",
+    "Ext", "IrError", "IsaHardwareLibrary", "LibraryEntry", "LibraryError",
+    "Module", "Mux", "Not", "Op", "Port", "RegFileSpec", "Register",
+    "RisspSim", "RtlSim", "Sig", "Slice", "build_block", "build_modularex",
+    "build_rissp", "cat", "const", "cosimulate", "default_library",
+    "emit_module", "eval_expr", "expr_signals", "inline", "match_key", "mux",
+    "substitute", "topo_order",
+]

@@ -1,0 +1,162 @@
+"""Program execution harness for generated RISSP modules.
+
+Drives the RTL evaluator cycle-by-cycle against a flat memory, mirroring the
+testbench the paper uses for integration-level verification: the DUT is the
+stitched RISSP RTL, the memory plays imem/dmem, and every retired
+instruction can be captured as an RVFI record for the riscv-formal-analog
+checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.bits import to_u32
+from ..isa.program import DEFAULT_MEM_SIZE, Program
+from ..sim.golden import RunResult, SimulationError
+from ..sim.memory import Memory
+from ..sim.tracing import RvfiRecord
+from .ir import Module
+from .sim import RtlSim
+
+#: Number of byte lanes in the data-memory interface.
+_LANES = 4
+
+_WSTRB_WIDTH = {0b0001: 1, 0b0010: 1, 0b0100: 1, 0b1000: 1,
+                0b0011: 2, 0b1100: 2, 0b1111: 4}
+
+
+class RisspSim:
+    """Run programs on a RISSP RTL module (cycle-accurate, single cycle/instr)."""
+
+    def __init__(self, core: Module, program: Program,
+                 mem_size: int = DEFAULT_MEM_SIZE, trace: bool = False):
+        self.core = core
+        self.memory = Memory.from_program(program, mem_size)
+        self.rtl = RtlSim(core)
+        self.rtl.env["pc"] = to_u32(program.entry)
+        self._trace_enabled = trace
+        # ABI setup mirrors the golden ISS: sp at top, ra at the halt stub.
+        from ..isa.encoding import Instruction, encode
+        from ..sim.golden import _HALT_SENTINEL
+        self.memory.store(_HALT_SENTINEL, encode(Instruction("ecall")), 4)
+        if self.rtl.regfile_data is not None:
+            self.rtl.regfile_data[2] = mem_size - 16
+            self.rtl.regfile_data[1] = _HALT_SENTINEL
+
+    def _cycle(self, order: int) -> tuple[bool, RvfiRecord | None]:
+        rtl = self.rtl
+        pc = rtl.get("pc")
+        word = self.memory.fetch(pc)
+        rtl.set_inputs(imem_rdata=word, dmem_rdata=0)
+        rtl.eval_comb()
+        if rtl.get("illegal"):
+            raise SimulationError(
+                f"unsupported instruction {word:#010x} at {pc:#x} "
+                f"(subset: {self.core.meta.get('mnemonics')})")
+        mem_rdata = 0
+        if rtl.get("dmem_re"):
+            addr = rtl.get("dmem_addr") & ~0x3
+            mem_rdata = self.memory.load(addr, 4, signed=False)
+            rtl.set_inputs(dmem_rdata=mem_rdata)
+            rtl.eval_comb()
+
+        wstrb = rtl.get("dmem_wstrb")
+        mem_addr = mem_wmask = mem_wdata = 0
+        if wstrb:
+            addr = rtl.get("dmem_addr")
+            base = addr & ~0x3
+            wdata = rtl.get("dmem_wdata")
+            for lane in range(_LANES):
+                if wstrb & (1 << lane):
+                    self.memory.store(base + lane,
+                                      (wdata >> (8 * lane)) & 0xFF, 1)
+            width = _WSTRB_WIDTH.get(wstrb)
+            if width is None:
+                raise SimulationError(f"malformed dmem_wstrb {wstrb:#06b}")
+            offset = (wstrb & -wstrb).bit_length() - 1
+            mem_addr = base + offset
+            mem_wmask = (1 << width) - 1
+            mem_wdata = (wdata >> (8 * offset)) & ((1 << (8 * width)) - 1)
+
+        halted = bool(rtl.get("halt"))
+        record = None
+        if self._trace_enabled:
+            we = rtl.get("rf_we")
+            waddr = rtl.get("rf_waddr") if we else 0
+            record = RvfiRecord(
+                order=order, insn=word, pc_rdata=pc,
+                pc_wdata=rtl.get("next_pc"),
+                rs1_addr=rtl.get("rf_rs1_addr"),
+                rs2_addr=rtl.get("rf_rs2_addr"),
+                rs1_rdata=self._read_rf(rtl.get("rf_rs1_addr")),
+                rs2_rdata=self._read_rf(rtl.get("rf_rs2_addr")),
+                rd_addr=waddr,
+                rd_wdata=rtl.get("rf_wdata") if we and waddr else 0,
+                mem_addr=mem_addr if wstrb else (
+                    rtl.get("dmem_addr") if rtl.get("dmem_re") else 0),
+                mem_rmask=0b1111 if rtl.get("dmem_re") else 0,
+                mem_wmask=mem_wmask,
+                mem_rdata=mem_rdata,
+                mem_wdata=mem_wdata)
+        rtl.tick()
+        return halted, record
+
+    def _read_rf(self, index: int) -> int:
+        if self.rtl.regfile_data is None or index == 0:
+            return 0
+        return self.rtl.regfile_data[index]
+
+    def run(self, max_instructions: int = 2_000_000) -> RunResult:
+        """Run to halt; single-cycle core, so cycles == instructions."""
+        trace: list[RvfiRecord] = []
+        count = 0
+        halted_by = "limit"
+        while count < max_instructions:
+            halted, record = self._cycle(order=count)
+            count += 1
+            if record is not None:
+                trace.append(record)
+            if halted:
+                halted_by = "ecall"
+                break
+        return RunResult(exit_code=self._read_rf(10), instructions=count,
+                         cycles=count, halted_by=halted_by, trace=trace)
+
+
+@dataclass
+class CosimMismatch:
+    """First divergence between RISSP RTL and the golden ISS."""
+
+    index: int
+    field: str
+    rtl_value: int
+    golden_value: int
+
+
+def cosimulate(core: Module, program: Program,
+               max_instructions: int = 2_000_000) -> CosimMismatch | None:
+    """Lock-step compare RISSP RTL execution against the golden ISS.
+
+    Returns None when the full run matches, else the first mismatch.  This
+    is the strongest integration check — every retired instruction's PC,
+    writeback and memory effect must agree.
+    """
+    from ..sim.golden import GoldenSim
+
+    rtl = RisspSim(core, program, trace=True)
+    gold = GoldenSim(program, trace=True)
+    for index in range(max_instructions):
+        rtl_halt, rtl_rec = rtl._cycle(order=index)
+        gold_halt, gold_rec, _ = gold.step_one(order=index)
+        for field_name in ("insn", "pc_rdata", "pc_wdata", "rd_addr",
+                           "rd_wdata", "mem_wmask", "mem_wdata"):
+            rtl_value = getattr(rtl_rec, field_name)
+            gold_value = getattr(gold_rec, field_name)
+            if rtl_value != gold_value:
+                return CosimMismatch(index, field_name, rtl_value, gold_value)
+        if rtl_halt != gold_halt:
+            return CosimMismatch(index, "halt", int(rtl_halt), int(gold_halt))
+        if rtl_halt:
+            break
+    return None

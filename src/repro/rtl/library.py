@@ -1,0 +1,123 @@
+"""The pre-verified full ISA hardware library (Step 0 of the methodology).
+
+The library is the paper's standard-cell-library analog: every instruction
+hardware block is built once, verified (functionally, by mutation-checked
+testbenches, and formally), and only then released for RISSP construction.
+``get_block`` enforces the pre-verification contract — an unverified block
+cannot be stitched into a processor.
+
+Building and verifying the library is the one-time NRE cost; the library
+object can be serialized conceptually (here it is deterministic to rebuild,
+so a process-wide default instance is cached).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..isa.instructions import BY_MNEMONIC, INSTRUCTIONS
+from .blocks import build_block
+from .ir import Module
+from .verilog import emit_module
+
+
+class LibraryError(ValueError):
+    """Unknown mnemonic, or an attempt to use an unverified block."""
+
+
+@dataclass
+class LibraryEntry:
+    """One instruction hardware block plus its verification record."""
+
+    mnemonic: str
+    module: Module
+    verified: bool = False
+    verification_report: dict[str, object] = field(default_factory=dict)
+
+
+#: A verifier maps a block module to (passed, report).  The default verifier
+#: lives in :mod:`repro.verify.testbench`; the indirection keeps rtl free of
+#: a dependency on verify.
+Verifier = Callable[[Module], tuple[bool, dict[str, object]]]
+
+
+class IsaHardwareLibrary:
+    """Pre-verified full ISA hardware library for RV32I/E."""
+
+    def __init__(self, mnemonics: Iterable[str] | None = None):
+        names = list(mnemonics) if mnemonics is not None else [
+            d.mnemonic for d in INSTRUCTIONS]
+        self._entries: dict[str, LibraryEntry] = {}
+        for name in names:
+            if name not in BY_MNEMONIC:
+                raise LibraryError(f"unknown instruction {name!r}")
+            self._entries[name] = LibraryEntry(name, build_block(name))
+
+    def __contains__(self, mnemonic: str) -> bool:
+        return mnemonic in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def mnemonics(self) -> list[str]:
+        return sorted(self._entries)
+
+    def entry(self, mnemonic: str) -> LibraryEntry:
+        try:
+            return self._entries[mnemonic]
+        except KeyError:
+            raise LibraryError(f"instruction {mnemonic!r} not in the "
+                               f"library") from None
+
+    def verify(self, verifier: Verifier,
+               mnemonics: Iterable[str] | None = None) -> dict[str, bool]:
+        """Run ``verifier`` over blocks and record the results."""
+        results = {}
+        for name in (mnemonics or self.mnemonics):
+            entry = self.entry(name)
+            passed, report = verifier(entry.module)
+            entry.verified = passed
+            entry.verification_report = report
+            results[name] = passed
+        return results
+
+    def mark_verified(self, mnemonics: Iterable[str] | None = None) -> None:
+        """Trusted fast-path used when verification ran elsewhere (tests
+        exercise the honest path via :meth:`verify`)."""
+        for name in (mnemonics or self.mnemonics):
+            self.entry(name).verified = True
+
+    def get_block(self, mnemonic: str, require_verified: bool = True) -> Module:
+        """Release a block for RISSP construction (Step 2 'pull')."""
+        entry = self.entry(mnemonic)
+        if require_verified and not entry.verified:
+            raise LibraryError(
+                f"block {mnemonic!r} has not been pre-verified; run "
+                f"library.verify(...) first")
+        return entry.module
+
+    def emit_systemverilog(self, mnemonic: str) -> str:
+        """The block's SystemVerilog source (``instrx.sv`` in the paper)."""
+        return emit_module(self.entry(mnemonic).module)
+
+
+_DEFAULT: IsaHardwareLibrary | None = None
+
+
+def default_library(verified: bool = True) -> IsaHardwareLibrary:
+    """Process-wide cached library.
+
+    With ``verified=True`` the blocks are marked pre-verified — the honest
+    verification pipeline is exercised by :mod:`repro.verify` and the test
+    suite; rebuilding+reverifying for every generator call would only redo
+    identical deterministic work.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = IsaHardwareLibrary()
+        _DEFAULT.mark_verified()
+    elif verified:
+        _DEFAULT.mark_verified()
+    return _DEFAULT

@@ -1,0 +1,119 @@
+"""RISSP construction (Step 3, §3.3, Figure 3).
+
+A RISSP is the single-cycle stitch of:
+  * the **fetch unit** — the 32-bit PC register driving the instruction
+    memory interface,
+  * **ModularEX** — the pre-verified modular execution unit,
+  * the **register file** — an architectural primitive (the paper
+    synthesizes RISSPs *without* the RF, so it stays a primitive here and is
+    excluded from gate lowering),
+  * the **memory interfaces** — imem read port, dmem read/write port.
+
+The produced module is fully self-contained: the evaluator in
+:mod:`repro.rtl.sim` can execute programs on it, the emitter can print its
+SystemVerilog, and :mod:`repro.synth` can lower it to gates.
+"""
+
+from __future__ import annotations
+
+from .ir import Expr, Module, RegFileSpec, const, inline, mux
+from .library import IsaHardwareLibrary, default_library
+from .modularex import build_modularex
+
+REG_ADDR_BITS = 4
+
+
+def _read_mux_tree(entries: list[Expr], addr: Expr) -> Expr:
+    """Balanced binary mux tree selecting ``entries[addr]`` (addr LSB first).
+
+    This is the register-file read port as synthesis sees it: 15 MUX2 cells
+    per bit for a 16-entry RV32E file.
+    """
+    level = list(entries)
+    bit = 0
+    while len(level) > 1:
+        sel = addr.bit(bit)
+        level = [mux(sel, level[i + 1], level[i])
+                 for i in range(0, len(level), 2)]
+        bit += 1
+    return level[0]
+
+
+def build_rissp(mnemonics: list[str],
+                library: IsaHardwareLibrary | None = None,
+                name: str = "rissp",
+                reset_pc: int = 0,
+                require_verified: bool = True) -> Module:
+    """Build a complete single-cycle RISSP for an instruction subset.
+
+    Args:
+        mnemonics: the domain-specific instruction subset (Step 1 output).
+        library: pre-verified block library; defaults to the cached one.
+        name: module name (e.g. ``rissp_armpit``).
+        reset_pc: PC reset value (program entry point).
+        require_verified: enforce the pre-verification contract.
+
+    Returns the stitched :class:`Module` with ``meta['mnemonics']`` set.
+    """
+    library = library or default_library()
+    core = Module(name)
+    pc = core.register("pc", 32, reset_value=reset_pc)
+
+    imem_rdata = core.input("imem_rdata", 32)
+    core.assign(core.output("imem_addr", 32), pc)
+    dmem_rdata = core.input("dmem_rdata", 32)
+
+    rf_rs1_data = core.wire("rf_rs1_data", 32)
+    rf_rs2_data = core.wire("rf_rs2_data", 32)
+
+    ex = build_modularex(mnemonics, library,
+                         name=f"{name}_modularex",
+                         require_verified=require_verified)
+    outs = inline(core, ex, "ex_", {
+        "pc": pc,
+        "insn": imem_rdata,
+        "rs1_data": rf_rs1_data,
+        "rs2_data": rf_rs2_data,
+        "dmem_rdata": dmem_rdata,
+    })
+
+    # Register file: the storage array is an architectural primitive kept
+    # out of synthesis ("synthesized without the RF"), but the read-select
+    # multiplexer trees and write decode are core logic and are synthesized.
+    num_regs = 1 << REG_ADDR_BITS
+    storage = []
+    for index in range(1, num_regs):
+        storage.append(core.wire(f"regs_q{index}", 32))
+    core.regfile = RegFileSpec(
+        name="regs", num_regs=num_regs, width=32,
+        read_ports=[("rf_rs1_addr", "rf_rs1_data"),
+                    ("rf_rs2_addr", "rf_rs2_data")],
+        write_port=("rf_we", "rf_waddr", "rf_wdata"),
+        storage_signals=[sig.name for sig in storage])
+    rs1_addr = core.wire("rf_rs1_addr", REG_ADDR_BITS)
+    rs2_addr = core.wire("rf_rs2_addr", REG_ADDR_BITS)
+    core.assign(rs1_addr, outs["rs1_addr"])
+    core.assign(rs2_addr, outs["rs2_addr"])
+    entries = [const(0, 32)] + storage     # x0 reads as constant zero
+    core.assign(rf_rs1_data, _read_mux_tree(entries, rs1_addr))
+    core.assign(rf_rs2_data, _read_mux_tree(entries, rs2_addr))
+    core.assign(core.wire("rf_we", 1), outs["rdest_we"])
+    core.assign(core.wire("rf_waddr", REG_ADDR_BITS), outs["rdest_addr"])
+    core.assign(core.wire("rf_wdata", 32), outs["rdest_data"])
+
+    # Memory interface and status outputs.
+    core.assign(core.output("dmem_addr", 32), outs["dmem_addr"])
+    core.assign(core.output("dmem_re", 1), outs["dmem_re"])
+    core.assign(core.output("dmem_wdata", 32), outs["dmem_wdata"])
+    core.assign(core.output("dmem_wstrb", 4), outs["dmem_wstrb"])
+    core.assign(core.output("halt", 1), outs["halt"])
+    core.assign(core.output("illegal", 1), outs["illegal"])
+    core.assign(core.output("next_pc", 32), outs["next_pc"])
+
+    # Fetch unit: PC advances unless the core has halted.
+    core.connect_register("pc", outs["next_pc"],
+                          enable=outs["halt"].invert())
+    core.meta["mnemonics"] = ex.meta["mnemonics"]
+    core.meta["modularex"] = ex
+    core.check()
+    return core

@@ -1,0 +1,12 @@
+"""Simulation substrate: flat memory, golden ISS (Spike analog), Serv model."""
+
+from .golden import GoldenSim, RunResult, SimulationError, run_program
+from .memory import Memory, MemoryError_
+from .serv import ServConfig, ServSim, run_program_serv
+from .tracing import RvfiRecord
+
+__all__ = [
+    "GoldenSim", "Memory", "MemoryError_", "RunResult", "RvfiRecord",
+    "ServConfig", "ServSim", "SimulationError", "run_program",
+    "run_program_serv",
+]

@@ -1,0 +1,144 @@
+"""Golden instruction-set simulator — the repo's Spike analog.
+
+Executes RV32I/E programs instruction-by-instruction straight from the
+executable spec (:mod:`repro.isa.spec`).  It is the reference model for
+RISCOF-style signature comparison and the source of reference RVFI traces.
+
+Halt convention (baremetal, no OS): ``ecall`` terminates execution with the
+exit value in ``a0``; ``ebreak`` terminates with a breakpoint status.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.bits import to_u32
+from ..isa.encoding import decode
+from ..isa.program import DEFAULT_MEM_SIZE, Program
+from ..isa.registers import RV32E_NUM_REGS
+from ..isa.spec import step
+from .memory import Memory
+from .tracing import RvfiRecord
+
+
+class SimulationError(Exception):
+    """Raised when execution leaves the architected envelope."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of a completed simulation."""
+
+    exit_code: int            # a0 at the terminating ecall/ebreak
+    instructions: int         # dynamic instruction count
+    cycles: int               # core cycles (single-cycle core: == instructions)
+    halted_by: str            # "ecall" | "ebreak" | "limit"
+    trace: list[RvfiRecord] = field(default_factory=list)
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+class GoldenSim:
+    """Reference RV32E simulator built directly on the ISA spec."""
+
+    def __init__(self, program: Program, mem_size: int = DEFAULT_MEM_SIZE,
+                 num_regs: int = RV32E_NUM_REGS, trace: bool = False):
+        self.memory = Memory.from_program(program, mem_size)
+        self.num_regs = num_regs
+        self.regs = [0] * num_regs
+        self.pc = to_u32(program.entry)
+        self.regs[2] = mem_size - 16  # sp at top of memory, 16-byte aligned
+        self.regs[1] = _HALT_SENTINEL  # ra: returning from main falls into halt
+        self._trace_enabled = trace
+        self._install_halt_stub(program)
+
+    def _install_halt_stub(self, program: Program) -> None:
+        """Place ``ecall`` at a sentinel address so ``ret`` from main halts."""
+        from ..isa.encoding import Instruction, encode
+        self.memory.store(_HALT_SENTINEL, encode(Instruction("ecall")), 4)
+
+    def read_reg(self, index: int) -> int:
+        return 0 if index == 0 else self.regs[index]
+
+    def write_reg(self, index: int, value: int) -> None:
+        if index != 0:
+            self.regs[index] = to_u32(value)
+
+    def step_one(self, order: int = 0) -> tuple[bool, RvfiRecord | None, str]:
+        """Retire one instruction; returns (halted, record, halt_reason)."""
+        pc = self.pc
+        word = self.memory.fetch(pc)
+        try:
+            instr = decode(word)
+        except Exception as exc:
+            raise SimulationError(f"illegal instruction at {pc:#x}: {exc}")
+        if instr.rd >= self.num_regs or instr.rs1 >= self.num_regs \
+                or instr.rs2 >= self.num_regs:
+            raise SimulationError(
+                f"{instr.mnemonic} at {pc:#x} uses registers outside RV32E")
+        rs1 = self.read_reg(instr.rs1)
+        rs2 = self.read_reg(instr.rs2)
+
+        mem_addr = mem_rmask = mem_wmask = mem_rdata = mem_wdata = 0
+
+        def load(addr: int, width: int, signed: bool) -> int:
+            nonlocal mem_addr, mem_rmask, mem_rdata
+            value = self.memory.load(addr, width, signed)
+            mem_addr = to_u32(addr)
+            mem_rmask = (1 << width) - 1
+            mem_rdata = value
+            return value
+
+        effects = step(instr, pc, rs1, rs2, load)
+        if effects.mem_write is not None:
+            mw = effects.mem_write
+            self.memory.store(mw.addr, mw.data, mw.width)
+            mem_addr = mw.addr
+            mem_wmask = (1 << mw.width) - 1
+            mem_wdata = mw.data
+        if effects.rd is not None:
+            self.write_reg(effects.rd, effects.rd_data)
+        self.pc = effects.next_pc
+
+        record = None
+        if self._trace_enabled:
+            record = RvfiRecord(
+                order=order, insn=word, pc_rdata=pc, pc_wdata=effects.next_pc,
+                rs1_addr=instr.rs1, rs2_addr=instr.rs2,
+                rs1_rdata=rs1, rs2_rdata=rs2,
+                rd_addr=effects.rd or 0,
+                rd_wdata=effects.rd_data if effects.rd else 0,
+                mem_addr=mem_addr, mem_rmask=mem_rmask, mem_wmask=mem_wmask,
+                mem_rdata=mem_rdata, mem_wdata=mem_wdata)
+        if effects.halt:
+            return True, record, "ecall" if effects.is_ecall else "ebreak"
+        return False, record, ""
+
+    def run(self, max_instructions: int = 20_000_000) -> RunResult:
+        """Run to halt (or instruction limit)."""
+        trace: list[RvfiRecord] = []
+        count = 0
+        halted_by = "limit"
+        while count < max_instructions:
+            halted, record, reason = self.step_one(order=count)
+            count += 1
+            if record is not None:
+                trace.append(record)
+            if halted:
+                halted_by = reason
+                break
+        return RunResult(exit_code=self.read_reg(10), instructions=count,
+                         cycles=count, halted_by=halted_by, trace=trace)
+
+
+#: Sentinel return address holding an ``ecall``; ``ret`` from main halts here.
+_HALT_SENTINEL = 0x0000_FFF0
+
+
+def run_program(program: Program, max_instructions: int = 20_000_000,
+                trace: bool = False, mem_size: int = DEFAULT_MEM_SIZE) -> RunResult:
+    """Assembled program in, :class:`RunResult` out — the main entry point."""
+    sim = GoldenSim(program, mem_size=mem_size, trace=trace)
+    return sim.run(max_instructions)

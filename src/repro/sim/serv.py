@@ -1,0 +1,86 @@
+"""Timing model of Serv, the bit-serial RISC-V core used as baseline.
+
+Serv processes one *bit* of the datapath per clock, so a 32-bit operation
+takes ~32 clocks; the paper uses an average CPI of 32 for the Figure 9
+energy-per-instruction comparison.  Functionally Serv retires the same
+architectural effects as any RV32E core, so this model wraps the golden ISS
+and layers the bit-serial cycle accounting on top.
+
+The *structural* model of Serv (gates, flip-flop fraction) used by the
+synthesis and physical-implementation experiments lives in
+:mod:`repro.synth.serv_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.encoding import decode
+from ..isa.instructions import BRANCHES, LOADS, STORES
+from ..isa.program import DEFAULT_MEM_SIZE, Program
+from .golden import GoldenSim, RunResult
+
+#: Datapath width — one cycle per bit.
+_WORD_BITS = 32
+
+#: Extra state-machine cycles for the two-phase memory handshake.
+_MEM_EXTRA = 2
+
+#: Extra cycles to redirect the serial PC on a taken control transfer.
+_BRANCH_EXTRA = 1
+
+
+@dataclass(frozen=True)
+class ServConfig:
+    """Cycle model parameters (defaults reproduce the paper's CPI ≈ 32)."""
+
+    bits: int = _WORD_BITS
+    mem_extra: int = _MEM_EXTRA
+    branch_extra: int = _BRANCH_EXTRA
+
+
+class ServSim:
+    """Bit-serial execution: golden semantics + serial cycle accounting."""
+
+    def __init__(self, program: Program, config: ServConfig | None = None,
+                 mem_size: int = DEFAULT_MEM_SIZE, trace: bool = False):
+        self.config = config or ServConfig()
+        self._golden = GoldenSim(program, mem_size=mem_size, trace=trace)
+
+    def _instr_cycles(self, word: int, pc_before: int, pc_after: int) -> int:
+        mnemonic = decode(word).mnemonic
+        cycles = self.config.bits
+        if mnemonic in LOADS or mnemonic in STORES:
+            cycles += self.config.mem_extra
+        if mnemonic in BRANCHES and pc_after != (pc_before + 4) & 0xFFFFFFFF:
+            cycles += self.config.branch_extra
+        if mnemonic in ("jal", "jalr"):
+            cycles += self.config.branch_extra
+        return cycles
+
+    def run(self, max_instructions: int = 20_000_000) -> RunResult:
+        """Run to halt; ``cycles`` reflects bit-serial execution."""
+        cycles = 0
+        count = 0
+        trace = []
+        halted_by = "limit"
+        while count < max_instructions:
+            pc_before = self._golden.pc
+            word = self._golden.memory.fetch(pc_before)
+            halted, record, reason = self._golden.step_one(order=count)
+            count += 1
+            cycles += self._instr_cycles(word, pc_before, self._golden.pc)
+            if record is not None:
+                trace.append(record)
+            if halted:
+                halted_by = reason
+                break
+        return RunResult(exit_code=self._golden.read_reg(10),
+                         instructions=count, cycles=cycles,
+                         halted_by=halted_by, trace=trace)
+
+
+def run_program_serv(program: Program,
+                     max_instructions: int = 20_000_000) -> RunResult:
+    """Convenience wrapper mirroring :func:`repro.sim.golden.run_program`."""
+    return ServSim(program).run(max_instructions)

@@ -1,0 +1,34 @@
+"""RVFI-style retirement records.
+
+The paper verifies RISSPs with riscv-formal, whose RISC-V Formal Interface
+(RVFI) reports, per retired instruction: the instruction word, pc before and
+after, source/destination registers with their data, and any memory access.
+Both the golden ISS and the RTL simulation of a generated RISSP emit these
+records so the :mod:`repro.verify.rvfi` checker can compare them against the
+executable spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RvfiRecord:
+    """One retired instruction, RVFI-style."""
+
+    order: int           # retirement index
+    insn: int            # raw 32-bit instruction word
+    pc_rdata: int        # pc of this instruction
+    pc_wdata: int        # next pc
+    rs1_addr: int
+    rs2_addr: int
+    rs1_rdata: int
+    rs2_rdata: int
+    rd_addr: int         # 0 when no register write
+    rd_wdata: int        # 0 when rd_addr == 0
+    mem_addr: int = 0
+    mem_rmask: int = 0   # byte mask of a load (bit per byte, from addr)
+    mem_wmask: int = 0   # byte mask of a store
+    mem_rdata: int = 0
+    mem_wdata: int = 0

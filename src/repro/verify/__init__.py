@@ -1,0 +1,23 @@
+"""Verification substrate: arch tests, testbenches, mutation, formal,
+RISCOF-style compliance, RVFI trace checking."""
+
+from .arch_tests import CORNER_VALUES, TestVector, all_vectors, vectors_for
+from .formal import FormalReport, check_block, check_library
+from .mutation import (
+    Mutation,
+    MutationReport,
+    enumerate_mutations,
+    run_mutation_campaign,
+)
+from .riscof import ComplianceReport, SIGNATURE_WORDS, compliance_program, run_compliance
+from .rvfi import RvfiCheckReport, check_trace
+from .testbench import TestbenchResult, block_verifier, run_testbench
+
+__all__ = [
+    "CORNER_VALUES", "ComplianceReport", "FormalReport", "Mutation",
+    "MutationReport", "RvfiCheckReport", "SIGNATURE_WORDS", "TestVector",
+    "TestbenchResult", "all_vectors", "block_verifier", "check_block",
+    "check_library", "check_trace", "compliance_program",
+    "enumerate_mutations", "run_compliance", "run_mutation_campaign",
+    "run_testbench", "vectors_for",
+]

@@ -1,0 +1,138 @@
+"""RVFI trace checking — the riscv-formal analog (§3.4.2).
+
+riscv-formal attaches to a core through the RISC-V Formal Interface and
+checks, per retired instruction: correct execution against the ISA spec,
+register-file consistency, and PC chaining.  The same three families of
+checks run here over :class:`repro.sim.tracing.RvfiRecord` streams emitted
+by either simulator:
+
+  * **insn checks** — re-execute each retired instruction with the spec and
+    compare ``pc_wdata``, ``rd_addr``/``rd_wdata`` and store effects,
+  * **reg checks** — maintain a shadow register file from retired writes
+    and require every ``rs*_rdata`` to match it,
+  * **pc checks** — ``pc_rdata`` of instruction *n+1* must equal
+    ``pc_wdata`` of instruction *n*, and ``order`` must be gapless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.bits import sign_extend, to_u32
+from ..isa.encoding import DecodeError, decode
+from ..isa.spec import SpecError, step
+from ..sim.tracing import RvfiRecord
+
+
+@dataclass
+class RvfiCheckReport:
+    records_checked: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return self.records_checked > 0 and not self.errors
+
+
+def check_trace(trace: list[RvfiRecord],
+                num_regs: int = 16,
+                initial_regs: dict[int, int] | None = None,
+                max_errors: int = 25) -> RvfiCheckReport:
+    """Validate a retirement trace against the executable spec."""
+    report = RvfiCheckReport()
+    shadow: dict[int, int] = dict(initial_regs or {})
+    prev_pc_wdata: int | None = None
+    prev_order: int | None = None
+
+    for record in trace:
+        if len(report.errors) >= max_errors:
+            break
+        report.records_checked += 1
+        where = f"order={record.order} pc={record.pc_rdata:#x}"
+
+        # --- pc checks -------------------------------------------------
+        if prev_order is not None and record.order != prev_order + 1:
+            report.errors.append(f"{where}: order gap after {prev_order}")
+        prev_order = record.order
+        if prev_pc_wdata is not None and record.pc_rdata != prev_pc_wdata:
+            report.errors.append(
+                f"{where}: pc_rdata != previous pc_wdata "
+                f"{prev_pc_wdata:#x}")
+        prev_pc_wdata = record.pc_wdata
+
+        # --- reg checks --------------------------------------------------
+        try:
+            instr = decode(record.insn)
+        except DecodeError as exc:
+            report.errors.append(f"{where}: undecodable insn: {exc}")
+            continue
+        d = instr.definition
+        uses_rs1 = d.fmt.value in ("R", "S", "B") or d.fmt.value == "I"
+        uses_rs2 = d.fmt.value in ("R", "S", "B")
+        if uses_rs1 and record.rs1_addr in shadow:
+            want = shadow[record.rs1_addr] if record.rs1_addr else 0
+            if record.rs1_rdata != want:
+                report.errors.append(
+                    f"{where}: rs1 x{record.rs1_addr} read "
+                    f"{record.rs1_rdata:#x}, shadow {want:#x}")
+        if uses_rs2 and record.rs2_addr in shadow:
+            want = shadow[record.rs2_addr] if record.rs2_addr else 0
+            if record.rs2_rdata != want:
+                report.errors.append(
+                    f"{where}: rs2 x{record.rs2_addr} read "
+                    f"{record.rs2_rdata:#x}, shadow {want:#x}")
+
+        # --- insn checks -------------------------------------------------
+        def load(addr: int, width: int, signed: bool) -> int:
+            # Model the load from the record's own memory view.
+            offset = (addr - (record.mem_addr & ~0x3)) & 0x3 \
+                if record.mem_rmask else addr & 0x3
+            raw = record.mem_rdata
+            if width == 4:
+                value = raw
+            else:
+                value = (raw >> (8 * offset)) & ((1 << (8 * width)) - 1) \
+                    if record.mem_rmask == 0b1111 else raw
+            if signed and width < 4:
+                value = to_u32(sign_extend(value, 8 * width))
+            return value
+
+        try:
+            expected = step(instr, record.pc_rdata, record.rs1_rdata,
+                            record.rs2_rdata,
+                            load if record.mem_rmask else None)
+        except SpecError as exc:
+            report.errors.append(f"{where}: spec refusal: {exc}")
+            continue
+        if record.pc_wdata != expected.next_pc:
+            report.errors.append(
+                f"{where}: pc_wdata {record.pc_wdata:#x} != spec "
+                f"{expected.next_pc:#x}")
+        want_rd = expected.rd or 0
+        if record.rd_addr != want_rd:
+            report.errors.append(
+                f"{where}: rd_addr {record.rd_addr} != spec {want_rd}")
+        elif want_rd and record.rd_wdata != expected.rd_data:
+            report.errors.append(
+                f"{where}: rd_wdata {record.rd_wdata:#x} != spec "
+                f"{expected.rd_data:#x}")
+        if expected.mem_write is not None:
+            mw = expected.mem_write
+            if not record.mem_wmask:
+                report.errors.append(f"{where}: missing store effect")
+            else:
+                if record.mem_addr != mw.addr:
+                    report.errors.append(
+                        f"{where}: store addr {record.mem_addr:#x} != "
+                        f"{mw.addr:#x}")
+                if record.mem_wdata != mw.data:
+                    report.errors.append(
+                        f"{where}: store data {record.mem_wdata:#x} != "
+                        f"{mw.data:#x}")
+        elif record.mem_wmask:
+            report.errors.append(f"{where}: spurious store effect")
+
+        if want_rd:
+            shadow[want_rd] = expected.rd_data
+
+    return report

@@ -1,0 +1,13 @@
+"""Benchmark workloads: Embench analogs + extreme-edge applications."""
+
+from .registry import (
+    ALL_NAMES,
+    EMBENCH_NAMES,
+    EXTREME_EDGE_NAMES,
+    WORKLOADS,
+    Workload,
+    get,
+)
+
+__all__ = ["ALL_NAMES", "EMBENCH_NAMES", "EXTREME_EDGE_NAMES", "WORKLOADS",
+           "Workload", "get"]

@@ -1,0 +1,530 @@
+"""Embench-analog MicroC kernels (part 1 of 2).
+
+Each kernel reimplements the algorithmic core of the corresponding Embench
+application in MicroC (fixed-point where the original uses floats, since the
+paper compiles baremetal without libgcc soft-float).  ``main`` returns a
+checksum so correctness is observable through the exit code.
+"""
+
+AHA_MONT64 = r"""
+/* aha-mont64: Montgomery modular multiplication (32-bit variant). */
+unsigned m = 0xE2089EA5;      /* odd modulus */
+unsigned minv = 0x53A482C7;   /* -m^-1 mod 2^32 (precomputed) */
+
+unsigned monmul(unsigned a, unsigned b) {
+    /* interleaved Montgomery multiplication, bit-serial */
+    unsigned acc = 0;
+    int i;
+    for (i = 0; i < 32; i++) {
+        if (a & 1) {
+            unsigned prev = acc;
+            acc = acc + b;
+            if (acc < prev) {            /* carry out: reduce */
+                acc = acc - m;
+            }
+        }
+        if (acc & 1) {
+            unsigned prev2 = acc;
+            acc = acc + m;
+            if (acc < prev2) {
+                acc = (acc >> 1) | 0x80000000;
+            } else {
+                acc = acc >> 1;
+            }
+        } else {
+            acc = acc >> 1;
+        }
+        a = a >> 1;
+    }
+    if (acc >= m) acc = acc - m;
+    return acc;
+}
+
+int main(void) {
+    unsigned x = 0x0CCCCCCD;
+    unsigned result = 0;
+    int round;
+    for (round = 0; round < 24; round++) {
+        x = monmul(x, x + (unsigned)round);
+        result = result ^ x;
+    }
+    return (int)(result & 0x7FFFFFFF);
+}
+"""
+
+CRC32 = r"""
+/* crc32: bitwise CRC-32 (IEEE 802.3 polynomial) over a buffer. */
+unsigned char message[64];
+
+unsigned crc32(unsigned char *data, int length) {
+    unsigned crc = 0xFFFFFFFF;
+    int i;
+    for (i = 0; i < length; i++) {
+        unsigned byte = data[i];
+        crc = crc ^ byte;
+        int bit;
+        for (bit = 0; bit < 8; bit++) {
+            unsigned mask = 0 - (crc & 1);
+            crc = (crc >> 1) ^ (0xEDB88320 & mask);
+        }
+    }
+    return ~crc;
+}
+
+int main(void) {
+    int i;
+    for (i = 0; i < 64; i++) {
+        message[i] = (char)(i * 7 + 3);
+    }
+    unsigned result = crc32(message, 64);
+    return (int)(result & 0x7FFFFFFF);
+}
+"""
+
+CUBIC = r"""
+/* cubic: real roots of cubic polynomials in Q16.16 fixed point. */
+int fmul(int a, int b) {
+    /* Q16.16 multiply via 16-bit halves to avoid 64-bit products */
+    int ah = a >> 16;
+    unsigned al = (unsigned)a & 0xFFFF;
+    int bh = b >> 16;
+    unsigned bl = (unsigned)b & 0xFFFF;
+    int high = ah * bh;
+    int cross = ah * (int)bl + bh * (int)al;
+    unsigned low = (al * bl) >> 16;
+    return (high << 16) + cross + (int)low;
+}
+
+int eval_poly(int a, int b, int c, int d, int x) {
+    int x2 = fmul(x, x);
+    int x3 = fmul(x2, x);
+    return fmul(a, x3) + fmul(b, x2) + fmul(c, x) + d;
+}
+
+int find_root(int a, int b, int c, int d, int lo, int hi) {
+    /* bisection over a bracketing interval */
+    int i;
+    for (i = 0; i < 24; i++) {
+        int mid = (lo + hi) >> 1;
+        int v = eval_poly(a, b, c, d, mid);
+        if (v > 0) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    return lo;
+}
+
+int main(void) {
+    /* p(x) = x^3 - 6x^2 + 11x - 6 has roots 1, 2, 3 */
+    int one = 1 << 16;
+    int root = find_root(0 - one, 6 * one, 0 - 11 * one, 6 * one,
+                         (5 << 14), (3 << 16) + (1 << 15));
+    /* negated leading coeff flips sign convention: root near 3.0 */
+    return root >> 8;
+}
+"""
+
+EDN = r"""
+/* edn: vector MAC / FIR filter kernels over 16-bit data. */
+short signal[128];
+short coeffs[16];
+
+int fir(short *x, short *h, int n, int taps) {
+    int total = 0;
+    int i;
+    for (i = taps; i < n; i++) {
+        int acc = 0;
+        int t;
+        for (t = 0; t < taps; t++) {
+            acc += x[i - t] * h[t];
+        }
+        total ^= acc >> 4;
+    }
+    return total;
+}
+
+int main(void) {
+    int i;
+    for (i = 0; i < 128; i++) {
+        signal[i] = (short)((i * 37) & 0xFF) - 100;
+    }
+    for (i = 0; i < 16; i++) {
+        coeffs[i] = (short)(i - 8);
+    }
+    return fir(signal, coeffs, 128, 16) & 0x7FFFFFFF;
+}
+"""
+
+HUFFBENCH = r"""
+/* huffbench: frequency count + code-length assignment + bit packing. */
+unsigned char text[96];
+int freq[16];
+int lengths[16];
+unsigned char packed[64];
+
+int main(void) {
+    int i;
+    for (i = 0; i < 96; i++) {
+        text[i] = (char)((i * i + 5) & 15);
+    }
+    for (i = 0; i < 16; i++) freq[i] = 0;
+    for (i = 0; i < 96; i++) freq[text[i]]++;
+    /* shorter codes for more frequent symbols (rank-based lengths) */
+    for (i = 0; i < 16; i++) {
+        int rank = 0;
+        int j;
+        for (j = 0; j < 16; j++) {
+            if (freq[j] > freq[i] || (freq[j] == freq[i] && j < i)) rank++;
+        }
+        lengths[i] = 2 + (rank >> 2);
+    }
+    /* pack symbols as length-bit codes */
+    int bitpos = 0;
+    for (i = 0; i < 96; i++) {
+        int sym = text[i];
+        int len = lengths[sym];
+        int b;
+        for (b = 0; b < len; b++) {
+            if ((sym >> b) & 1) {
+                packed[bitpos >> 3] |= (char)(1 << (bitpos & 7));
+            }
+            bitpos++;
+            if (bitpos >= 512) bitpos = 0;
+        }
+    }
+    unsigned check = 0;
+    for (i = 0; i < 64; i++) {
+        check = check * 33 + packed[i];
+    }
+    return (int)(check & 0x7FFFFFFF);
+}
+"""
+
+MATMULT_INT = r"""
+/* matmult-int: dense integer matrix multiply (16x16). */
+int a[256];
+int b[256];
+int c[256];
+
+int main(void) {
+    int i;
+    int j;
+    int k;
+    for (i = 0; i < 256; i++) {
+        a[i] = (i % 7) - 3;
+        b[i] = (i % 5) - 2;
+    }
+    for (i = 0; i < 16; i++) {
+        for (j = 0; j < 16; j++) {
+            int acc = 0;
+            for (k = 0; k < 16; k++) {
+                acc += a[i * 16 + k] * b[k * 16 + j];
+            }
+            c[i * 16 + j] = acc;
+        }
+    }
+    int check = 0;
+    for (i = 0; i < 256; i++) {
+        check ^= c[i] + i;
+    }
+    return check & 0x7FFFFFFF;
+}
+"""
+
+MD5SUM = r"""
+/* md5sum: MD5-style mixing rounds over a message block. */
+unsigned block[16];
+
+unsigned rotl(unsigned x, int s) {
+    return (x << s) | (x >> (32 - s));
+}
+
+int main(void) {
+    unsigned a = 0x67452301;
+    unsigned b = 0xEFCDAB89;
+    unsigned c = 0x98BADCFE;
+    unsigned d = 0x10325476;
+    int i;
+    for (i = 0; i < 16; i++) {
+        block[i] = (unsigned)(i * 0x01010101 + 0x1234);
+    }
+    for (i = 0; i < 48; i++) {
+        unsigned f;
+        int g;
+        if (i < 16) {
+            f = (b & c) | (~b & d);
+            g = i;
+        } else {
+            if (i < 32) {
+                f = (d & b) | (~d & c);
+                g = (5 * i + 1) & 15;
+            } else {
+                f = b ^ c ^ d;
+                g = (3 * i + 5) & 15;
+            }
+        }
+        unsigned temp = d;
+        d = c;
+        c = b;
+        b = b + rotl(a + f + block[g] + 0x5A827999, (i & 3) * 5 + 4);
+        a = temp;
+    }
+    return (int)((a ^ b ^ c ^ d) & 0x7FFFFFFF);
+}
+"""
+
+MINVER = r"""
+/* minver: 3x3 matrix inversion in Q12 fixed point (Gauss-Jordan). */
+int mat[9];
+int inv[9];
+
+int fmul12(int a, int b) {
+    return (a * b) >> 12;
+}
+
+int fdiv12(int a, int b) {
+    return (a << 12) / b;
+}
+
+int main(void) {
+    int unit = 1 << 12;
+    mat[0] = 2 * unit; mat[1] = 0;        mat[2] = unit;
+    mat[3] = 0;        mat[4] = unit;     mat[5] = 0;
+    mat[6] = unit;     mat[7] = 0;        mat[8] = unit;
+    int i;
+    int j;
+    for (i = 0; i < 9; i++) inv[i] = 0;
+    inv[0] = unit; inv[4] = unit; inv[8] = unit;
+    int col;
+    for (col = 0; col < 3; col++) {
+        int pivot = mat[col * 3 + col];
+        if (pivot == 0) return -1;
+        for (j = 0; j < 3; j++) {
+            mat[col * 3 + j] = fdiv12(mat[col * 3 + j], pivot);
+            inv[col * 3 + j] = fdiv12(inv[col * 3 + j], pivot);
+        }
+        for (i = 0; i < 3; i++) {
+            if (i == col) continue;
+            int factor = mat[i * 3 + col];
+            for (j = 0; j < 3; j++) {
+                mat[i * 3 + j] -= fmul12(factor, mat[col * 3 + j]);
+                inv[i * 3 + j] -= fmul12(factor, inv[col * 3 + j]);
+            }
+        }
+    }
+    int check = 0;
+    for (i = 0; i < 9; i++) {
+        check ^= inv[i] + i * 17;
+    }
+    return check & 0x7FFFFFFF;
+}
+"""
+
+NBODY = r"""
+/* nbody: gravitational step in fixed point (Q8.8, softened). */
+int posx[8];
+int posy[8];
+int velx[8];
+int vely[8];
+
+int isqrt(int v) {
+    int r = 0;
+    int bit = 1 << 14;
+    while (bit > v) bit >>= 2;
+    while (bit != 0) {
+        if (v >= r + bit) {
+            v -= r + bit;
+            r = (r >> 1) + bit;
+        } else {
+            r >>= 1;
+        }
+        bit >>= 2;
+    }
+    return r;
+}
+
+int main(void) {
+    int i;
+    int j;
+    for (i = 0; i < 8; i++) {
+        posx[i] = (i * 61 % 97) << 8;
+        posy[i] = (i * 37 % 89) << 8;
+        velx[i] = 0;
+        vely[i] = 0;
+    }
+    int step;
+    for (step = 0; step < 8; step++) {
+        for (i = 0; i < 8; i++) {
+            int ax = 0;
+            int ay = 0;
+            for (j = 0; j < 8; j++) {
+                if (i == j) continue;
+                int dx = (posx[j] - posx[i]) >> 4;
+                int dy = (posy[j] - posy[i]) >> 4;
+                int d2 = ((dx * dx) >> 8) + ((dy * dy) >> 8) + 16;
+                int d = isqrt(d2 << 8);
+                if (d == 0) d = 1;
+                int inv3 = (1 << 24) / (d2 * d);
+                ax += (dx * inv3) >> 10;
+                ay += (dy * inv3) >> 10;
+            }
+            velx[i] += ax;
+            vely[i] += ay;
+        }
+        for (i = 0; i < 8; i++) {
+            posx[i] += velx[i] >> 4;
+            posy[i] += vely[i] >> 4;
+        }
+    }
+    int check = 0;
+    for (i = 0; i < 8; i++) {
+        check ^= posx[i] * 3 + posy[i];
+    }
+    return check & 0x7FFFFFFF;
+}
+"""
+
+NETTLE_AES = r"""
+/* nettle-aes: AES round functions (SubBytes/ShiftRows/AddRoundKey). */
+unsigned char sbox[64] = {
+    99, 124, 119, 123, 242, 107, 111, 197,
+    48, 1, 103, 43, 254, 215, 171, 118,
+    202, 130, 201, 125, 250, 89, 71, 240,
+    173, 212, 162, 175, 156, 164, 114, 192,
+    183, 253, 147, 38, 54, 63, 247, 204,
+    52, 165, 229, 241, 113, 216, 49, 21,
+    4, 199, 35, 195, 24, 150, 5, 154,
+    7, 18, 128, 226, 235, 39, 178, 117
+};
+unsigned char state[16];
+unsigned char key[16];
+
+int main(void) {
+    int i;
+    for (i = 0; i < 16; i++) {
+        state[i] = (char)(i * 17 + 1);
+        key[i] = (char)(i * 29 + 7);
+    }
+    int round;
+    for (round = 0; round < 10; round++) {
+        /* SubBytes (reduced sbox) */
+        for (i = 0; i < 16; i++) {
+            state[i] = sbox[state[i] & 63];
+        }
+        /* ShiftRows */
+        unsigned char tmp = state[1];
+        state[1] = state[5]; state[5] = state[9];
+        state[9] = state[13]; state[13] = tmp;
+        tmp = state[2]; state[2] = state[10]; state[10] = tmp;
+        tmp = state[6]; state[6] = state[14]; state[14] = tmp;
+        tmp = state[3]; state[3] = state[15]; state[15] = state[11];
+        state[11] = state[7]; state[7] = tmp;
+        /* AddRoundKey + simple key schedule step */
+        for (i = 0; i < 16; i++) {
+            state[i] ^= key[i];
+            key[i] = (char)(key[i] + i + round);
+        }
+    }
+    unsigned check = 0;
+    for (i = 0; i < 16; i++) {
+        check = (check << 2) ^ state[i];
+    }
+    return (int)(check & 0x7FFFFFFF);
+}
+"""
+
+NETTLE_SHA256 = r"""
+/* nettle-sha256: SHA-256 compression function over one block. */
+unsigned w[64];
+unsigned kconst[16] = {
+    0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5,
+    0x3956C25B, 0x59F111F1, 0x923F82A4, 0xAB1C5ED5,
+    0xD807AA98, 0x12835B01, 0x243185BE, 0x550C7DC3,
+    0x72BE5D74, 0x80DEB1FE, 0x9BDC06A7, 0xC19BF174
+};
+
+unsigned rotr(unsigned x, int s) {
+    return (x >> s) | (x << (32 - s));
+}
+
+int main(void) {
+    int i;
+    for (i = 0; i < 16; i++) {
+        w[i] = (unsigned)(i * 0x11223344 + 99);
+    }
+    for (i = 16; i < 64; i++) {
+        unsigned s0 = rotr(w[i-15], 7) ^ rotr(w[i-15], 18) ^ (w[i-15] >> 3);
+        unsigned s1 = rotr(w[i-2], 17) ^ rotr(w[i-2], 19) ^ (w[i-2] >> 10);
+        w[i] = w[i-16] + s0 + w[i-7] + s1;
+    }
+    unsigned a = 0x6A09E667;
+    unsigned b = 0xBB67AE85;
+    unsigned c = 0x3C6EF372;
+    unsigned d = 0xA54FF53A;
+    unsigned e = 0x510E527F;
+    unsigned f = 0x9B05688C;
+    unsigned g = 0x1F83D9AB;
+    unsigned h = 0x5BE0CD19;
+    for (i = 0; i < 64; i++) {
+        unsigned S1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+        unsigned ch = (e & f) ^ (~e & g);
+        unsigned t1 = h + S1 + ch + kconst[i & 15] + w[i];
+        unsigned S0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+        unsigned mj = (a & b) ^ (a & c) ^ (b & c);
+        unsigned t2 = S0 + mj;
+        h = g; g = f; f = e;
+        e = d + t1;
+        d = c; c = b; b = a;
+        a = t1 + t2;
+    }
+    return (int)((a ^ e) & 0x7FFFFFFF);
+}
+"""
+
+NSICHNEU = r"""
+/* nsichneu: large Petri-net transition chain (branch-heavy). */
+int places[32];
+
+int main(void) {
+    int i;
+    for (i = 0; i < 32; i++) {
+        places[i] = (i % 3 == 0) ? 1 : 0;
+    }
+    int iter;
+    for (iter = 0; iter < 40; iter++) {
+        if (places[0] > 0 && places[3] > 0) {
+            places[0]--; places[3]--; places[1]++; places[7]++;
+        }
+        if (places[1] > 0 && places[4] > 0) {
+            places[1]--; places[4]--; places[2]++; places[8]++;
+        }
+        if (places[2] > 0) { places[2]--; places[5]++; }
+        if (places[5] > 1) { places[5] -= 2; places[6]++; places[0]++; }
+        if (places[6] > 0 && places[9] > 0) {
+            places[6]--; places[9]--; places[10]++;
+        }
+        if (places[7] > 2) { places[7] -= 3; places[11]++; }
+        if (places[8] > 0) { places[8]--; places[12]++; places[4]++; }
+        if (places[10] > 0 && places[12] > 0) {
+            places[10]--; places[12]--; places[13]++; places[3]++;
+        }
+        if (places[11] > 0) { places[11]--; places[14]++; }
+        if (places[13] > 0 && places[14] > 0) {
+            places[13]--; places[14]--; places[15]++; places[9]++;
+        }
+        if (places[15] > 1) { places[15] -= 2; places[16]++; }
+        int k;
+        for (k = 16; k < 31; k++) {
+            if (places[k] > 0) { places[k]--; places[k + 1]++; }
+        }
+        if (places[31] > 0) { places[31]--; places[0]++; }
+    }
+    int check = 0;
+    for (i = 0; i < 32; i++) {
+        check = check * 5 + places[i];
+    }
+    return check & 0x7FFFFFFF;
+}
+"""

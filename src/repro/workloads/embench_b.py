@@ -1,0 +1,446 @@
+"""Embench-analog MicroC kernels (part 2 of 2)."""
+
+PICOJPEG = r"""
+/* picojpeg: dequantize + zigzag + integer butterfly IDCT-ish transform. */
+unsigned char zigzag[64] = {
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63
+};
+short quant[64];
+short coefs[64];
+short block[64];
+
+int main(void) {
+    int i;
+    for (i = 0; i < 64; i++) {
+        quant[i] = (short)(1 + (i >> 3));
+        coefs[i] = (short)(((i * 29) & 63) - 32);
+    }
+    /* dequantize through zigzag order */
+    for (i = 0; i < 64; i++) {
+        block[zigzag[i]] = (short)(coefs[i] * quant[i]);
+    }
+    /* row butterflies */
+    int r;
+    for (r = 0; r < 8; r++) {
+        short *row = &block[r * 8];
+        int s0 = row[0] + row[4];
+        int d0 = row[0] - row[4];
+        int s1 = row[1] + row[5];
+        int d1 = row[1] - row[5];
+        int s2 = row[2] + row[6];
+        int d2 = row[2] - row[6];
+        int s3 = row[3] + row[7];
+        int d3 = row[3] - row[7];
+        row[0] = (short)((s0 + s2) >> 1);
+        row[2] = (short)((s0 - s2) >> 1);
+        row[1] = (short)((s1 + s3) >> 1);
+        row[3] = (short)((s1 - s3) >> 1);
+        row[4] = (short)((d0 + d1) >> 1);
+        row[5] = (short)((d0 - d1) >> 1);
+        row[6] = (short)((d2 + d3) >> 1);
+        row[7] = (short)((d2 - d3) >> 1);
+    }
+    /* clamp to pixel range */
+    unsigned check = 0;
+    for (i = 0; i < 64; i++) {
+        int v = block[i] + 128;
+        if (v < 0) v = 0;
+        if (v > 255) v = 255;
+        check = check * 31 + (unsigned)v;
+    }
+    return (int)(check & 0x7FFFFFFF);
+}
+"""
+
+PRIMECOUNT = r"""
+/* primecount: count primes below N by trial division. */
+int main(void) {
+    int count = 0;
+    int n;
+    for (n = 2; n < 400; n++) {
+        int prime = 1;
+        int d;
+        for (d = 2; d * d <= n; d++) {
+            if (n % d == 0) {
+                prime = 0;
+                break;
+            }
+        }
+        count += prime;
+    }
+    return count;   /* pi(400) == 78 */
+}
+"""
+
+QRDUINO = r"""
+/* qrduino: QR bit-stream framing with mask patterns. */
+unsigned char frame[100];
+
+int main(void) {
+    int size = 20;
+    int i;
+    for (i = 0; i < 100; i++) frame[i] = 0;
+    /* place finder-like patterns */
+    int r;
+    int c;
+    for (r = 0; r < 5; r++) {
+        for (c = 0; c < 5; c++) {
+            int dark = (r == 0 || r == 4 || c == 0 || c == 4
+                        || (r >= 1 && r <= 3 && c >= 1 && c <= 3)) ? 1 : 0;
+            int bit = r * size + c;
+            if (dark) frame[bit >> 3] |= (char)(1 << (bit & 7));
+        }
+    }
+    /* data fill with mask pattern 0: (r+c) % 2 */
+    unsigned data = 0xB5E3A1C7;
+    for (r = 0; r < size; r++) {
+        for (c = 6; c < size; c++) {
+            int bit = r * size + c;
+            int value = (int)((data >> ((r * c) & 31)) & 1);
+            if (((r + c) & 1) == 0) value = 1 - value;
+            if (value) frame[bit >> 3] |= (char)(1 << (bit & 7));
+        }
+    }
+    unsigned check = 0;
+    for (i = 0; i < 50; i++) {
+        check = check * 131 + frame[i];
+    }
+    return (int)(check & 0x7FFFFFFF);
+}
+"""
+
+SGLIB_COMBINED = r"""
+/* sglib-combined: sorting, array-backed linked list, binary search. */
+int values[48];
+short next[48];
+
+int main(void) {
+    int i;
+    for (i = 0; i < 48; i++) {
+        values[i] = (i * 53) % 97;
+    }
+    /* insertion sort */
+    for (i = 1; i < 48; i++) {
+        int key = values[i];
+        int j = i - 1;
+        while (j >= 0 && values[j] > key) {
+            values[j + 1] = values[j];
+            j--;
+        }
+        values[j + 1] = key;
+    }
+    /* build linked list in sorted order, then reverse it */
+    for (i = 0; i < 48; i++) {
+        next[i] = (short)(i + 1);
+    }
+    next[47] = -1;
+    int head = 0;
+    int prev = -1;
+    while (head != -1) {
+        int nx = next[head];
+        next[head] = (short)prev;
+        prev = head;
+        head = nx;
+    }
+    head = prev;
+    /* binary search for several keys */
+    int found = 0;
+    int probe;
+    for (probe = 0; probe < 97; probe += 13) {
+        int lo = 0;
+        int hi = 47;
+        while (lo <= hi) {
+            int mid = (lo + hi) >> 1;
+            if (values[mid] == probe) {
+                found++;
+                break;
+            }
+            if (values[mid] < probe) {
+                lo = mid + 1;
+            } else {
+                hi = mid - 1;
+            }
+        }
+    }
+    int check = found * 1000 + head;
+    int walk = head;
+    while (walk != -1) {
+        check += values[walk];
+        walk = next[walk];
+    }
+    return check & 0x7FFFFFFF;
+}
+"""
+
+SLRE = r"""
+/* slre: tiny regex matcher: literals, '.', '*', '$', char classes-lite. */
+char pattern[8] = "ab.c*d";
+char subject[24] = "zzabxccccdyy";
+
+int match_here(char *pat, char *text);
+
+int match_star(int ch, char *pat, char *text) {
+    do {
+        if (match_here(pat, text)) return 1;
+    } while (*text != 0 && (*text++ == ch || ch == '.'));
+    return 0;
+}
+
+int match_here(char *pat, char *text) {
+    if (pat[0] == 0) return 1;
+    if (pat[1] == '*') {
+        return match_star(pat[0], &pat[2], text);
+    }
+    if (pat[0] == '$' && pat[1] == 0) {
+        return *text == 0 ? 1 : 0;
+    }
+    if (*text != 0 && (pat[0] == '.' || pat[0] == *text)) {
+        return match_here(&pat[1], &text[1]);
+    }
+    return 0;
+}
+
+int match(char *pat, char *text) {
+    int pos = 0;
+    do {
+        if (match_here(pat, &text[pos])) return pos + 1;
+        pos++;
+    } while (text[pos - 1] != 0);
+    return 0;
+}
+
+int main(void) {
+    int r1 = match(pattern, subject);        /* finds at offset 2 -> 3 */
+    int r2 = match("xy*z$", "axyyyz");       /* anchored tail match */
+    int r3 = match("q.z", subject);          /* no match -> 0 */
+    return r1 * 100 + r2 * 10 + r3;
+}
+"""
+
+ST = r"""
+/* st: statistics (mean, variance, correlation) in integer arithmetic. */
+int xs[64];
+int ys[64];
+
+int main(void) {
+    int i;
+    for (i = 0; i < 64; i++) {
+        xs[i] = (i * 13) % 50;
+        ys[i] = ((i * 13) % 50) * 2 + ((i * 7) % 5) - 2;
+    }
+    int sumx = 0;
+    int sumy = 0;
+    for (i = 0; i < 64; i++) {
+        sumx += xs[i];
+        sumy += ys[i];
+    }
+    int meanx = sumx / 64;
+    int meany = sumy / 64;
+    int varx = 0;
+    int vary = 0;
+    int cov = 0;
+    for (i = 0; i < 64; i++) {
+        int dx = xs[i] - meanx;
+        int dy = ys[i] - meany;
+        varx += dx * dx;
+        vary += dy * dy;
+        cov += dx * dy;
+    }
+    varx /= 64;
+    vary /= 64;
+    cov /= 64;
+    /* scaled correlation: cov^2 * 100 / (varx * vary) */
+    int corr100 = (cov * cov) / ((varx * vary) / 100 + 1);
+    return meanx + meany * 100 + corr100 * 10000;
+}
+"""
+
+STATEMATE = r"""
+/* statemate: generated-automaton style state machine over an event tape. */
+unsigned char events[80];
+int counters[8];
+
+int main(void) {
+    int i;
+    for (i = 0; i < 80; i++) {
+        events[i] = (char)((i * 11 + 3) & 7);
+    }
+    for (i = 0; i < 8; i++) counters[i] = 0;
+    int state = 0;
+    for (i = 0; i < 80; i++) {
+        int ev = events[i];
+        if (state == 0) {
+            if (ev == 1) state = 1;
+            else if (ev == 2) state = 2;
+            else counters[0]++;
+        } else if (state == 1) {
+            if (ev == 3) { state = 3; counters[1]++; }
+            else if (ev == 0) state = 0;
+        } else if (state == 2) {
+            if (ev >= 4) { state = 4; counters[2]++; }
+            else state = 0;
+        } else if (state == 3) {
+            if (ev == 7) { state = 5; counters[3]++; }
+            else if (ev < 2) state = 1;
+        } else if (state == 4) {
+            counters[4]++;
+            if (ev == 5) state = 5;
+            else if (ev == 6) state = 0;
+        } else {
+            counters[5]++;
+            if (ev == 0) state = 0;
+        }
+    }
+    int check = state;
+    for (i = 0; i < 8; i++) {
+        check = check * 10 + counters[i] % 10;
+    }
+    return check & 0x7FFFFFFF;
+}
+"""
+
+TARFIND = r"""
+/* tarfind: scan tar-style 512-byte records for matching names. */
+unsigned char archive[2048];
+char needle[6] = "data3";
+
+int name_matches(unsigned char *header, char *name) {
+    int i = 0;
+    while (name[i] != 0) {
+        if (header[i] != name[i]) return 0;
+        i++;
+    }
+    return header[i] == 0;
+}
+
+int main(void) {
+    int rec;
+    int i;
+    for (rec = 0; rec < 4; rec++) {
+        unsigned char *h = &archive[rec * 512];
+        h[0] = 'd'; h[1] = 'a'; h[2] = 't'; h[3] = 'a';
+        h[4] = (char)('0' + rec * 3);
+        h[5] = 0;
+        /* size field in octal-ish */
+        for (i = 0; i < 8; i++) {
+            h[124 + i] = (char)('0' + ((rec + i) & 7));
+        }
+    }
+    int found_at = -1;
+    int checked = 0;
+    for (rec = 0; rec < 4; rec++) {
+        checked++;
+        if (name_matches(&archive[rec * 512], needle)) {
+            found_at = rec;
+            break;
+        }
+    }
+    return (found_at + 1) * 100 + checked;
+}
+"""
+
+UD = r"""
+/* ud: LU decomposition and back substitution over integers. */
+int a[64];
+int b[8];
+int x[8];
+
+int main(void) {
+    int n = 8;
+    int i;
+    int j;
+    int k;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++) {
+            a[i * n + j] = (i == j) ? 16 + i : ((i + j) % 4);
+        }
+        b[i] = 10 + i * 3;
+    }
+    /* Doolittle LU in place (integer, scaled) */
+    for (k = 0; k < n; k++) {
+        for (i = k + 1; i < n; i++) {
+            a[i * n + k] = a[i * n + k] / a[k * n + k];
+            for (j = k + 1; j < n; j++) {
+                a[i * n + j] -= a[i * n + k] * a[k * n + j];
+            }
+        }
+    }
+    /* forward substitution Ly = b */
+    for (i = 0; i < n; i++) {
+        x[i] = b[i];
+        for (j = 0; j < i; j++) {
+            x[i] -= a[i * n + j] * x[j];
+        }
+    }
+    /* backward substitution Ux = y */
+    for (i = n - 1; i >= 0; i--) {
+        for (j = i + 1; j < n; j++) {
+            x[i] -= a[i * n + j] * x[j];
+        }
+        x[i] = x[i] / a[i * n + i];
+    }
+    int check = 0;
+    for (i = 0; i < n; i++) {
+        check = check * 7 + x[i] + 100;
+    }
+    return check & 0x7FFFFFFF;
+}
+"""
+
+WIKISORT = r"""
+/* wikisort: bottom-up merge sort with a temp buffer. */
+int data[64];
+int temp[64];
+
+void merge(int *src, int *dst, int lo, int mid, int hi) {
+    int i = lo;
+    int j = mid;
+    int k = lo;
+    while (i < mid && j < hi) {
+        if (src[i] <= src[j]) {
+            dst[k++] = src[i++];
+        } else {
+            dst[k++] = src[j++];
+        }
+    }
+    while (i < mid) dst[k++] = src[i++];
+    while (j < hi) dst[k++] = src[j++];
+}
+
+int main(void) {
+    int n = 64;
+    int i;
+    for (i = 0; i < n; i++) {
+        data[i] = (i * 59) % 101;
+    }
+    int width;
+    int flipped = 0;
+    int *src = data;
+    int *dst = temp;
+    for (width = 1; width < n; width *= 2) {
+        int lo;
+        for (lo = 0; lo < n; lo += width * 2) {
+            int mid = lo + width;
+            int hi = lo + width * 2;
+            if (mid > n) mid = n;
+            if (hi > n) hi = n;
+            merge(src, dst, lo, mid, hi);
+        }
+        int *swap = src;
+        src = dst;
+        dst = swap;
+        flipped = 1 - flipped;
+    }
+    /* verify sortedness and checksum */
+    int sorted = 1;
+    int check = 0;
+    for (i = 0; i < n; i++) {
+        if (i > 0 && src[i] < src[i - 1]) sorted = 0;
+        check = check * 3 + src[i];
+    }
+    return (sorted * 0x40000000 + (check & 0x3FFFFFFF)) & 0x7FFFFFFF;
+}
+"""

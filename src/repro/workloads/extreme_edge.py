@@ -1,0 +1,195 @@
+"""The three extreme-edge applications evaluated in the paper (§4).
+
+* ``armpit``  — malodour classification: two gender-specific decision trees
+  over organic-sensor features (Ozer et al., Nat. Comm. 2023).
+* ``xgboost`` — a gradient-boosted decision-tree ensemble extracted from a
+  Pima-diabetes-style tabular dataset, compiled to C (Chen & Guestrin).
+* ``af_detect`` — APPT atrial-fibrillation detection: R-peak detection, RR /
+  delta-RR intervals, Bloom-filter pair-presence predictor (Ozer et al.,
+  FLEPS 2024).
+"""
+
+ARMPIT = r"""
+/* armpit: two decision trees (one per gender) over 8 sensor channels. */
+int sensors[64];      /* 8 samples x 8 channels, captured readouts */
+
+int tree_female(int *f) {
+    if (f[2] < 310) {
+        if (f[0] < 120) return 0;
+        if (f[5] < 200) return 1;
+        return 2;
+    }
+    if (f[4] < 405) {
+        if (f[1] < 150) return 1;
+        return 2;
+    }
+    if (f[7] < 520) return 3;
+    return 4;
+}
+
+int tree_male(int *f) {
+    if (f[1] < 180) {
+        if (f[3] < 240) return 0;
+        return 1;
+    }
+    if (f[6] < 460) {
+        if (f[0] < 130) return 1;
+        if (f[2] < 350) return 2;
+        return 3;
+    }
+    return 4;
+}
+
+int main(void) {
+    int i;
+    int s;
+    for (i = 0; i < 64; i++) {
+        sensors[i] = ((i * 97 + 31) % 600);
+    }
+    int score = 0;
+    for (s = 0; s < 8; s++) {
+        int *frame = &sensors[s * 8];
+        int female = tree_female(frame);
+        int male = tree_male(frame);
+        score = score * 5 + female + male;
+    }
+    return score & 0x7FFFFFFF;
+}
+"""
+
+XGBOOST = r"""
+/* xgboost: boosted decision-tree ensemble over 8 tabular features
+ * (pima-style: pregnancies, glucose, bp, skin, insulin, bmi*10,
+ *  pedigree*1000, age).  Trees extracted from a trained booster. */
+int features[64];     /* 8 patients x 8 features */
+
+int tree0(int *f) {
+    if (f[1] < 128) {
+        if (f[5] < 268) return -43;
+        if (f[7] < 29) return -12;
+        return 21;
+    }
+    if (f[5] < 242) return 8;
+    return 55;
+}
+
+int tree1(int *f) {
+    if (f[7] < 25) {
+        if (f[1] < 104) return -31;
+        return -6;
+    }
+    if (f[1] < 158) {
+        if (f[6] < 620) return 4;
+        return 27;
+    }
+    return 49;
+}
+
+int tree2(int *f) {
+    if (f[4] < 121) {
+        if (f[5] < 301) return -17;
+        return 11;
+    }
+    if (f[2] < 71) return 35;
+    return 19;
+}
+
+int main(void) {
+    int i;
+    for (i = 0; i < 64; i++) {
+        features[i] = ((i * 43 + 11) % 350);
+    }
+    int positives = 0;
+    int p;
+    for (p = 0; p < 8; p++) {
+        int *f = &features[p * 8];
+        int margin = tree0(f) + tree1(f) + tree2(f);
+        if (margin > 0) positives = positives + 1;
+    }
+    return positives * 256 + 8;
+}
+"""
+
+AF_DETECT = r"""
+/* af_detect: APPT - Approximate Pair Presence Tracking.
+ * Stage 1: R-peak detection on the ECG trace.
+ * Stage 2: RR intervals and delta-RR.
+ * Stage 3: Bloom-filter pair-presence predictor (AF vs non-AF). */
+short ecg[256];
+int peaks[32];
+unsigned char bloom[64];      /* 512-bit Bloom filter */
+
+int hash1(int rr, int drr) {
+    unsigned h = (unsigned)(rr * 31 + drr * 7 + 0x9E);
+    h ^= h >> 4;
+    return (int)(h & 511);
+}
+
+int hash2(int rr, int drr) {
+    unsigned h = (unsigned)(rr * 17 + drr * 13 + 0x5A);
+    h ^= h >> 3;
+    return (int)(h & 511);
+}
+
+void bloom_set(int bit) {
+    bloom[bit >> 3] |= (char)(1 << (bit & 7));
+}
+
+int bloom_get(int bit) {
+    return (bloom[bit >> 3] >> (bit & 7)) & 1;
+}
+
+int main(void) {
+    int i;
+    /* synthesize an ECG-like trace: baseline + periodic sharp peaks with
+     * drifting period (the AF-like irregularity) */
+    int period = 24;
+    int phase = 0;
+    for (i = 0; i < 256; i++) {
+        int v = ((i * 5) % 11) - 5;             /* baseline noise */
+        if (phase == 0) v += 90;                /* R peak */
+        if (phase == 1) v -= 30;                /* S dip */
+        phase++;
+        if (phase >= period) {
+            phase = 0;
+            period = 20 + ((i * 7) % 9);        /* irregular rhythm */
+        }
+        ecg[i] = (short)v;
+    }
+    /* stage 1: threshold-based R-peak detection with refractory window */
+    int num_peaks = 0;
+    int hold = 0;
+    for (i = 1; i < 255; i++) {
+        if (hold > 0) {
+            hold--;
+        } else if (ecg[i] > 60 && ecg[i] >= ecg[i - 1]
+                   && ecg[i] >= ecg[i + 1]) {
+            if (num_peaks < 32) {
+                peaks[num_peaks] = i;
+                num_peaks = num_peaks + 1;
+            }
+            hold = 8;
+        }
+    }
+    /* stage 2+3: RR and delta-RR pairs through the Bloom predictor */
+    int af_hits = 0;
+    int prev_rr = 0;
+    for (i = 1; i < num_peaks; i++) {
+        int rr = peaks[i] - peaks[i - 1];
+        int drr = rr - prev_rr;
+        if (drr < 0) drr = 0 - drr;
+        if (i > 1) {
+            int b1 = hash1(rr, drr);
+            int b2 = hash2(rr, drr);
+            if (bloom_get(b1) && bloom_get(b2)) {
+                af_hits = af_hits + 1;      /* pair seen before: regular */
+            }
+            bloom_set(b1);
+            bloom_set(b2);
+        }
+        prev_rr = rr;
+    }
+    int af_detected = (af_hits * 4 < num_peaks) ? 1 : 0;
+    return af_detected * 4096 + num_peaks * 64 + af_hits;
+}
+"""

@@ -1,0 +1,73 @@
+"""Workload registry: the 22 Embench-analog kernels + 3 extreme-edge apps.
+
+The names match the paper's Figure 5 / Table 3 rows so the benchmark
+harness can print the same tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import embench_a, embench_b, extreme_edge
+
+
+@dataclass(frozen=True)
+class Workload:
+    name: str
+    source: str
+    category: str            # "embench" | "extreme-edge"
+    description: str
+
+
+_EMBENCH = (
+    ("aha-mont64", embench_a.AHA_MONT64, "Montgomery modular multiply"),
+    ("crc32", embench_a.CRC32, "bitwise CRC-32 checksum"),
+    ("cubic", embench_a.CUBIC, "fixed-point cubic root solving"),
+    ("edn", embench_a.EDN, "FIR filter / vector MAC on int16"),
+    ("huffbench", embench_a.HUFFBENCH, "frequency coding + bit packing"),
+    ("matmult-int", embench_a.MATMULT_INT, "16x16 integer matrix multiply"),
+    ("md5sum", embench_a.MD5SUM, "MD5-style mixing rounds"),
+    ("minver", embench_a.MINVER, "fixed-point 3x3 matrix inversion"),
+    ("nbody", embench_a.NBODY, "fixed-point gravitational n-body"),
+    ("nettle-aes", embench_a.NETTLE_AES, "AES round functions"),
+    ("nettle-sha256", embench_a.NETTLE_SHA256, "SHA-256 compression"),
+    ("nsichneu", embench_a.NSICHNEU, "Petri-net transition chain"),
+    ("picojpeg", embench_b.PICOJPEG, "JPEG dequant + butterfly IDCT"),
+    ("primecount", embench_b.PRIMECOUNT, "trial-division prime counting"),
+    ("qrduino", embench_b.QRDUINO, "QR code bit-stream framing"),
+    ("sglib-combined", embench_b.SGLIB_COMBINED,
+     "sorting + lists + binary search"),
+    ("slre", embench_b.SLRE, "tiny regular-expression matcher"),
+    ("st", embench_b.ST, "integer statistics (mean/var/corr)"),
+    ("statemate", embench_b.STATEMATE, "generated state machine"),
+    ("tarfind", embench_b.TARFIND, "tar archive header scan"),
+    ("ud", embench_b.UD, "integer LU decomposition"),
+    ("wikisort", embench_b.WIKISORT, "bottom-up merge sort"),
+)
+
+_EXTREME_EDGE = (
+    ("armpit", extreme_edge.ARMPIT,
+     "malodour classification decision trees (FlexIC app)"),
+    ("xgboost", extreme_edge.XGBOOST,
+     "boosted decision-tree ensemble (pima-style tabular data)"),
+    ("af_detect", extreme_edge.AF_DETECT,
+     "APPT atrial-fibrillation detection (FlexIC app)"),
+)
+
+WORKLOADS: dict[str, Workload] = {}
+for _name, _src, _desc in _EMBENCH:
+    WORKLOADS[_name] = Workload(_name, _src, "embench", _desc)
+for _name, _src, _desc in _EXTREME_EDGE:
+    WORKLOADS[_name] = Workload(_name, _src, "extreme-edge", _desc)
+
+EMBENCH_NAMES = tuple(name for name, _, _ in _EMBENCH)
+EXTREME_EDGE_NAMES = tuple(name for name, _, _ in _EXTREME_EDGE)
+ALL_NAMES = EMBENCH_NAMES + EXTREME_EDGE_NAMES
+
+
+def get(name: str) -> Workload:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; known: "
+                       f"{', '.join(ALL_NAMES)}") from None

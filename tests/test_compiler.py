@@ -1,0 +1,200 @@
+"""MicroC compiler tests: language features, opt levels, correctness."""
+
+import pytest
+
+from repro.compiler import (
+    LexError, ParseError, SemaError, compile_to_assembly,
+    compile_to_program, normalize_level,
+)
+from repro.sim import run_program
+
+LEVELS = ("O0", "O1", "O2", "O3", "Oz")
+
+
+def run(src, level="O2", maxi=4_000_000):
+    return run_program(compile_to_program(src, level).program,
+                       max_instructions=maxi).exit_code
+
+
+def s32(v):
+    v &= 0xFFFFFFFF
+    return v - (1 << 32) if v & 0x80000000 else v
+
+
+def test_arithmetic_and_precedence():
+    assert run("int main(void){ return 2 + 3 * 4 - 1; }") == 13
+
+
+def test_division_semantics_trunc_toward_zero():
+    assert s32(run("int main(void){ return (-7) / 2; }")) == -3
+    assert s32(run("int main(void){ return (-7) % 2; }")) == -1
+
+
+def test_unsigned_division():
+    assert run("int main(void){ unsigned a = 0xFFFFFFFE;"
+               " return (int)((a / 3) & 0x7FFFFFFF); }") == \
+        ((0xFFFFFFFE // 3) & 0x7FFFFFFF)
+
+
+def test_shift_semantics():
+    assert s32(run("int main(void){ int a = -16; return a >> 2; }")) == -4
+    assert run("int main(void){ unsigned a = 0x80000000;"
+               " return (int)(a >> 28); }") == 8
+
+
+def test_comparisons_signed_unsigned():
+    assert run("int main(void){ int a = -1; return a < 0; }") == 1
+    assert run("int main(void){ unsigned a = 0xFFFFFFFF;"
+               " return a < 1; }") == 0
+
+
+def test_short_circuit_side_effects():
+    src = """
+    int calls = 0;
+    int bump(void) { calls = calls + 1; return 1; }
+    int main(void) {
+        int r = 0 && bump();
+        r = r + (1 || bump());
+        return calls * 10 + r;
+    }
+    """
+    assert run(src) == 1    # bump never called, r == 1
+
+
+def test_arrays_and_pointers():
+    src = """
+    int data[4] = {10, 20, 30, 40};
+    int main(void) {
+        int *p = data;
+        p[1] = p[1] + 1;
+        return *p + p[1] + data[3];
+    }
+    """
+    assert run(src) == 10 + 21 + 40
+
+
+def test_char_short_memory_widths():
+    src = """
+    char bytes[4];
+    short halves[2];
+    int main(void) {
+        bytes[0] = (char)200;           /* signed char wraps */
+        halves[0] = (short)0x8000;
+        return (bytes[0] < 0) * 10 + (halves[0] < 0);
+    }
+    """
+    assert run(src) == 11
+
+
+def test_recursion():
+    src = """
+    int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+    int main(void) { return fib(12); }
+    """
+    assert run(src) == 144
+
+
+def test_do_while_and_break_continue():
+    src = """
+    int main(void) {
+        int i = 0;
+        int total = 0;
+        do {
+            i++;
+            if (i == 3) continue;
+            if (i > 6) break;
+            total += i;
+        } while (i < 100);
+        return total;     /* 1+2+4+5+6 */
+    }
+    """
+    assert run(src) == 18
+
+
+def test_ternary_and_incdec():
+    src = """
+    int main(void) {
+        int a = 5;
+        int b = a++;
+        int c = ++a;
+        return (a == 7 ? 100 : 0) + b + c;
+    }
+    """
+    assert run(src) == 100 + 5 + 7
+
+
+def test_globals_with_initializers():
+    src = """
+    int scalar = 7;
+    int table[3] = {1, 2, 3};
+    unsigned char msg[4] = "hi";
+    int main(void) { return scalar + table[2] + msg[1]; }
+    """
+    assert run(src) == 7 + 3 + ord("i")
+
+
+@pytest.mark.parametrize("level", LEVELS)
+def test_all_levels_agree(level):
+    src = """
+    int acc(int *xs, int n) {
+        int t = 0;
+        for (int i = 0; i < n; i++) t += xs[i] * (i + 1);
+        return t;
+    }
+    int data[6] = {3, -1, 4, 1, -5, 9};
+    int main(void) { return acc(data, 6) & 0xFFFF; }
+    """
+    want = sum(v * (i + 1) for i, v in
+               enumerate([3, -1, 4, 1, -5, 9])) & 0xFFFF
+    assert run(src, level) == want
+
+
+def test_o0_bigger_than_o2():
+    src = "int main(void){ int t=0; for(int i=0;i<9;i++) t+=i; return t; }"
+    o0 = compile_to_program(src, "O0").code_size_bytes
+    o2 = compile_to_program(src, "O2").code_size_bytes
+    assert o0 > o2
+
+
+def test_constant_folding_at_o1():
+    asm = compile_to_assembly("int main(void){ return 6 * 7; }", "O1")
+    assert "li t0, 42" in asm or "li a0, 42" in asm
+    assert "__mulsi3" not in asm
+
+
+def test_strength_reduction_at_o2():
+    asm = compile_to_assembly(
+        "int main(int) { return 0; } int f(int a){ return a * 8; }", "O2") \
+        if False else compile_to_assembly(
+        "int f(int a){ return a * 8; } int main(void){ return f(3); }",
+        "O2")
+    assert "slli" in asm and "__mulsi3" not in asm
+
+
+def test_builtins_emitted_only_when_used():
+    asm = compile_to_assembly("int main(void){ return 1 + 2; }", "O2")
+    assert "__mulsi3" not in asm
+    asm2 = compile_to_assembly(
+        "int g = 3; int main(void){ return g * g; }", "O2")
+    assert "__mulsi3" in asm2
+
+
+def test_inlining_at_o3():
+    src = """
+    int tiny(int x) { return x + 1; }
+    int main(void) { return tiny(tiny(tiny(0))); }
+    """
+    o3 = compile_to_assembly(src, "O3")
+    # all calls inlined away in main
+    main_part = o3.split("main:")[1].split("tiny:")[0] \
+        if "tiny:" in o3.split("main:")[1] else o3.split("main:")[1]
+    assert "call tiny" not in main_part
+
+
+def test_errors():
+    with pytest.raises((ParseError, LexError)):
+        compile_to_program("int main(void) { return ; ")
+    with pytest.raises(SemaError):
+        compile_to_program("int main(void) { return missing; }")
+    with pytest.raises(ValueError):
+        normalize_level("O9")

@@ -1,0 +1,20 @@
+"""Cross-module integration: compile -> RISSP RTL -> cosim for workloads."""
+
+import pytest
+
+from repro.compiler import compile_to_program
+from repro.core import extract_subset
+from repro.rtl import build_rissp, cosimulate
+from repro.workloads import WORKLOADS
+
+APPS = ["crc32", "armpit", "xgboost", "tarfind", "statemate"]
+
+
+@pytest.mark.parametrize("name", APPS)
+def test_workload_runs_on_generated_rissp(name):
+    res = compile_to_program(WORKLOADS[name].source, "O2")
+    subset = extract_subset(res.program) + ["ecall"]
+    core = build_rissp(subset, name=f"rissp_{name}",
+                       reset_pc=res.program.entry)
+    mismatch = cosimulate(core, res.program, max_instructions=60_000)
+    assert mismatch is None, mismatch

@@ -1,0 +1,121 @@
+"""Assembler unit tests: directives, pseudos, expressions, macros."""
+
+import pytest
+
+from repro.isa import AssemblerError, assemble, decode
+from repro.sim import run_program
+
+
+def text(src):
+    return assemble(".text\nmain:\n" + src + "\n ret\n")
+
+
+def test_labels_and_branches():
+    p = text(" li a0, 0\nloop:\n addi a0, a0, 1\n li a1, 5\n bne a0, a1, loop")
+    assert run_program(p).exit_code == 5
+
+
+def test_li_small_and_large():
+    assert run_program(text(" li a0, -7")).exit_code == 0xFFFFFFF9
+    assert run_program(text(" li a0, 0xDEADBEEF")).exit_code == 0xDEADBEEF
+
+
+def test_la_and_data_words():
+    p = assemble("""
+.data
+v: .word 42
+.text
+main:
+    la a0, v
+    lw a0, 0(a0)
+    ret
+""")
+    assert run_program(p).exit_code == 42
+
+
+def test_byte_half_space_directives():
+    p = assemble("""
+.data
+b: .byte 1, 2, 3, 4
+h: .half 0x1234, 0x5678
+z: .space 8
+w: .word 99
+.text
+main:
+    la a0, h
+    lhu a0, 2(a0)
+    ret
+""")
+    assert run_program(p).exit_code == 0x5678
+
+
+def test_asciz():
+    p = assemble("""
+.data
+s: .asciz "AB"
+.text
+main:
+    la a0, s
+    lbu a0, 1(a0)
+    ret
+""")
+    assert run_program(p).exit_code == ord("B")
+
+
+def test_equ_and_expressions():
+    p = text(" .equ K, 40\n li a0, K + 2")
+    assert run_program(p).exit_code == 42
+
+
+def test_shift_expressions():
+    p = text(" li a0, (1 << 10) + (4096 >> 2) + (0xFF & 0x0F)")
+    assert run_program(p).exit_code == 1024 + 1024 + 15
+
+
+def test_pseudo_instructions():
+    cases = {
+        " li a1, 9\n mv a0, a1": 9,
+        " li a1, 5\n neg a0, a1": 0xFFFFFFFB,
+        " li a1, 0\n seqz a0, a1": 1,
+        " li a1, 3\n snez a0, a1": 1,
+        " li a1, 0\n not a0, a1": 0xFFFFFFFF,
+    }
+    for src, want in cases.items():
+        assert run_program(text(src)).exit_code == want, src
+
+
+def test_macro_expansion_with_args():
+    p = assemble("""
+.macro addmul d, a, b
+    add \\d, \\a, \\b
+    add \\d, \\d, \\d
+.endm
+.text
+main:
+    li a1, 3
+    li a2, 4
+    addmul a0, a1, a2
+    ret
+""")
+    assert run_program(p).exit_code == 14
+
+
+def test_unknown_instruction_raises():
+    with pytest.raises(AssemblerError):
+        assemble(".text\nmain:\n bogus a0, a1\n")
+
+
+def test_rv32e_rejects_high_registers():
+    with pytest.raises(AssemblerError):
+        assemble(".text\nmain:\n addi a7, x0, 1\n")
+
+
+def test_branch_out_of_range():
+    body = ".text\nmain:\n beq x0, x0, far\n" + " nop\n" * 1500 + "far:\n ret\n"
+    with pytest.raises(AssemblerError):
+        assemble(body)
+
+
+def test_entry_symbol():
+    p = assemble(".text\nhelper:\n ret\nmain:\n li a0, 1\n ret\n")
+    assert p.entry == p.symbol("main")

@@ -1,0 +1,114 @@
+"""Encode/decode unit and property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    BY_MNEMONIC, DecodeError, EncodingError, Format, Instruction,
+    INSTRUCTIONS, decode, encode,
+)
+
+
+def test_catalog_has_40_instructions():
+    assert len(INSTRUCTIONS) == 40
+
+
+def test_catalog_compute_size_is_37():
+    from repro.isa import FULL_ISA_SIZE
+    assert FULL_ISA_SIZE == 37
+
+
+@pytest.mark.parametrize("mnemonic", [d.mnemonic for d in INSTRUCTIONS])
+def test_roundtrip_simple(mnemonic):
+    d = BY_MNEMONIC[mnemonic]
+    kwargs = {}
+    if d.fmt in (Format.R, Format.I, Format.U, Format.J):
+        kwargs["rd"] = 5
+    if d.fmt in (Format.R, Format.I, Format.S, Format.B):
+        kwargs["rs1"] = 3
+    if d.fmt in (Format.R, Format.S, Format.B):
+        kwargs["rs2"] = 7
+    if d.fmt is Format.B:
+        kwargs["imm"] = -8
+    elif d.fmt is Format.J:
+        kwargs["imm"] = 2048
+    elif d.fmt is Format.U:
+        kwargs["imm"] = 0x12345000
+    elif d.is_shift_imm:
+        kwargs["imm"] = 13
+    elif d.fmt in (Format.I, Format.S):
+        kwargs["imm"] = -33
+    instr = Instruction(mnemonic, **kwargs)
+    assert decode(encode(instr)) == instr
+
+
+regs = st.integers(0, 15)
+imm12 = st.integers(-2048, 2047)
+
+
+@given(rd=regs, rs1=regs, rs2=regs)
+def test_roundtrip_rtype(rd, rs1, rs2):
+    i = Instruction("add", rd=rd, rs1=rs1, rs2=rs2)
+    assert decode(encode(i)) == i
+
+
+@given(rd=regs, rs1=regs, imm=imm12)
+def test_roundtrip_itype(rd, rs1, imm):
+    i = Instruction("addi", rd=rd, rs1=rs1, imm=imm)
+    assert decode(encode(i)) == i
+
+
+@given(rs1=regs, rs2=regs, imm=st.integers(-2048, 2047).map(lambda x: x * 2))
+def test_roundtrip_branch(rs1, rs2, imm):
+    i = Instruction("beq", rs1=rs1, rs2=rs2, imm=imm)
+    assert decode(encode(i)) == i
+
+
+@given(rd=regs, imm=st.integers(-(1 << 19), (1 << 19) - 1))
+def test_roundtrip_lui(rd, imm):
+    i = Instruction("lui", rd=rd, imm=(imm << 12) & 0xFFFFFFFF
+                    if imm >= 0 else imm << 12)
+    from repro.isa import sign_extend
+    i = Instruction("lui", rd=rd, imm=sign_extend((imm << 12), 32))
+    assert decode(encode(i)) == i
+
+
+@given(rd=regs, imm=st.integers(-(1 << 20), (1 << 20) - 1)
+       .map(lambda x: x * 2).filter(lambda x: -(1 << 20) <= x < (1 << 20)))
+def test_roundtrip_jal(rd, imm):
+    i = Instruction("jal", rd=rd, imm=imm)
+    assert decode(encode(i)) == i
+
+
+def test_rv32e_register_constraint():
+    with pytest.raises(EncodingError):
+        encode(Instruction("add", rd=16, rs1=0, rs2=0), num_regs=16)
+    encode(Instruction("add", rd=16, rs1=0, rs2=0), num_regs=32)
+
+
+def test_shift_imm_range():
+    with pytest.raises(EncodingError):
+        encode(Instruction("slli", rd=1, rs1=1, imm=32))
+
+
+def test_branch_alignment():
+    with pytest.raises(EncodingError):
+        encode(Instruction("bne", rs1=1, rs2=2, imm=3))
+
+
+def test_decode_illegal_opcode():
+    with pytest.raises(DecodeError):
+        decode(0x0000007F)
+
+
+def test_decode_illegal_funct7():
+    # add with a bogus funct7
+    word = encode(Instruction("add", rd=1, rs1=2, rs2=3)) | (0x7F << 25)
+    with pytest.raises(DecodeError):
+        decode(word)
+
+
+def test_system_decodes():
+    assert decode(0x00000073).mnemonic == "ecall"
+    assert decode(0x00100073).mnemonic == "ebreak"
+    assert decode(0x0000000F).mnemonic == "fence"

@@ -1,0 +1,91 @@
+"""Executable specification semantics tests."""
+
+import pytest
+
+from repro.isa import Instruction, step
+from repro.isa.spec import SpecError
+
+
+def eff(mnemonic, rs1=0, rs2=0, imm=0, rd=5, pc=0x100, mem=None):
+    def load(addr, width, signed):
+        return mem if mem is not None else 0
+    return step(Instruction(mnemonic, rd=rd, rs1=1, rs2=2, imm=imm),
+                pc, rs1, rs2, load)
+
+
+def test_add_wraps():
+    assert eff("add", 0xFFFFFFFF, 1).rd_data == 0
+
+
+def test_sub():
+    assert eff("sub", 5, 7).rd_data == 0xFFFFFFFE
+
+
+def test_slt_signed():
+    assert eff("slt", 0xFFFFFFFF, 0).rd_data == 1     # -1 < 0
+    assert eff("sltu", 0xFFFFFFFF, 0).rd_data == 0    # big unsigned
+
+
+def test_sra_vs_srl():
+    assert eff("sra", 0x80000000, 4).rd_data == 0xF8000000
+    assert eff("srl", 0x80000000, 4).rd_data == 0x08000000
+
+
+def test_shift_uses_low_5_bits():
+    assert eff("sll", 1, 33).rd_data == 2
+
+
+def test_x0_write_is_dropped():
+    e = eff("addi", 7, imm=1, rd=0)
+    assert e.rd is None and e.rd_data is None
+
+
+def test_branch_taken_and_not():
+    assert eff("beq", 4, 4, imm=16).next_pc == 0x110
+    assert eff("beq", 4, 5, imm=16).next_pc == 0x104
+
+
+def test_bltu_unsigned():
+    assert eff("bltu", 1, 0xFFFFFFFF, imm=8).next_pc == 0x108
+
+
+def test_jal_links():
+    e = eff("jal", imm=12)
+    assert e.next_pc == 0x10C and e.rd_data == 0x104
+
+
+def test_jalr_clears_bit0():
+    e = step(Instruction("jalr", rd=1, rs1=3, imm=1), 0x100, 0x203, 0)
+    assert e.next_pc == 0x204  # (0x203+1) & ~1
+
+
+def test_jalr_misaligned_raises():
+    with pytest.raises(SpecError):
+        step(Instruction("jalr", rd=1, rs1=3, imm=2), 0x100, 0x200, 0)
+
+
+def test_load_sign_extension():
+    e = eff("lb", rs1=0x1000, imm=0, mem=0xFFFFFF80)
+    assert e.rd_data == 0xFFFFFF80
+
+
+def test_store_masks_data():
+    e = eff("sb", rs1=0x1000, rs2=0x1FF, imm=2)
+    assert e.mem_write.addr == 0x1002
+    assert e.mem_write.data == 0xFF
+    assert e.mem_write.width == 1
+
+
+def test_lui_auipc():
+    assert eff("lui", imm=0x12345000).rd_data == 0x12345000
+    assert eff("auipc", imm=0x1000, pc=0x100).rd_data == 0x1100
+
+
+def test_ecall_halts():
+    e = eff("ecall")
+    assert e.halt and e.is_ecall
+
+
+def test_fence_is_nop():
+    e = eff("fence")
+    assert e.rd is None and not e.halt and e.next_pc == 0x104

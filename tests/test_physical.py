@@ -1,0 +1,51 @@
+"""Physical implementation model tests (Figure 10 mechanics)."""
+
+from repro.isa import INSTRUCTIONS
+from repro.physical import (
+    PAPER_IMPL_KHZ, cts_buffer_count, find_common_frequency, implement,
+)
+from repro.rtl import build_rissp
+from repro.synth import synthesize, synthesize_serv
+
+
+def _rv32e():
+    return synthesize(build_rissp([d.mnemonic for d in INSTRUCTIONS],
+                                  name="rissp_rv32e"), seed="rv32e")
+
+
+def test_cts_buffer_tree():
+    assert cts_buffer_count(1) == 0
+    assert cts_buffer_count(4) == 1
+    assert cts_buffer_count(16) == 1 + 4
+    assert cts_buffer_count(132) > 30
+
+
+def test_layout_reports_geometry():
+    layout = implement(_rv32e())
+    assert layout.die_width_um == layout.die_height_um
+    assert 1.0 < layout.die_area_mm2 < 6.0
+    assert layout.target_khz == PAPER_IMPL_KHZ
+    assert layout.slack_ok
+
+
+def test_ff_heavy_design_pays_utilization():
+    serv = implement(synthesize_serv())
+    rv = implement(_rv32e())
+    assert serv.utilization < rv.utilization
+
+
+def test_routing_penalty_lowers_fmax():
+    report = _rv32e()
+    layout = implement(report)
+    assert layout.impl_fmax_khz < report.fmax_khz
+
+
+def test_serv_power_parity_at_300khz():
+    serv = implement(synthesize_serv())
+    rv = implement(_rv32e())
+    assert 0.9 < serv.power_mw / rv.power_mw < 1.2
+
+
+def test_common_frequency_at_least_paper_point():
+    freq = find_common_frequency([_rv32e(), synthesize_serv()])
+    assert freq >= PAPER_IMPL_KHZ

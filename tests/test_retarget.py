@@ -1,0 +1,100 @@
+"""Retargeting tests: macro synthesis, verify/retry, rewriting."""
+
+import pytest
+
+from repro.core.subset_analysis import extract_subset
+from repro.isa import assemble
+from repro.retarget import (
+    MAX_ATTEMPTS, MINIMAL_SUBSET, retarget_assembly, synthesize_macro,
+    synthesize_macros,
+)
+from repro.sim import run_program
+
+
+def test_minimal_subset_is_papers_twelve():
+    assert len(MINIMAL_SUBSET) == 12
+    assert set(MINIMAL_SUBSET) == {"addi", "add", "and", "xori", "sll",
+                                   "sra", "jal", "jalr", "blt", "bltu",
+                                   "lw", "sw"}
+
+
+@pytest.mark.parametrize("mnemonic", ["sub", "or", "xor", "beq", "bne",
+                                      "bge", "bgeu", "slt", "sltu",
+                                      "slli", "srli", "srai", "andi",
+                                      "ori", "lui", "sltiu"])
+def test_macro_synthesis_verifies(mnemonic):
+    macro = synthesize_macro(mnemonic)
+    assert macro.attempts <= MAX_ATTEMPTS
+    assert macro.cases_checked > 2
+
+
+@pytest.mark.parametrize("mnemonic", ["lbu", "lb", "lhu", "lh", "sb",
+                                      "sh", "srl"])
+def test_memory_and_shift_macros_verify(mnemonic):
+    macro = synthesize_macro(mnemonic)
+    assert macro.cases_checked > 2
+
+
+def test_retry_loop_rejects_bad_candidates():
+    """sub/srli/beq/sh have deliberately wrong first candidates."""
+    assert synthesize_macro("sub").attempts == 2
+    assert synthesize_macro("srli").attempts == 2
+    assert synthesize_macro("beq").attempts == 2
+    assert synthesize_macro("or").attempts == 1
+
+
+def test_rewritten_program_equivalent():
+    src = """
+.data
+buf: .word 0x11223344, 0
+.text
+main:
+    la   a1, buf
+    lbu  a2, 1(a1)
+    sub  a2, a2, x0
+    or   a3, a2, a2
+    slli a3, a3, 8
+    xor  a0, a3, a2
+    sb   a0, 4(a1)
+    lbu  a4, 4(a1)
+    add  a0, a0, a4
+    ret
+"""
+    original = assemble(src)
+    result = retarget_assembly(src)
+    rewritten = assemble(result.assembly)
+    assert run_program(original).exit_code == \
+        run_program(rewritten).exit_code
+    assert not set(extract_subset(rewritten)) - set(MINIMAL_SUBSET)
+
+
+def test_macro_file_emitted():
+    result = retarget_assembly(""".text
+main:
+    li a1, 4
+    li a2, 9
+    sub a0, a2, a1
+    ret
+""")
+    assert ".macro sub_subst" in result.macro_file
+    assert "verified on" in result.macro_file
+
+
+def test_scratch_collision_legalized():
+    src = """
+.text
+main:
+    li gp, 77
+    li a1, 3
+    sub a0, gp, a1
+    ret
+"""
+    result = retarget_assembly(src)
+    rewritten = assemble(result.assembly)
+    assert run_program(rewritten).exit_code == 74
+
+
+def test_report_aggregates_attempts():
+    report = synthesize_macros(["sub", "or", "beq"])
+    assert report.total_attempts >= 4   # two retries + successes
+    assert set(report.macros) == {"sub", "or", "beq"}

@@ -1,0 +1,66 @@
+"""Instruction hardware block tests (Table 2 contract + semantics)."""
+
+import pytest
+
+from repro.isa import INSTRUCTIONS
+from repro.rtl import build_block
+from repro.verify import check_block, run_testbench
+
+ALL = [d.mnemonic for d in INSTRUCTIONS]
+
+
+@pytest.mark.parametrize("mnemonic", ALL)
+def test_block_builds_and_checks(mnemonic):
+    block = build_block(mnemonic)
+    assert block.meta["mnemonic"] == mnemonic
+    block.check()
+
+
+@pytest.mark.parametrize("mnemonic", ALL)
+def test_block_testbench_passes(mnemonic):
+    result = run_testbench(build_block(mnemonic))
+    assert result.passed, result.failures[:3]
+
+
+@pytest.mark.parametrize("mnemonic", ["add", "sub", "sll", "srl", "sra",
+                                      "slt", "sltu", "xor", "or", "and"])
+def test_formal_alu_blocks(mnemonic):
+    report = check_block(build_block(mnemonic))
+    assert report.proven, report.violations[:3]
+
+
+@pytest.mark.parametrize("mnemonic", ["beq", "bne", "blt", "bge", "bltu",
+                                      "bgeu", "jal", "jalr", "lui",
+                                      "auipc"])
+def test_formal_control_blocks(mnemonic):
+    report = check_block(build_block(mnemonic))
+    assert report.proven, report.violations[:3]
+
+
+@pytest.mark.parametrize("mnemonic", ["lb", "lbu", "lh", "lhu", "lw",
+                                      "sb", "sh", "sw"])
+def test_formal_memory_blocks(mnemonic):
+    report = check_block(build_block(mnemonic))
+    assert report.proven, report.violations[:3]
+
+
+def test_branch_block_has_no_rd_port():
+    block = build_block("beq")
+    assert "rdest_we" not in block.ports
+    assert "rdest_data" not in block.ports
+
+
+def test_store_block_ports():
+    block = build_block("sb")
+    assert "dmem_wstrb" in block.ports
+    assert "rdest_we" not in block.ports
+
+
+def test_load_block_ports():
+    block = build_block("lw")
+    assert "dmem_re" in block.ports and "dmem_rdata" in block.ports
+
+
+def test_sys_block_halts():
+    block = build_block("ecall")
+    assert "halt" in block.ports

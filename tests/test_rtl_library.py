@@ -1,0 +1,40 @@
+"""Pre-verified library contract tests (Step 0)."""
+
+import pytest
+
+from repro.rtl import IsaHardwareLibrary, LibraryError
+from repro.verify import block_verifier
+
+
+def test_unverified_block_is_withheld():
+    lib = IsaHardwareLibrary(["add", "sub"])
+    with pytest.raises(LibraryError):
+        lib.get_block("add")
+    lib.get_block("add", require_verified=False)
+
+
+def test_verify_releases_blocks():
+    lib = IsaHardwareLibrary(["add", "beq", "lw"])
+    results = lib.verify(block_verifier)
+    assert all(results.values())
+    lib.get_block("add")  # no longer raises
+
+
+def test_verification_report_recorded():
+    lib = IsaHardwareLibrary(["xor"])
+    lib.verify(block_verifier)
+    assert lib.entry("xor").verification_report["vectors"] > 50
+
+
+def test_unknown_instruction():
+    with pytest.raises(LibraryError):
+        IsaHardwareLibrary(["madeup"])
+
+
+def test_emit_sv():
+    lib = IsaHardwareLibrary(["add"])
+    assert "module instr_add" in lib.emit_systemverilog("add")
+
+
+def test_full_library_size():
+    assert len(IsaHardwareLibrary()) == 40

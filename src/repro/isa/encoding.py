@@ -4,11 +4,19 @@ The encoder/decoder pair is exercised heavily by property tests: for every
 instruction and every legal operand combination, ``decode(encode(x)) == x``.
 The subset analyser decodes compiled binaries with :func:`decode`, exactly as
 the paper's Step 1 characterises an application from its compiled form.
+
+:func:`decode` is memoized (word -> :class:`Instruction`) because every
+consumer — the golden ISS, the Serv timing model, the RVFI checker and the
+RTL cosimulation harness — decodes the same few hundred static words millions
+of times across a run.  ``Instruction`` is frozen, so sharing one decoded
+object per word is safe; illegal words are *not* cached (``lru_cache`` does
+not memoize raised exceptions), preserving the error path exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from .bits import bits, fits_signed, sign_extend, to_u32
 from .instructions import (
@@ -147,8 +155,9 @@ _IMM_BY_F3 = {d.funct3: d.mnemonic
               if d.fmt is Format.I and d.opcode == OP_IMM and not d.is_shift_imm}
 
 
+@lru_cache(maxsize=None)
 def decode(word: int) -> Instruction:
-    """Decode a 32-bit word into an :class:`Instruction`.
+    """Decode a 32-bit word into an :class:`Instruction` (memoized).
 
     Raises :class:`DecodeError` for illegal encodings — the subset analyser
     relies on this to reject data words misinterpreted as code.

@@ -6,6 +6,18 @@ memory-read callback.  The golden ISS, the per-instruction hardware-block
 testbenches, the formal-lite property checker and the RVFI trace checker all
 consume this single spec — it plays the role the RISC-V ISA manual plays for
 the paper's SVA assertions.
+
+Two execution interfaces are offered over the same semantic tables:
+
+* :func:`step` — the reflective form: decode fields in, :class:`Effects`
+  out.  Used wherever per-retirement introspection is needed (RVFI records,
+  trace checking, block testbenches).
+* :func:`compile_step` — the compiled form: specialize one *static*
+  instruction into a closure ``(regs, memory, pc) -> next_pc`` with the
+  immediate pre-extracted and all format/mnemonic dispatch hoisted out of
+  the inner loop.  The simulators' hot paths execute these (see
+  :mod:`repro.sim.decoded`); both forms share ``_ALU_OPS``/``_BRANCH_TAKEN``
+  and the width tables below, so they cannot drift apart on semantics.
 """
 
 from __future__ import annotations
@@ -150,4 +162,146 @@ def step(instr: Instruction, pc: int, rs1_val: int, rs2_val: int,
         return Effects(seq_pc, halt=True, is_ecall=True)
     if m == "ebreak":
         return Effects(seq_pc, halt=True)
+    raise SpecError(f"no semantics for mnemonic {m!r}")
+
+
+#: Sentinel ``next_pc`` values returned by compiled executors on a halting
+#: instruction (real next-pc values are unsigned, so negatives are free).
+HALT_ECALL = -1
+HALT_EBREAK = -2
+
+_M32 = 0xFFFFFFFF
+
+#: A compiled executor: ``(regs, memory, pc) -> next_pc`` where ``regs`` is
+#: the register-file list (``regs[0]`` pinned to 0), ``memory`` provides
+#: ``load(addr, width, signed)`` / ``store(addr, value, width)``, and the
+#: return value is the unsigned next pc — or :data:`HALT_ECALL` /
+#: :data:`HALT_EBREAK` when the instruction halts the machine.
+Executor = Callable[[list, object, int], int]
+
+
+def compile_step(instr: Instruction,
+                 store_hook: Callable[[int], None] | None = None) -> Executor:
+    """Specialize ``instr`` into a closure executing its semantics in place.
+
+    The closure mutates ``regs`` and ``memory`` directly and returns the
+    next pc, exactly mirroring :func:`step` + effect application but with
+    zero per-retirement decode, dispatch or :class:`Effects` allocation.
+    Writes to ``x0`` are dropped at compile time; loads to ``x0`` still
+    perform the access so faults surface identically to :func:`step`.
+
+    ``store_hook``, when given, is called with the effective address after
+    every store the closure performs — the decoded-program cache uses it to
+    invalidate entries covering self-modified text.
+    """
+    m = instr.mnemonic
+    rd, rs1, rs2, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
+
+    if m in _ALU_OPS:
+        if rd == 0:
+            return lambda regs, memory, pc: pc + 4
+        op = _ALU_OPS[m]
+
+        def ex_alu(regs, memory, pc):
+            regs[rd] = op(regs[rs1], regs[rs2]) & _M32
+            return pc + 4
+        return ex_alu
+
+    if m in _IMM_TO_ALU:
+        if rd == 0:
+            return lambda regs, memory, pc: pc + 4
+        op = _ALU_OPS[_IMM_TO_ALU[m]]
+
+        def ex_alu_imm(regs, memory, pc):
+            regs[rd] = op(regs[rs1], imm) & _M32
+            return pc + 4
+        return ex_alu_imm
+
+    if m in _BRANCH_TAKEN:
+        cond = _BRANCH_TAKEN[m]
+
+        def ex_branch(regs, memory, pc):
+            if cond(regs[rs1], regs[rs2]):
+                target = (pc + imm) & _M32
+                if target & 0x3:
+                    raise SpecError(f"misaligned branch target {target:#x}")
+                return target
+            return pc + 4
+        return ex_branch
+
+    if m in _LOAD_WIDTH:
+        width, signed = _LOAD_WIDTH[m]
+        if rd == 0:
+            def ex_load_x0(regs, memory, pc):
+                memory.load((regs[rs1] + imm) & _M32, width, signed)
+                return pc + 4
+            return ex_load_x0
+
+        def ex_load(regs, memory, pc):
+            regs[rd] = memory.load((regs[rs1] + imm) & _M32, width, signed)
+            return pc + 4
+        return ex_load
+
+    if m in _STORE_WIDTH:
+        width = _STORE_WIDTH[m]
+        mask = (1 << (8 * width)) - 1
+        if store_hook is None:
+            def ex_store(regs, memory, pc):
+                memory.store((regs[rs1] + imm) & _M32, regs[rs2] & mask,
+                             width)
+                return pc + 4
+            return ex_store
+
+        def ex_store_hooked(regs, memory, pc):
+            addr = (regs[rs1] + imm) & _M32
+            memory.store(addr, regs[rs2] & mask, width)
+            store_hook(addr)
+            return pc + 4
+        return ex_store_hooked
+
+    if m == "lui":
+        if rd == 0:
+            return lambda regs, memory, pc: pc + 4
+        value = imm & _M32
+
+        def ex_lui(regs, memory, pc):
+            regs[rd] = value
+            return pc + 4
+        return ex_lui
+
+    if m == "auipc":
+        if rd == 0:
+            return lambda regs, memory, pc: pc + 4
+
+        def ex_auipc(regs, memory, pc):
+            regs[rd] = (pc + imm) & _M32
+            return pc + 4
+        return ex_auipc
+
+    if m == "jal":
+        def ex_jal(regs, memory, pc):
+            target = (pc + imm) & _M32
+            if target & 0x3:
+                raise SpecError(f"misaligned jal target {target:#x}")
+            if rd:
+                regs[rd] = (pc + 4) & _M32
+            return target
+        return ex_jal
+
+    if m == "jalr":
+        def ex_jalr(regs, memory, pc):
+            target = (regs[rs1] + imm) & 0xFFFFFFFE
+            if target & 0x3:
+                raise SpecError(f"misaligned jalr target {target:#x}")
+            if rd:
+                regs[rd] = (pc + 4) & _M32
+            return target
+        return ex_jalr
+
+    if m == "fence":
+        return lambda regs, memory, pc: pc + 4
+    if m == "ecall":
+        return lambda regs, memory, pc: HALT_ECALL
+    if m == "ebreak":
+        return lambda regs, memory, pc: HALT_EBREAK
     raise SpecError(f"no semantics for mnemonic {m!r}")

@@ -5,6 +5,15 @@ testbench the paper uses for integration-level verification: the DUT is the
 stitched RISSP RTL, the memory plays imem/dmem, and every retired
 instruction can be captured as an RVFI record for the riscv-formal-analog
 checker.
+
+RVFI records follow the shared read-effect convention of
+:mod:`repro.sim.tracing`: sub-word loads report the true byte address, the
+``(1 << width) - 1`` lane mask and the extended sub-word value — the same
+fields the golden ISS emits — so :func:`cosimulate` can compare the *read*
+side of the memory interface bit-for-bit, not just the write side.
+Instruction words are decoded through the memoized
+:func:`repro.isa.encoding.decode`, so classifying loads and halt causes
+costs one dict probe per retirement.
 """
 
 from __future__ import annotations
@@ -12,10 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..isa.bits import to_u32
+from ..isa.encoding import decode
 from ..isa.program import DEFAULT_MEM_SIZE, Program
+from ..isa.spec import _LOAD_WIDTH
 from ..sim.golden import RunResult, SimulationError
 from ..sim.memory import Memory
-from ..sim.tracing import RvfiRecord
+from ..sim.tracing import RvfiRecord, load_read_fields
 from .ir import Module
 from .sim import RtlSim
 
@@ -24,6 +35,13 @@ _LANES = 4
 
 _WSTRB_WIDTH = {0b0001: 1, 0b0010: 1, 0b0100: 1, 0b1000: 1,
                 0b0011: 2, 0b1100: 2, 0b1111: 4}
+
+#: RVFI fields compared in lock-step by :func:`cosimulate` — the full
+#: retirement contract: instruction, pc chain, writeback, and both the
+#: read and write sides of the memory interface.
+COSIM_FIELDS = ("insn", "pc_rdata", "pc_wdata", "rd_addr", "rd_wdata",
+                "mem_addr", "mem_rmask", "mem_rdata",
+                "mem_wmask", "mem_wdata")
 
 
 class RisspSim:
@@ -38,13 +56,14 @@ class RisspSim:
         self._trace_enabled = trace
         # ABI setup mirrors the golden ISS: sp at top, ra at the halt stub.
         from ..isa.encoding import Instruction, encode
-        from ..sim.golden import _HALT_SENTINEL
+        from ..sim.golden import _HALT_SENTINEL, abi_initial_regs
         self.memory.store(_HALT_SENTINEL, encode(Instruction("ecall")), 4)
         if self.rtl.regfile_data is not None:
-            self.rtl.regfile_data[2] = mem_size - 16
-            self.rtl.regfile_data[1] = _HALT_SENTINEL
+            for index, value in abi_initial_regs(mem_size).items():
+                self.rtl.regfile_data[index] = value
 
-    def _cycle(self, order: int) -> tuple[bool, RvfiRecord | None]:
+    def _cycle(self, order: int) -> tuple[bool, RvfiRecord | None, str]:
+        """Advance one cycle; returns (halted, record, halt_reason)."""
         rtl = self.rtl
         pc = rtl.get("pc")
         word = self.memory.fetch(pc)
@@ -54,11 +73,12 @@ class RisspSim:
             raise SimulationError(
                 f"unsupported instruction {word:#010x} at {pc:#x} "
                 f"(subset: {self.core.meta.get('mnemonics')})")
-        mem_rdata = 0
-        if rtl.get("dmem_re"):
-            addr = rtl.get("dmem_addr") & ~0x3
-            mem_rdata = self.memory.load(addr, 4, signed=False)
-            rtl.set_inputs(dmem_rdata=mem_rdata)
+        reading = bool(rtl.get("dmem_re"))
+        load_addr = mem_word = 0
+        if reading:
+            load_addr = rtl.get("dmem_addr")
+            mem_word = self.memory.load(load_addr & ~0x3, 4, signed=False)
+            rtl.set_inputs(dmem_rdata=mem_word)
             rtl.eval_comb()
 
         wstrb = rtl.get("dmem_wstrb")
@@ -80,8 +100,16 @@ class RisspSim:
             mem_wdata = (wdata >> (8 * offset)) & ((1 << (8 * width)) - 1)
 
         halted = bool(rtl.get("halt"))
+        reason = ""
+        if halted:
+            reason = "ebreak" if decode(word).mnemonic == "ebreak" else "ecall"
         record = None
         if self._trace_enabled:
+            mem_rmask = mem_rdata = 0
+            if reading:
+                width, signed = _LOAD_WIDTH[decode(word).mnemonic]
+                mem_addr, mem_rmask, mem_rdata = load_read_fields(
+                    load_addr, mem_word, width, signed)
             we = rtl.get("rf_we")
             waddr = rtl.get("rf_waddr") if we else 0
             record = RvfiRecord(
@@ -93,14 +121,13 @@ class RisspSim:
                 rs2_rdata=self._read_rf(rtl.get("rf_rs2_addr")),
                 rd_addr=waddr,
                 rd_wdata=rtl.get("rf_wdata") if we and waddr else 0,
-                mem_addr=mem_addr if wstrb else (
-                    rtl.get("dmem_addr") if rtl.get("dmem_re") else 0),
-                mem_rmask=0b1111 if rtl.get("dmem_re") else 0,
+                mem_addr=mem_addr,
+                mem_rmask=mem_rmask,
                 mem_wmask=mem_wmask,
                 mem_rdata=mem_rdata,
                 mem_wdata=mem_wdata)
         rtl.tick()
-        return halted, record
+        return halted, record, reason
 
     def _read_rf(self, index: int) -> int:
         if self.rtl.regfile_data is None or index == 0:
@@ -113,12 +140,12 @@ class RisspSim:
         count = 0
         halted_by = "limit"
         while count < max_instructions:
-            halted, record = self._cycle(order=count)
+            halted, record, reason = self._cycle(order=count)
             count += 1
             if record is not None:
                 trace.append(record)
             if halted:
-                halted_by = "ecall"
+                halted_by = reason or "ecall"
                 break
         return RunResult(exit_code=self._read_rf(10), instructions=count,
                          cycles=count, halted_by=halted_by, trace=trace)
@@ -135,22 +162,33 @@ class CosimMismatch:
 
 
 def cosimulate(core: Module, program: Program,
-               max_instructions: int = 2_000_000) -> CosimMismatch | None:
+               max_instructions: int = 2_000_000,
+               golden_trace_out: list[RvfiRecord] | None = None
+               ) -> CosimMismatch | None:
     """Lock-step compare RISSP RTL execution against the golden ISS.
 
-    Returns None when the full run matches, else the first mismatch.  This
-    is the strongest integration check — every retired instruction's PC,
-    writeback and memory effect must agree.
+    Returns None only when the run matches *through the halting
+    instruction*; exhausting ``max_instructions`` without a halt is
+    reported as a ``"limit"`` pseudo-mismatch so a matching prefix is never
+    mistaken for full verification.  Every retired instruction's PC,
+    writeback and memory effect (read *and* write side: ``mem_addr``,
+    ``mem_rmask``, ``mem_rdata``, ``mem_wmask``, ``mem_wdata``) must agree.
+
+    ``golden_trace_out``, when given, receives the golden reference's RVFI
+    records as they retire — callers wanting to additionally spec-check the
+    reference (see :func:`repro.verify.rvfi.check_trace`) reuse this trace
+    instead of paying for a second traced golden run.
     """
     from ..sim.golden import GoldenSim
 
     rtl = RisspSim(core, program, trace=True)
     gold = GoldenSim(program, trace=True)
     for index in range(max_instructions):
-        rtl_halt, rtl_rec = rtl._cycle(order=index)
+        rtl_halt, rtl_rec, _ = rtl._cycle(order=index)
         gold_halt, gold_rec, _ = gold.step_one(order=index)
-        for field_name in ("insn", "pc_rdata", "pc_wdata", "rd_addr",
-                           "rd_wdata", "mem_wmask", "mem_wdata"):
+        if golden_trace_out is not None:
+            golden_trace_out.append(gold_rec)
+        for field_name in COSIM_FIELDS:
             rtl_value = getattr(rtl_rec, field_name)
             gold_value = getattr(gold_rec, field_name)
             if rtl_value != gold_value:
@@ -158,5 +196,5 @@ def cosimulate(core: Module, program: Program,
         if rtl_halt != gold_halt:
             return CosimMismatch(index, "halt", int(rtl_halt), int(gold_halt))
         if rtl_halt:
-            break
-    return None
+            return None
+    return CosimMismatch(max_instructions, "limit", 0, 0)

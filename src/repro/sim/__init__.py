@@ -1,12 +1,20 @@
-"""Simulation substrate: flat memory, golden ISS (Spike analog), Serv model."""
+"""Simulation substrate: flat memory, golden ISS (Spike analog), Serv model.
 
-from .golden import GoldenSim, RunResult, SimulationError, run_program
+All simulators share the decoded-program cache in :mod:`repro.sim.decoded`:
+static instructions are decoded and compiled to specialized executor
+closures once, then dispatched by pc — the difference between the seed's
+~0.19 MIPS interpreter and the current multi-MIPS fast path.
+"""
+
+from .decoded import DecodedImage, DecodedOp, SimulationError
+from .golden import GoldenSim, RunResult, abi_initial_regs, run_program
 from .memory import Memory, MemoryError_
 from .serv import ServConfig, ServSim, run_program_serv
-from .tracing import RvfiRecord
+from .tracing import RvfiRecord, load_read_fields
 
 __all__ = [
-    "GoldenSim", "Memory", "MemoryError_", "RunResult", "RvfiRecord",
-    "ServConfig", "ServSim", "SimulationError", "run_program",
+    "DecodedImage", "DecodedOp", "GoldenSim", "Memory", "MemoryError_",
+    "RunResult", "RvfiRecord", "ServConfig", "ServSim", "SimulationError",
+    "abi_initial_regs", "load_read_fields", "run_program",
     "run_program_serv",
 ]

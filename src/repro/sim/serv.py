@@ -6,6 +6,12 @@ energy-per-instruction comparison.  Functionally Serv retires the same
 architectural effects as any RV32E core, so this model wraps the golden ISS
 and layers the bit-serial cycle accounting on top.
 
+Cycle accounting rides the shared decoded-op cache
+(:mod:`repro.sim.decoded`): the memory/branch/jump classification that
+determines an instruction's cost is computed once per static instruction at
+decode time (the seed decoded every retired word a *second* time just for
+cycle counting), so the Serv model now runs at golden-ISS fast-path speed.
+
 The *structural* model of Serv (gates, flip-flop fraction) used by the
 synthesis and physical-implementation experiments lives in
 :mod:`repro.synth.serv_model`.
@@ -15,9 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..isa.encoding import decode
-from ..isa.instructions import BRANCHES, LOADS, STORES
 from ..isa.program import DEFAULT_MEM_SIZE, Program
+from ..isa.spec import HALT_EBREAK
 from .golden import GoldenSim, RunResult
 
 #: Datapath width — one cycle per bit.
@@ -47,35 +52,71 @@ class ServSim:
         self.config = config or ServConfig()
         self._golden = GoldenSim(program, mem_size=mem_size, trace=trace)
 
-    def _instr_cycles(self, word: int, pc_before: int, pc_after: int) -> int:
-        mnemonic = decode(word).mnemonic
+    def _op_cycles(self, op, redirected: bool) -> int:
+        """Serial cycles for one retirement of decoded ``op``.
+
+        ``redirected`` is True when the next pc differs from pc+4 (the only
+        case where a *branch* pays the redirect penalty; jal/jalr always do).
+        """
         cycles = self.config.bits
-        if mnemonic in LOADS or mnemonic in STORES:
+        if op.is_mem:
             cycles += self.config.mem_extra
-        if mnemonic in BRANCHES and pc_after != (pc_before + 4) & 0xFFFFFFFF:
-            cycles += self.config.branch_extra
-        if mnemonic in ("jal", "jalr"):
+        if op.is_jump or (op.is_branch and redirected):
             cycles += self.config.branch_extra
         return cycles
 
     def run(self, max_instructions: int = 20_000_000) -> RunResult:
         """Run to halt; ``cycles`` reflects bit-serial execution."""
+        golden = self._golden
+        if golden._trace_enabled:
+            return self._run_recorded(max_instructions)
+        op_cycles = self._op_cycles
+        regs = golden.regs
+        memory = golden.memory
+        get_op = golden.image.get
+        pc = golden.pc
+        cycles = 0
+        count = 0
+        halted_by = "limit"
+        try:
+            while count < max_instructions:
+                op = get_op(pc)
+                next_pc = op.execute(regs, memory, pc)
+                count += 1
+                if next_pc >= 0:
+                    cycles += op_cycles(op, next_pc != pc + 4)
+                    pc = next_pc
+                else:
+                    cycles += op_cycles(op, False)
+                    pc = (pc + 4) & 0xFFFFFFFF
+                    halted_by = "ebreak" if next_pc == HALT_EBREAK else "ecall"
+                    break
+        finally:
+            golden.pc = pc
+        return RunResult(exit_code=golden.read_reg(10),
+                         instructions=count, cycles=cycles,
+                         halted_by=halted_by, trace=[])
+
+    def _run_recorded(self, max_instructions: int) -> RunResult:
+        """Trace-recording loop: golden ``step_one`` + cached cycle costs."""
+        golden = self._golden
         cycles = 0
         count = 0
         trace = []
         halted_by = "limit"
         while count < max_instructions:
-            pc_before = self._golden.pc
-            word = self._golden.memory.fetch(pc_before)
-            halted, record, reason = self._golden.step_one(order=count)
+            pc_before = golden.pc
+            op = golden.image.get(pc_before)
+            halted, record, reason = golden.step_one(order=count)
             count += 1
-            cycles += self._instr_cycles(word, pc_before, self._golden.pc)
+            redirected = golden.pc != (pc_before + 4) & 0xFFFFFFFF
+            cycles += self._op_cycles(op, redirected)
             if record is not None:
                 trace.append(record)
             if halted:
                 halted_by = reason
                 break
-        return RunResult(exit_code=self._golden.read_reg(10),
+        return RunResult(exit_code=golden.read_reg(10),
                          instructions=count, cycles=cycles,
                          halted_by=halted_by, trace=trace)
 

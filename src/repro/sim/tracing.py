@@ -6,11 +6,22 @@ after, source/destination registers with their data, and any memory access.
 Both the golden ISS and the RTL simulation of a generated RISSP emit these
 records so the :mod:`repro.verify.rvfi` checker can compare them against the
 executable spec.
+
+Read-effect convention (shared by every producer so traces are comparable
+field-by-field): ``mem_addr`` is the true byte address of the access,
+``mem_rmask`` is ``(1 << width) - 1`` — lane bits counted from the accessed
+address, not shifted by the sub-word offset — and ``mem_rdata`` is the
+sub-word value sign- or zero-extended to 32 bits exactly as it lands in
+``rd``.  :func:`load_read_fields` computes the triple from a raw aligned
+memory word; the RTL harness uses it so byte/halfword loads record the same
+fields the golden ISS does.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from ..isa.bits import sign_extend, to_u32
 
 
 @dataclass(frozen=True)
@@ -32,3 +43,19 @@ class RvfiRecord:
     mem_wmask: int = 0   # byte mask of a store
     mem_rdata: int = 0
     mem_wdata: int = 0
+
+
+def load_read_fields(addr: int, word: int, width: int,
+                     signed: bool) -> tuple[int, int, int]:
+    """RVFI ``(mem_addr, mem_rmask, mem_rdata)`` for a load, repo convention.
+
+    ``word`` is the aligned 32-bit memory word covering the access at byte
+    address ``addr``; the returned ``mem_rdata`` is the ``width``-byte lane
+    extended to 32 bits (sign-extended when ``signed``), matching what the
+    golden ISS records and what lands in ``rd``.
+    """
+    offset = addr & 0x3
+    value = (word >> (8 * offset)) & ((1 << (8 * width)) - 1)
+    if signed:
+        value = to_u32(sign_extend(value, 8 * width))
+    return to_u32(addr), (1 << width) - 1, value

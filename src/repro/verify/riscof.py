@@ -16,6 +16,7 @@ against a reference model (Spike).  Here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from ..isa.assembler import assemble
 from ..isa.bits import to_s32
@@ -136,6 +137,17 @@ class ComplianceReport:
         return self.tests_run > 0 and not self.mismatches
 
 
+@lru_cache(maxsize=None)
+def _compliance_binary(mnemonic: str) -> Program:
+    """Assemble the compliance test for ``mnemonic`` once per process.
+
+    The generated source is deterministic and no simulator mutates a
+    :class:`Program` (memories copy the image at construction), so the
+    linked binary is shared across every core that tests ``mnemonic``.
+    """
+    return assemble(compliance_program(mnemonic))
+
+
 def _signature(memory, program: Program) -> bytes:
     base = program.symbol("signature")
     return memory.read_blob(base, 4 * SIGNATURE_WORDS)
@@ -156,7 +168,7 @@ def run_compliance(core: Module,
         needed = scaffolding | {mnemonic}
         if not needed.issubset(set(subset) | {"ecall"}):
             continue
-        program = assemble(compliance_program(mnemonic))
+        program = _compliance_binary(mnemonic)
         dut = RisspSim(core, program)
         dut_result = dut.run(max_instructions=100_000)
         ref = GoldenSim(program)

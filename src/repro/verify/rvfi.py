@@ -67,7 +67,7 @@ def check_trace(trace: list[RvfiRecord],
             report.errors.append(f"{where}: undecodable insn: {exc}")
             continue
         d = instr.definition
-        uses_rs1 = d.fmt.value in ("R", "S", "B") or d.fmt.value == "I"
+        uses_rs1 = d.fmt.value in ("R", "I", "S", "B")
         uses_rs2 = d.fmt.value in ("R", "S", "B")
         if uses_rs1 and record.rs1_addr in shadow:
             want = shadow[record.rs1_addr] if record.rs1_addr else 0

@@ -1,0 +1,152 @@
+"""Regression tests for RVFI read-effect parity between RTL and golden sims.
+
+The seed recorded ``mem_rmask=0b1111`` and the raw full memory word for
+*every* RTL load — so ``cosimulate`` could not compare the read side of the
+memory interface at all.  These tests pin the fixed convention (true byte
+address, ``(1 << width) - 1`` lane mask, extended sub-word value), prove
+cosimulation now detects injected read corruption, and cover the
+ebreak/ecall halt-cause plumbing.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.isa import INSTRUCTIONS, assemble
+from repro.rtl import RisspSim, build_rissp, cosimulate
+from repro.sim import GoldenSim, abi_initial_regs, run_program
+from repro.verify import check_trace
+
+_SUBWORD_LOADS = """.text
+main:
+    la a1, testdata
+    lb a0, 0(a1)
+    lb a2, 1(a1)
+    lbu a3, 2(a1)
+    lbu a4, 3(a1)
+    lh a0, 4(a1)
+    lhu a2, 6(a1)
+    lw a3, 8(a1)
+    sb a0, 12(a1)
+    sh a2, 14(a1)
+    lb a0, 12(a1)
+    ret
+.data
+testdata:
+    .word 0x80FF7F01, 0xFFFE8002, 0xDEADBEEF, 0
+"""
+
+
+@pytest.fixture(scope="module")
+def full_core():
+    return build_rissp([d.mnemonic for d in INSTRUCTIONS])
+
+
+def test_subword_load_rvfi_fields_match_golden(full_core):
+    prog = assemble(_SUBWORD_LOADS)
+    rtl_trace = RisspSim(full_core, prog, trace=True).run(10_000).trace
+    gold_trace = GoldenSim(prog, trace=True).run(10_000).trace
+    assert len(rtl_trace) == len(gold_trace)
+    for rtl_rec, gold_rec in zip(rtl_trace, gold_trace):
+        for name in ("insn", "mem_addr", "mem_rmask", "mem_rdata",
+                     "mem_wmask", "mem_wdata", "rd_addr", "rd_wdata"):
+            assert getattr(rtl_rec, name) == getattr(gold_rec, name), \
+                (f"order={rtl_rec.order} {name}: rtl="
+                 f"{getattr(rtl_rec, name):#x} "
+                 f"gold={getattr(gold_rec, name):#x}")
+
+
+def test_subword_load_rmask_is_lane_width(full_core):
+    prog = assemble(_SUBWORD_LOADS)
+    trace = RisspSim(full_core, prog, trace=True).run(10_000).trace
+    rmasks = [r.mem_rmask for r in trace if r.mem_rmask]
+    assert rmasks == [0b1, 0b1, 0b1, 0b1, 0b11, 0b11, 0b1111, 0b1]
+
+
+def test_rvfi_checker_accepts_rtl_subword_trace(full_core):
+    prog = assemble(_SUBWORD_LOADS)
+    result = RisspSim(full_core, prog, trace=True).run(10_000)
+    report = check_trace(result.trace, initial_regs=abi_initial_regs())
+    assert report.passed, report.errors
+
+
+def test_cosim_clean_on_subword_loads(full_core):
+    assert cosimulate(full_core, assemble(_SUBWORD_LOADS)) is None
+
+
+def test_cosim_shares_golden_trace(full_core):
+    prog = assemble(_SUBWORD_LOADS)
+    golden_trace = []
+    assert cosimulate(full_core, prog, golden_trace_out=golden_trace) is None
+    report = check_trace(golden_trace, initial_regs=abi_initial_regs())
+    assert report.passed, report.errors
+
+
+def test_cosim_reports_limit_exhaustion(full_core):
+    """A matching prefix that never halts must not read as verified."""
+    prog = assemble(".text\nmain:\n j main\n")
+    mismatch = cosimulate(full_core, prog, max_instructions=100)
+    assert mismatch is not None and mismatch.field == "limit"
+    assert mismatch.index == 100
+
+
+def test_cosim_detects_injected_read_corruption(full_core, monkeypatch):
+    """Flipping one bit of a recorded mem_rdata must surface as a mismatch
+    in the read-side fields — the seed comparison never looked at them."""
+    original = RisspSim._cycle
+
+    def corrupted(self, order):
+        halted, record, reason = original(self, order)
+        if record is not None and record.mem_rmask:
+            record = dataclasses.replace(record,
+                                         mem_rdata=record.mem_rdata ^ 1)
+        return halted, record, reason
+
+    monkeypatch.setattr(RisspSim, "_cycle", corrupted)
+    mismatch = cosimulate(full_core, assemble(_SUBWORD_LOADS))
+    assert mismatch is not None and mismatch.field == "mem_rdata"
+    assert mismatch.rtl_value == mismatch.golden_value ^ 1
+
+
+def test_cosim_detects_injected_read_mask_corruption(full_core, monkeypatch):
+    original = RisspSim._cycle
+
+    def corrupted(self, order):
+        halted, record, reason = original(self, order)
+        if record is not None and record.mem_rmask == 0b1:
+            record = dataclasses.replace(record, mem_rmask=0b1111)
+        return halted, record, reason
+
+    monkeypatch.setattr(RisspSim, "_cycle", corrupted)
+    mismatch = cosimulate(full_core, assemble(_SUBWORD_LOADS))
+    assert mismatch is not None and mismatch.field == "mem_rmask"
+
+
+_EBREAK = ".text\nmain:\n li a0, 77\n ebreak\n"
+
+
+def test_golden_reports_ebreak():
+    r = run_program(assemble(_EBREAK))
+    assert r.halted_by == "ebreak" and r.exit_code == 77
+
+
+def test_golden_traced_reports_ebreak():
+    r = run_program(assemble(_EBREAK), trace=True)
+    assert r.halted_by == "ebreak" and r.exit_code == 77
+
+
+def test_rissp_run_reports_ebreak(full_core):
+    r = RisspSim(full_core, assemble(_EBREAK)).run(1_000)
+    assert r.halted_by == "ebreak" and r.exit_code == 77
+
+
+def test_rissp_run_reports_ecall(full_core):
+    r = RisspSim(full_core, assemble(".text\nmain:\n li a0, 5\n ret\n")) \
+        .run(1_000)
+    assert r.halted_by == "ecall" and r.exit_code == 5
+
+
+def test_serv_reports_ebreak():
+    from repro.sim import run_program_serv
+    r = run_program_serv(assemble(_EBREAK))
+    assert r.halted_by == "ebreak" and r.exit_code == 77

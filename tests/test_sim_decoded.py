@@ -1,0 +1,194 @@
+"""Decoded-op cache tests: executor/spec equivalence, memoization,
+self-modifying-code invalidation."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.bits import to_s32
+from repro.isa.encoding import Instruction, decode, encode
+from repro.isa.instructions import (
+    BRANCHES, BY_MNEMONIC, Format, INSTRUCTIONS, LOADS, STORES,
+)
+from repro.isa.spec import HALT_EBREAK, HALT_ECALL, compile_step, step
+from repro.sim import GoldenSim, Memory, run_program
+from repro.sim.golden import _HALT_SENTINEL
+
+_PAIRS = ((0, 0), (1, 2), (0xFFFFFFFF, 1), (0x7FFFFFFF, 1),
+          (0x80000000, 0xFFFFFFFF), (0x55555555, 0xAAAAAAAA))
+
+
+def _cases(d):
+    """Instruction instances covering each mnemonic's operand space."""
+    m = d.mnemonic
+    if m in LOADS:
+        return [Instruction(m, rd=5, rs1=3, imm=0),
+                Instruction(m, rd=5, rs1=3, imm={"lb": 1, "lbu": 3,
+                                                 "lh": 2, "lhu": 2}.get(m, 4)),
+                Instruction(m, rd=0, rs1=3, imm=0)]
+    if m in STORES:
+        return [Instruction(m, rs1=3, rs2=4, imm=0),
+                Instruction(m, rs1=3, rs2=4,
+                            imm={"sb": 5, "sh": 6}.get(m, 8))]
+    if m in BRANCHES:
+        return [Instruction(m, rs1=3, rs2=4, imm=8),
+                Instruction(m, rs1=3, rs2=4, imm=-8)]
+    if m == "jal":
+        return [Instruction(m, rd=5, imm=16), Instruction(m, rd=0, imm=8)]
+    if m == "jalr":
+        return [Instruction(m, rd=5, rs1=3, imm=5),
+                Instruction(m, rd=0, rs1=3, imm=0)]
+    if d.is_shift_imm:
+        return [Instruction(m, rd=5, rs1=3, imm=s) for s in (0, 1, 31)]
+    if d.fmt is Format.U:
+        return [Instruction(m, rd=5, imm=0x12345000),
+                Instruction(m, rd=5, imm=to_s32(0xFFFFF000))]
+    if d.fmt is Format.I:
+        return [Instruction(m, rd=5, rs1=3, imm=i) for i in (0, 1, -1, -2048)] \
+            + [Instruction(m, rd=0, rs1=3, imm=7)]
+    if d.fmt is Format.R:
+        return [Instruction(m, rd=5, rs1=3, rs2=4),
+                Instruction(m, rd=0, rs1=3, rs2=4)]
+    return [Instruction(m)]
+
+
+def _fresh_state():
+    mem = Memory(4096)
+    for addr in range(0, 64, 4):
+        mem.store(addr + 0x100, 0x89ABCDEF ^ addr, 4)
+    regs = [0] * 16
+    return regs, mem
+
+
+def _apply_spec(instr, regs, mem, pc):
+    """The seed interpreter step: spec.step + effect application."""
+    rs1 = regs[instr.rs1]
+    rs2 = regs[instr.rs2]
+    effects = step(instr, pc, rs1, rs2, mem.load)
+    if effects.mem_write is not None:
+        mw = effects.mem_write
+        mem.store(mw.addr, mw.data, mw.width)
+    if effects.rd is not None:
+        regs[effects.rd] = effects.rd_data
+    if effects.halt:
+        return HALT_ECALL if effects.is_ecall else HALT_EBREAK
+    return effects.next_pc
+
+
+@pytest.mark.parametrize("d", INSTRUCTIONS, ids=lambda d: d.mnemonic)
+def test_compiled_executor_matches_spec(d):
+    """compile_step closures retire identically to step() + effects."""
+    for instr in _cases(d):
+        for a, b in _PAIRS:
+            regs_a, mem_a = _fresh_state()
+            regs_b, mem_b = _fresh_state()
+            for regs in (regs_a, regs_b):
+                regs[3] = 0x104 if d.mnemonic in LOADS + STORES + ("jalr",) \
+                    else a
+                regs[4] = b & 0xFF if d.mnemonic in STORES else b
+            pc = 0x40
+            want_pc = _apply_spec(instr, regs_a, mem_a, pc)
+            got_pc = compile_step(instr)(regs_b, mem_b, pc)
+            assert got_pc == want_pc, instr
+            assert regs_a == regs_b, instr
+            assert mem_a.read_blob(0, 4096) == mem_b.read_blob(0, 4096), instr
+
+
+def test_decode_is_memoized():
+    word = encode(Instruction("addi", rd=5, rs1=3, imm=42))
+    assert decode(word) is decode(word)
+
+
+def test_decoded_image_caches_ops():
+    p = assemble(".text\nmain:\n li a0, 1\n ret\n")
+    sim = GoldenSim(p)
+    op = sim.image.get(p.entry)
+    assert sim.image.get(p.entry) is op
+    assert sim.image.executors[p.entry] is op.execute
+
+
+def test_decoded_image_invalidate_any_byte_of_word():
+    p = assemble(".text\nmain:\n li a0, 1\n ret\n")
+    sim = GoldenSim(p)
+    op = sim.image.get(p.entry)
+    sim.image.invalidate(p.entry + 3)  # any byte within the word
+    assert sim.image.get(p.entry) is not op
+
+
+def _self_modifying_program():
+    """Executes `addi a0, a0, 1` once, patches it to `addi a0, a0, 100`,
+    then executes the patched word on the second loop iteration."""
+    patched = encode(Instruction("addi", rd=10, rs1=10, imm=100))
+    return assemble(f""".text
+main:
+    li a0, 0
+    li a3, 0
+    li a2, {to_s32(patched)}
+    la a1, target
+loop:
+target:
+    addi a0, a0, 1
+    sw a2, 0(a1)
+    addi a3, a3, 1
+    li a4, 2
+    blt a3, a4, loop
+    ret
+""")
+
+
+def test_self_modifying_code_invalidates_fast_path():
+    r = run_program(_self_modifying_program())
+    assert r.exit_code == 101, "stale decoded op executed after store to text"
+
+
+def test_self_modifying_code_invalidates_traced_path():
+    r = run_program(_self_modifying_program(), trace=True)
+    assert r.exit_code == 101
+    assert len(r.trace) == r.instructions
+
+
+def test_halt_stub_region_is_decoded_lazily():
+    """The ecall halt stub lives outside the linked text; executing it via
+    `ret` from main must decode through the image like any text word."""
+    p = assemble(".text\nmain:\n li a0, 9\n ret\n")
+    sim = GoldenSim(p)
+    result = sim.run()
+    assert result.halted_by == "ecall" and result.exit_code == 9
+    assert _HALT_SENTINEL in sim.image.executors
+
+
+def test_illegal_word_rejected_on_execution():
+    from repro.sim import SimulationError
+    p = assemble(".text\nmain:\n ret\n")
+    p.text_words[0] = 0  # all-zeros is not a legal RV32 instruction
+    with pytest.raises(SimulationError):
+        run_program(p)
+
+
+def test_serv_cycles_identical_traced_and_untraced():
+    """Fast-path and trace-recording Serv loops share one cycle model."""
+    from repro.sim import ServSim
+    p = assemble(""".text
+main:
+    li a0, 0
+    li a1, 20
+loop:
+    sw a0, 256(zero)
+    lw a2, 256(zero)
+    addi a0, a0, 1
+    bne a0, a1, loop
+    ret
+""")
+    fast = ServSim(p).run()
+    recorded = ServSim(p, trace=True).run()
+    assert fast.cycles == recorded.cycles
+    assert fast.instructions == recorded.instructions
+    assert fast.exit_code == recorded.exit_code
+
+
+def test_rv32e_register_bound_enforced():
+    from repro.sim import SimulationError
+    word = encode(Instruction("addi", rd=20, rs1=0, imm=1), num_regs=32)
+    p = assemble(".text\nmain:\n ret\n")
+    p.text_words[0] = word
+    with pytest.raises(SimulationError):
+        run_program(p)

@@ -1,0 +1,483 @@
+"""Compiled RTL backend: lower a :class:`Module` to straight-line Python.
+
+The tree-walking evaluator in :mod:`repro.rtl.sim` pays an isinstance
+dispatch, a dict probe and a Python call per expression node on every
+cycle.  This module compiles each module's static structure exactly once —
+mirroring the decoded-op cache the ISS grew in PR 1 — into two
+``exec``-compiled functions:
+
+* ``eval_comb(env, regfile)`` — every combinational assign emitted as one
+  straight-line statement in topological order, with width masks and
+  constant subtrees folded at codegen time, ``Mux``/``Slice``/``Ext``/
+  ``Cat`` inlined as Python expressions, and structurally shared
+  subexpressions computed once (the IR's dataclasses hash structurally, so
+  common-subexpression elimination is a dict lookup).
+* ``tick(env, regfile)`` — register next/enable evaluation and the
+  register-file write port, committing exactly like the interpreter.
+
+Semantics are bit-identical to :func:`repro.rtl.sim.eval_expr` — the
+interpreter stays the reference oracle and the randomized differential
+harness in ``tests/test_rtl_compiled_diff.py`` locks the two together.
+The legacy read-port injection double-pass is only emitted for modules
+that actually have legacy read ports (a read port whose data signal is not
+combinationally assigned); ordinary modules get the single-pass fast path.
+As in the interpreter, a legacy port's injection happens when its *address
+signal* is assigned, so legacy address signals must be combinational
+signals, not raw input ports.
+
+Compiled functions are cached per :class:`Module` object, keyed by a
+structural fingerprint so mutating a module's assigns (as the failure
+-injection tests do) transparently recompiles.
+"""
+
+from __future__ import annotations
+
+import re
+import weakref
+from dataclasses import dataclass
+
+from .ir import (
+    Binary,
+    Cat,
+    Const,
+    Expr,
+    Ext,
+    IrError,
+    Module,
+    Mux,
+    Not,
+    Op,
+    Sig,
+    Slice,
+    expr_signals,
+    topo_order,
+)
+
+#: Inline expressions longer than this get hoisted into a temp, bounding
+#: statement size (and parser nesting depth) for pathological DAGs.
+_MAX_INLINE = 400
+
+_IDENT = re.compile(r"^[A-Za-z_]\w*$|^-?\d+$")
+
+
+@dataclass
+class CompiledModule:
+    """The two exec-compiled entry points plus their generated source."""
+
+    eval_comb: object   # callable(env: dict, regfile: list | None) -> None
+    tick: object        # callable(env: dict, regfile: list | None) -> None
+    source: str         # generated Python, kept for inspection/debugging
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+class _Emitter:
+    """Emits masked-value Python expressions for one statement block.
+
+    Invariant: the code string produced for any node evaluates to that
+    node's value already masked to its width (matching what ``eval_expr``
+    returns), so parents never re-mask operands.
+    """
+
+    def __init__(self, lines: list[str], indent: str, refs: dict,
+                 sig_var, temp_prefix: str,
+                 volatile: frozenset[str] = frozenset()):
+        self.lines = lines
+        self.indent = indent
+        self.refs = refs
+        self.sig_var = sig_var
+        self.temp_prefix = temp_prefix
+        #: Signal names whose locals are rebound mid-sweep (legacy read
+        #: data during the injection pass).  Subtrees reading them must be
+        #: re-emitted inline at every use — caching one in a temp would
+        #: freeze a pre-injection value the interpreter never sees.
+        self.volatile = volatile
+        self.volatile_cache: dict[Expr, bool] = {}
+        self.cache: dict[Expr, str] = {}
+        self.const_cache: dict[Expr, bool] = {}
+        self.count = 0
+
+    # ------------------------------------------------------------- helpers
+
+    def line(self, text: str) -> None:
+        self.lines.append(self.indent + text)
+
+    def temp(self, code: str) -> str:
+        name = f"{self.temp_prefix}{self.count}"
+        self.count += 1
+        self.line(f"{name} = {code}")
+        return name
+
+    def materialize(self, code: str) -> str:
+        """Force ``code`` into an atom so it can be referenced repeatedly."""
+        if _IDENT.match(code):
+            return code
+        return self.temp(code)
+
+    def is_const(self, expr: Expr) -> bool:
+        """True when the subtree references no signals (foldable)."""
+        cached = self.const_cache.get(expr)
+        if cached is not None:
+            return cached
+        result = not expr_signals(expr)
+        self.const_cache[expr] = result
+        return result
+
+    def is_volatile(self, expr: Expr) -> bool:
+        """True when the subtree reads a mid-sweep-rebound signal."""
+        if not self.volatile:
+            return False
+        cached = self.volatile_cache.get(expr)
+        if cached is None:
+            cached = bool(expr_signals(expr) & self.volatile)
+            self.volatile_cache[expr] = cached
+        return cached
+
+    # ------------------------------------------------------------ emission
+
+    def ref(self, expr: Expr) -> str:
+        if self.is_volatile(expr):
+            # Per-use temps from materialize() are still fine (they sit
+            # immediately before the statement that uses them); only
+            # cross-statement caching/hoisting is forbidden.
+            return self.build(expr)
+        code = self.cache.get(expr)
+        if code is not None:
+            return code
+        if self.is_const(expr):
+            from .sim import eval_expr
+            code = repr(eval_expr(expr, {}))
+        else:
+            code = self.build(expr)
+            if code is not None and not _IDENT.match(code) and (
+                    self.refs.get(expr, 0) > 1 or len(code) > _MAX_INLINE):
+                code = self.temp(code)
+        self.cache[expr] = code
+        return code
+
+    def build(self, expr: Expr) -> str:
+        if isinstance(expr, Sig):
+            return self.sig_var(expr.name)
+        if isinstance(expr, Const):
+            return repr(expr.value)
+        if isinstance(expr, Not):
+            return f"(~{self.ref(expr.a)} & {_mask(expr.width)})"
+        if isinstance(expr, Binary):
+            return self.build_binary(expr)
+        if isinstance(expr, Mux):
+            sel = self.ref(expr.sel)
+            a = self.ref(expr.a)
+            b = self.ref(expr.b)
+            return f"({a} if {sel} else {b})"
+        if isinstance(expr, Cat):
+            shift = expr.width
+            parts = []
+            for part in expr.parts:
+                shift -= part.width
+                code = self.ref(part)
+                parts.append(f"({code} << {shift})" if shift else code)
+            return "(" + " | ".join(parts) + ")"
+        if isinstance(expr, Slice):
+            a = self.ref(expr.a)
+            if expr.lo == 0:
+                if expr.width == expr.a.width:
+                    return a
+                return f"({a} & {_mask(expr.width)})"
+            return f"(({a} >> {expr.lo}) & {_mask(expr.width)})"
+        if isinstance(expr, Ext):
+            if not expr.signed or expr.out_width == expr.a.width:
+                return self.ref(expr.a)
+            a = self.materialize(self.ref(expr.a))
+            aw = expr.a.width
+            high = _mask(expr.out_width) ^ _mask(aw)
+            return f"(({a} | {high}) if ({a} >> {aw - 1}) else {a})"
+        raise IrError(f"unknown expression node {type(expr).__name__}")
+
+    def signed(self, code: str, width: int) -> str:
+        code = self.materialize(code)
+        return (f"(({code} | {-(1 << width)}) "
+                f"if ({code} >> {width - 1}) else {code})")
+
+    def build_binary(self, expr: Binary) -> str:
+        op = expr.op
+        w = expr.a.width
+        mask = _mask(w)
+        if op in (Op.SHL, Op.LSHR, Op.ASHR):
+            return self.build_shift(expr, op, w, mask)
+        a = self.ref(expr.a)
+        b = self.ref(expr.b)
+        if op is Op.ADD:
+            return f"(({a} + {b}) & {mask})"
+        if op is Op.SUB:
+            return f"(({a} - {b}) & {mask})"
+        if op is Op.AND:
+            return f"({a} & {b})"
+        if op is Op.OR:
+            return f"({a} | {b})"
+        if op is Op.XOR:
+            return f"({a} ^ {b})"
+        if op is Op.EQ:
+            return f"(1 if {a} == {b} else 0)"
+        if op is Op.NE:
+            return f"(1 if {a} != {b} else 0)"
+        if op is Op.ULT:
+            return f"(1 if {a} < {b} else 0)"
+        if op is Op.UGE:
+            return f"(1 if {a} >= {b} else 0)"
+        if op is Op.SLT:
+            return (f"(1 if {self.signed(a, w)} < {self.signed(b, w)} "
+                    f"else 0)")
+        if op is Op.SGE:
+            return (f"(1 if {self.signed(a, w)} >= {self.signed(b, w)} "
+                    f"else 0)")
+        raise IrError(f"unhandled op {op}")
+
+    def build_shift(self, expr: Binary, op: Op, w: int, mask: int) -> str:
+        a = self.ref(expr.a)
+        b = self.ref(expr.b)
+        b_val = None
+        if self.is_const(expr.b):
+            from .sim import eval_expr
+            b_val = eval_expr(expr.b, {})
+        if op is Op.SHL:
+            if b_val is not None:
+                return "0" if b_val >= w else (
+                    a if b_val == 0 else f"(({a} << {b_val}) & {mask})")
+            b = self.materialize(b)
+            return f"((({a} << {b}) & {mask}) if {b} < {w} else 0)"
+        if op is Op.LSHR:
+            if b_val is not None:
+                return "0" if b_val >= w else (
+                    a if b_val == 0 else f"({a} >> {b_val})")
+            b = self.materialize(b)
+            return f"(({a} >> {b}) if {b} < {w} else 0)"
+        # ASHR: shift saturates at w-1 so the sign bit fills.
+        if b_val is not None:
+            shift = min(b_val, w - 1)
+            if shift == 0:
+                return self.ref(expr.a)
+            return f"(({self.signed(a, w)} >> {shift}) & {mask})"
+        b = self.materialize(b)
+        return (f"(({self.signed(a, w)} >> "
+                f"({b} if {b} < {w} else {w - 1})) & {mask})")
+
+
+def _count_refs(roots: list[Expr]) -> dict[Expr, int]:
+    """Edge counts over the structurally deduplicated DAG."""
+    refs: dict[Expr, int] = {}
+    seen: set[Expr] = set()
+
+    def walk(node: Expr) -> None:
+        refs[node] = refs.get(node, 0) + 1
+        if node in seen:
+            return
+        seen.add(node)
+        if isinstance(node, Not):
+            walk(node.a)
+        elif isinstance(node, Binary):
+            walk(node.a)
+            walk(node.b)
+        elif isinstance(node, Mux):
+            walk(node.sel)
+            walk(node.a)
+            walk(node.b)
+        elif isinstance(node, Cat):
+            for part in node.parts:
+                walk(part)
+        elif isinstance(node, (Slice, Ext)):
+            walk(node.a)
+
+    for root in roots:
+        walk(root)
+    return refs
+
+
+def _make_sig_namer(module: Module):
+    """Map signal names to unique, valid Python local identifiers."""
+    table: dict[str, str] = {}
+    used: set[str] = set()
+
+    def namer(name: str) -> str:
+        var = table.get(name)
+        if var is None:
+            var = "v_" + re.sub(r"\W", "_", name)
+            while var in used:
+                var += "_"
+            used.add(var)
+            table[name] = var
+        return var
+
+    return namer
+
+
+def _emit_comb_pass(lines, module, order, legacy_ports, sig_var,
+                    referenced, temp_prefix: str, inject: bool) -> None:
+    """One topological sweep of the assign DAG as straight-line statements.
+
+    ``inject`` replays the interpreter's legacy read-port injection (data
+    fetched from the register array right after the address signal is
+    assigned); the settle pass runs with ``inject=False``.
+    """
+    spec = module.regfile
+    emitter = _Emitter(lines, "    ", _count_refs(
+        [module.assigns[name] for name in order]), sig_var, temp_prefix,
+        volatile=frozenset(data for _, data in legacy_ports)
+        if inject else frozenset())
+    for name in order:
+        code = emitter.ref(module.assigns[name])
+        if name in referenced:
+            lines.append(f"    {sig_var(name)} = env[{name!r}] = {code}")
+        else:
+            lines.append(f"    env[{name!r}] = {code}")
+        if inject:
+            for addr_sig, data_sig in legacy_ports:
+                if name == addr_sig:
+                    lines.append(
+                        f"    _la = {sig_var(addr_sig)} % {spec.num_regs}")
+                    lines.append(
+                        "    _ld = regfile[_la] if _la else 0")
+                    lines.append(f"    env[{data_sig!r}] = _ld")
+                    lines.append(f"    {sig_var(data_sig)} = "
+                                 f"_ld & {_mask(spec.width)}")
+
+
+def _generate_source(module: Module) -> str:
+    order = topo_order(module)
+    sig_var = _make_sig_namer(module)
+    spec = module.regfile
+    legacy_ports = []
+    if spec is not None:
+        legacy_ports = [(a, d) for a, d in spec.read_ports
+                        if d not in module.assigns]
+
+    # Signals whose value some expression actually reads.  Legacy port
+    # signals always get locals: the injection statements read the address
+    # and (re)bind the data local even when no expression consumes them.
+    referenced: set[str] = set()
+    for addr_sig, data_sig in legacy_ports:
+        referenced.add(addr_sig)
+        referenced.add(data_sig)
+    for expr in module.assigns.values():
+        referenced |= expr_signals(expr)
+    for reg in module.registers.values():
+        if reg.next is not None:
+            referenced |= expr_signals(reg.next)
+        if reg.enable is not None:
+            referenced |= expr_signals(reg.enable)
+
+    lines = ["def eval_comb(env, regfile):"]
+    # Entry loads: inputs, registers and legacy read data come from env
+    # (masked exactly like a Sig lookup in the interpreter); register-file
+    # storage wires are driven from the array every evaluation.
+    for port in module.inputs():
+        if port.name in referenced:
+            lines.append(f"    {sig_var(port.name)} = "
+                         f"env[{port.name!r}] & {_mask(port.width)}")
+    for reg in module.registers.values():
+        if reg.name in referenced:
+            lines.append(f"    {sig_var(reg.name)} = "
+                         f"env[{reg.name!r}] & {_mask(reg.width)}")
+    if spec is not None:
+        for index, name in enumerate(spec.storage_signals, start=1):
+            lines.append(f"    env[{name!r}] = _sq = regfile[{index}]")
+            if name in referenced:
+                lines.append(f"    {sig_var(name)} = _sq & "
+                             f"{_mask(spec.width)}")
+        for _, data_sig in legacy_ports:
+            if data_sig in referenced:
+                lines.append(f"    {sig_var(data_sig)} = "
+                             f"env.setdefault({data_sig!r}, 0) & "
+                             f"{_mask(module.signal_width(data_sig))}")
+            else:
+                lines.append(f"    env.setdefault({data_sig!r}, 0)")
+
+    _emit_comb_pass(lines, module, order, legacy_ports, sig_var,
+                    referenced, "t", inject=bool(legacy_ports))
+    if legacy_ports:
+        # Data injected mid-walk may feed earlier-ordered signals; one more
+        # full sweep settles the DAG (mirrors the interpreter's second pass).
+        _emit_comb_pass(lines, module, order, legacy_ports, sig_var,
+                        referenced, "u", inject=False)
+    if len(lines) == 1:
+        lines.append("    pass")
+
+    lines.append("")
+    lines.append("def tick(env, regfile):")
+    tick_start = len(lines)
+    tick_roots = []
+    for reg in module.registers.values():
+        if reg.next is not None:
+            tick_roots.append(reg.next)
+            if reg.enable is not None:
+                tick_roots.append(reg.enable)
+    needed: set[str] = set()
+    for root in tick_roots:
+        needed |= expr_signals(root)
+    for name in sorted(needed):
+        lines.append(f"    {sig_var(name)} = env[{name!r}] & "
+                     f"{_mask(module.signal_width(name))}")
+    emitter = _Emitter(lines, "    ", _count_refs(tick_roots), sig_var, "k")
+    commits = []
+    for reg in module.registers.values():
+        if reg.next is None:
+            continue
+        update = emitter.materialize(emitter.ref(reg.next))
+        if reg.enable is not None:
+            gate = emitter.materialize(emitter.ref(reg.enable))
+            commits.append(f"    if {gate}:\n"
+                           f"        env[{reg.name!r}] = {update}")
+        else:
+            commits.append(f"    env[{reg.name!r}] = {update}")
+    if spec is not None and spec.write_port is not None:
+        we_sig, addr_sig, data_sig = spec.write_port
+        # Raw env reads, mirroring the interpreter's commit exactly.
+        lines.append(f"    if env.get({we_sig!r}, 0):")
+        lines.append(f"        _wa = env[{addr_sig!r}] % {spec.num_regs}")
+        lines.append("        if _wa:")
+        lines.append(f"            regfile[_wa] = env[{data_sig!r}] & "
+                     f"{_mask(spec.width)}")
+    lines.extend(commits)
+    if len(lines) == tick_start:
+        lines.append("    pass")
+    return "\n".join(lines) + "\n"
+
+
+def _fingerprint(module: Module) -> int:
+    """Structural hash of everything the generated code depends on."""
+    regs = tuple((r.name, r.width, r.next, r.enable, r.reset_value)
+                 for r in module.registers.values())
+    spec = module.regfile
+    rf = None
+    if spec is not None:
+        rf = (spec.num_regs, spec.width, tuple(spec.read_ports),
+              spec.write_port, tuple(spec.storage_signals))
+    ports = tuple(sorted((p.name, p.width, p.direction)
+                         for p in module.ports.values()))
+    return hash((tuple(sorted(module.assigns.items())), regs, rf, ports,
+                 tuple(sorted(module.wires.items()))))
+
+
+_cache: "weakref.WeakKeyDictionary[Module, tuple[int, CompiledModule]]" = \
+    weakref.WeakKeyDictionary()
+
+
+def compile_module(module: Module) -> CompiledModule:
+    """Compile (or fetch the cached compilation of) ``module``.
+
+    The cache is keyed on the module object *and* a structural fingerprint,
+    so rebuilding an :class:`RtlSim` after mutating ``module.assigns``
+    (failure-injection style) recompiles instead of running stale code.
+    """
+    key = _fingerprint(module)
+    hit = _cache.get(module)
+    if hit is not None and hit[0] == key:
+        return hit[1]
+    source = _generate_source(module)
+    namespace: dict[str, object] = {}
+    exec(compile(source, f"<rtl:{module.name}>", "exec"), namespace)
+    compiled = CompiledModule(eval_comb=namespace["eval_comb"],
+                              tick=namespace["tick"], source=source)
+    _cache[module] = (key, compiled)
+    return compiled

@@ -26,7 +26,7 @@ from ..isa.program import DEFAULT_MEM_SIZE, Program
 from ..isa.spec import _LOAD_WIDTH
 from ..sim.golden import RunResult, SimulationError
 from ..sim.memory import Memory
-from ..sim.tracing import RvfiRecord, load_read_fields
+from ..sim.tracing import RvfiRecord, RvfiTrace, load_read_fields
 from .ir import Module
 from .sim import RtlSim
 
@@ -48,12 +48,15 @@ class RisspSim:
     """Run programs on a RISSP RTL module (cycle-accurate, single cycle/instr)."""
 
     def __init__(self, core: Module, program: Program,
-                 mem_size: int = DEFAULT_MEM_SIZE, trace: bool = False):
+                 mem_size: int = DEFAULT_MEM_SIZE, trace: bool = False,
+                 trace_capacity: int | None = None,
+                 backend: str | None = None):
         self.core = core
         self.memory = Memory.from_program(program, mem_size)
-        self.rtl = RtlSim(core)
+        self.rtl = RtlSim(core, backend=backend)
         self.rtl.env["pc"] = to_u32(program.entry)
         self._trace_enabled = trace
+        self._trace_capacity = trace_capacity
         # ABI setup mirrors the golden ISS: sp at top, ra at the halt stub.
         from ..isa.encoding import Instruction, encode
         from ..sim.golden import _HALT_SENTINEL, abi_initial_regs
@@ -62,8 +65,13 @@ class RisspSim:
             for index, value in abi_initial_regs(mem_size).items():
                 self.rtl.regfile_data[index] = value
 
-    def _cycle(self, order: int) -> tuple[bool, RvfiRecord | None, str]:
-        """Advance one cycle; returns (halted, record, halt_reason)."""
+    def _cycle(self, order: int,
+               sink: RvfiTrace | None = None) -> tuple[bool, str]:
+        """Advance one cycle; returns (halted, halt_reason).
+
+        When ``sink`` is given (requires ``trace=True`` construction), the
+        retirement's RVFI fields are appended to it as one columnar row.
+        """
         rtl = self.rtl
         pc = rtl.get("pc")
         word = self.memory.fetch(pc)
@@ -103,8 +111,7 @@ class RisspSim:
         reason = ""
         if halted:
             reason = "ebreak" if decode(word).mnemonic == "ebreak" else "ecall"
-        record = None
-        if self._trace_enabled:
+        if sink is not None:
             mem_rmask = mem_rdata = 0
             if reading:
                 width, signed = _LOAD_WIDTH[decode(word).mnemonic]
@@ -112,22 +119,15 @@ class RisspSim:
                     load_addr, mem_word, width, signed)
             we = rtl.get("rf_we")
             waddr = rtl.get("rf_waddr") if we else 0
-            record = RvfiRecord(
-                order=order, insn=word, pc_rdata=pc,
-                pc_wdata=rtl.get("next_pc"),
-                rs1_addr=rtl.get("rf_rs1_addr"),
-                rs2_addr=rtl.get("rf_rs2_addr"),
-                rs1_rdata=self._read_rf(rtl.get("rf_rs1_addr")),
-                rs2_rdata=self._read_rf(rtl.get("rf_rs2_addr")),
-                rd_addr=waddr,
-                rd_wdata=rtl.get("rf_wdata") if we and waddr else 0,
-                mem_addr=mem_addr,
-                mem_rmask=mem_rmask,
-                mem_wmask=mem_wmask,
-                mem_rdata=mem_rdata,
-                mem_wdata=mem_wdata)
+            rs1_addr = rtl.get("rf_rs1_addr")
+            rs2_addr = rtl.get("rf_rs2_addr")
+            sink.append_row(
+                order, word, pc, rtl.get("next_pc"), rs1_addr, rs2_addr,
+                self._read_rf(rs1_addr), self._read_rf(rs2_addr), waddr,
+                rtl.get("rf_wdata") if we and waddr else 0,
+                mem_addr, mem_rmask, mem_wmask, mem_rdata, mem_wdata)
         rtl.tick()
-        return halted, record, reason
+        return halted, reason
 
     def _read_rf(self, index: int) -> int:
         if self.rtl.regfile_data is None or index == 0:
@@ -136,19 +136,19 @@ class RisspSim:
 
     def run(self, max_instructions: int = 2_000_000) -> RunResult:
         """Run to halt; single-cycle core, so cycles == instructions."""
-        trace: list[RvfiRecord] = []
+        trace = RvfiTrace(capacity=self._trace_capacity) \
+            if self._trace_enabled else None
         count = 0
         halted_by = "limit"
         while count < max_instructions:
-            halted, record, reason = self._cycle(order=count)
+            halted, reason = self._cycle(count, trace)
             count += 1
-            if record is not None:
-                trace.append(record)
             if halted:
                 halted_by = reason or "ecall"
                 break
         return RunResult(exit_code=self._read_rf(10), instructions=count,
-                         cycles=count, halted_by=halted_by, trace=trace)
+                         cycles=count, halted_by=halted_by,
+                         trace=trace if trace is not None else [])
 
 
 @dataclass
@@ -163,8 +163,8 @@ class CosimMismatch:
 
 def cosimulate(core: Module, program: Program,
                max_instructions: int = 2_000_000,
-               golden_trace_out: list[RvfiRecord] | None = None
-               ) -> CosimMismatch | None:
+               golden_trace_out: "RvfiTrace | list[RvfiRecord] | None" = None,
+               backend: str | None = None) -> CosimMismatch | None:
     """Lock-step compare RISSP RTL execution against the golden ISS.
 
     Returns None only when the run matches *through the halting
@@ -174,27 +174,50 @@ def cosimulate(core: Module, program: Program,
     writeback and memory effect (read *and* write side: ``mem_addr``,
     ``mem_rmask``, ``mem_rdata``, ``mem_wmask``, ``mem_wdata``) must agree.
 
+    Both sides retire into columnar :class:`RvfiTrace` sinks and the
+    comparison reads field columns directly — no per-retirement record
+    allocation.  The RTL side keeps only the newest row (ring capacity 1).
+
     ``golden_trace_out``, when given, receives the golden reference's RVFI
-    records as they retire — callers wanting to additionally spec-check the
-    reference (see :func:`repro.verify.rvfi.check_trace`) reuse this trace
-    instead of paying for a second traced golden run.
+    retirements as they happen — callers wanting to additionally spec-check
+    the reference (see :func:`repro.verify.rvfi.check_trace`) reuse this
+    trace instead of paying for a second traced golden run.  Pass an
+    :class:`RvfiTrace` to record columnar rows in place; a plain list
+    receives materialized :class:`RvfiRecord` objects for back-compat.
+
+    ``backend`` forces the RTL evaluator backend (``"compiled"`` /
+    ``"interpreter"``); the default follows :class:`RtlSim`.
     """
     from ..sim.golden import GoldenSim
 
-    rtl = RisspSim(core, program, trace=True)
+    rtl = RisspSim(core, program, trace=True, backend=backend)
     gold = GoldenSim(program, trace=True)
-    for index in range(max_instructions):
-        rtl_halt, rtl_rec, _ = rtl._cycle(order=index)
-        gold_halt, gold_rec, _ = gold.step_one(order=index)
-        if golden_trace_out is not None:
-            golden_trace_out.append(gold_rec)
-        for field_name in COSIM_FIELDS:
-            rtl_value = getattr(rtl_rec, field_name)
-            gold_value = getattr(gold_rec, field_name)
-            if rtl_value != gold_value:
-                return CosimMismatch(index, field_name, rtl_value, gold_value)
-        if rtl_halt != gold_halt:
-            return CosimMismatch(index, "halt", int(rtl_halt), int(gold_halt))
-        if rtl_halt:
-            return None
-    return CosimMismatch(max_instructions, "limit", 0, 0)
+    rtl_trace = RvfiTrace(capacity=1)
+    if isinstance(golden_trace_out, RvfiTrace):
+        gold_trace = golden_trace_out
+        emit_records = None
+    else:
+        gold_trace = RvfiTrace(capacity=None if golden_trace_out is not None
+                               else 1)
+        emit_records = golden_trace_out
+    field_slots = [RvfiTrace.FIELDS.index(name) for name in COSIM_FIELDS]
+    try:
+        for index in range(max_instructions):
+            rtl_halt, _ = rtl._cycle(index, rtl_trace)
+            gold_halt, _ = gold.retire_one(index, gold_trace)
+            rtl_row = rtl_trace.row(-1)
+            gold_row = gold_trace.row(-1)
+            if rtl_row != gold_row:
+                for slot, field_name in zip(field_slots, COSIM_FIELDS):
+                    if rtl_row[slot] != gold_row[slot]:
+                        return CosimMismatch(index, field_name,
+                                             rtl_row[slot], gold_row[slot])
+            if rtl_halt != gold_halt:
+                return CosimMismatch(index, "halt", int(rtl_halt),
+                                     int(gold_halt))
+            if rtl_halt:
+                return None
+        return CosimMismatch(max_instructions, "limit", 0, 0)
+    finally:
+        if emit_records is not None:
+            emit_records.extend(gold_trace)

@@ -1,12 +1,31 @@
 """Cycle-accurate evaluation of RTL IR modules.
 
-This is the repo's RTL simulator: it evaluates the combinational assign DAG
-in topological order and commits registers on :meth:`RtlSim.tick`.  The
-RISCOF-analog compliance flow runs whole programs through a RISSP module
-with this evaluator and compares signatures against the golden ISS.
+This is the repo's RTL simulator.  Two backends share the exact same
+public interface and bit-identical semantics:
+
+* ``"compiled"`` (the default): each module's assign DAG and register
+  commit are lowered once to straight-line Python by
+  :mod:`repro.rtl.compiled` and executed as two ``exec``-compiled
+  functions — the RTL analog of the ISS decoded-op cache, an order of
+  magnitude faster per cycle (see
+  ``benchmarks/test_bench_rtl_throughput.py``).
+* ``"interpreter"``: the original tree-walking evaluator built on
+  :func:`eval_expr`, which walks every expression node each cycle.  It is
+  kept as the reference oracle; the differential harness in
+  ``tests/test_rtl_compiled_diff.py`` checks the compiled backend against
+  it on randomized DAGs and on whole-core lock-step runs.
+
+Force a backend per instance with ``RtlSim(module, backend="interpreter")``
+or process-wide with the ``REPRO_RTL_BACKEND`` environment variable (the
+constructor argument wins).  The RISCOF-analog compliance flow, RVFI
+cosimulation and the fmax/serv benchmark harnesses all run whole programs
+through :class:`RtlSim` and therefore ride the compiled backend by
+default.
 """
 
 from __future__ import annotations
+
+import os
 
 from .ir import (
     Binary,
@@ -112,10 +131,23 @@ class RtlSim:
         sim.tick()           # commit registers
     """
 
-    def __init__(self, module: Module):
+    def __init__(self, module: Module, backend: str | None = None):
         module.check()
         self.module = module
-        self._order = topo_order(module)
+        if backend is None:
+            backend = os.environ.get("REPRO_RTL_BACKEND", "compiled")
+        if backend not in ("compiled", "interpreter"):
+            raise IrError(f"unknown RTL backend {backend!r}")
+        self.backend = backend
+        self._compiled = None
+        if backend == "compiled":
+            # topo_order already ran inside check(); the compiled code has
+            # the evaluation order baked in, so _order is interpreter-only.
+            self._order = None
+            from .compiled import compile_module
+            self._compiled = compile_module(module)
+        else:
+            self._order = topo_order(module)
         self.env: dict[str, int] = {}
         self.regfile_data: list[int] | None = None
         if module.regfile is not None:
@@ -141,6 +173,9 @@ class RtlSim:
 
     def eval_comb(self) -> None:
         """Evaluate all combinational assigns (registers hold state)."""
+        if self._compiled is not None:
+            self._compiled.eval_comb(self.env, self.regfile_data)
+            return
         spec = self.module.regfile
         legacy_ports = []
         if spec is not None:
@@ -168,6 +203,9 @@ class RtlSim:
 
     def tick(self) -> None:
         """Commit registers and the register-file write port."""
+        if self._compiled is not None:
+            self._compiled.tick(self.env, self.regfile_data)
+            return
         updates: dict[str, int] = {}
         for reg in self.module.registers.values():
             if reg.next is None:

@@ -31,7 +31,7 @@ from ..isa.registers import RV32E_NUM_REGS
 from ..isa.spec import HALT_EBREAK, step
 from .decoded import DecodedImage, SimulationError
 from .memory import Memory
-from .tracing import RvfiRecord
+from .tracing import RvfiRecord, RvfiTrace
 
 __all__ = ["GoldenSim", "RunResult", "SimulationError", "abi_initial_regs",
            "run_program"]
@@ -39,13 +39,17 @@ __all__ = ["GoldenSim", "RunResult", "SimulationError", "abi_initial_regs",
 
 @dataclass
 class RunResult:
-    """Outcome of a completed simulation."""
+    """Outcome of a completed simulation.
+
+    ``trace`` is a sequence of :class:`RvfiRecord` — recorded runs return
+    the columnar :class:`RvfiTrace`, which materializes records lazily.
+    """
 
     exit_code: int            # a0 at the terminating ecall/ebreak
     instructions: int         # dynamic instruction count
     cycles: int               # core cycles (single-cycle core: == instructions)
     halted_by: str            # "ecall" | "ebreak" | "limit"
-    trace: list[RvfiRecord] = field(default_factory=list)
+    trace: "RvfiTrace | list[RvfiRecord]" = field(default_factory=list)
 
     @property
     def cpi(self) -> float:
@@ -56,7 +60,8 @@ class GoldenSim:
     """Reference RV32E simulator built directly on the ISA spec."""
 
     def __init__(self, program: Program, mem_size: int = DEFAULT_MEM_SIZE,
-                 num_regs: int = RV32E_NUM_REGS, trace: bool = False):
+                 num_regs: int = RV32E_NUM_REGS, trace: bool = False,
+                 trace_capacity: int | None = None):
         self.memory = Memory.from_program(program, mem_size)
         self.num_regs = num_regs
         self.regs = [0] * num_regs
@@ -64,6 +69,7 @@ class GoldenSim:
         for index, value in abi_initial_regs(mem_size).items():
             self.regs[index] = value
         self._trace_enabled = trace
+        self._trace_capacity = trace_capacity
         self._install_halt_stub(program)
         self.image = DecodedImage(self.memory, num_regs)
 
@@ -79,12 +85,16 @@ class GoldenSim:
         if index != 0:
             self.regs[index] = to_u32(value)
 
-    def step_one(self, order: int = 0) -> tuple[bool, RvfiRecord | None, str]:
-        """Retire one instruction; returns (halted, record, halt_reason)."""
+    def retire_one(self, order: int,
+                   sink: RvfiTrace | None = None) -> tuple[bool, str]:
+        """Retire one instruction; returns (halted, halt_reason).
+
+        When ``sink`` is given the retirement's RVFI fields are appended to
+        it as one columnar row — no per-retirement record allocation.
+        """
         pc = self.pc
         op = self.image.get(pc)
         instr = op.instr
-        word = op.word
         rs1 = self.read_reg(instr.rs1)
         rs2 = self.read_reg(instr.rs2)
 
@@ -110,19 +120,22 @@ class GoldenSim:
             self.write_reg(effects.rd, effects.rd_data)
         self.pc = effects.next_pc
 
-        record = None
-        if self._trace_enabled:
-            record = RvfiRecord(
-                order=order, insn=word, pc_rdata=pc, pc_wdata=effects.next_pc,
-                rs1_addr=instr.rs1, rs2_addr=instr.rs2,
-                rs1_rdata=rs1, rs2_rdata=rs2,
-                rd_addr=effects.rd or 0,
-                rd_wdata=effects.rd_data if effects.rd else 0,
-                mem_addr=mem_addr, mem_rmask=mem_rmask, mem_wmask=mem_wmask,
-                mem_rdata=mem_rdata, mem_wdata=mem_wdata)
+        if sink is not None:
+            sink.append_row(
+                order, op.word, pc, effects.next_pc, instr.rs1, instr.rs2,
+                rs1, rs2, effects.rd or 0,
+                effects.rd_data if effects.rd else 0,
+                mem_addr, mem_rmask, mem_wmask, mem_rdata, mem_wdata)
         if effects.halt:
-            return True, record, "ecall" if effects.is_ecall else "ebreak"
-        return False, record, ""
+            return True, "ecall" if effects.is_ecall else "ebreak"
+        return False, ""
+
+    def step_one(self, order: int = 0) -> tuple[bool, RvfiRecord | None, str]:
+        """Back-compat wrapper over :meth:`retire_one` returning a record."""
+        sink = RvfiTrace(capacity=1) if self._trace_enabled else None
+        halted, reason = self.retire_one(order, sink)
+        record = sink[0] if sink is not None else None
+        return halted, record, reason
 
     def run(self, max_instructions: int = 20_000_000) -> RunResult:
         """Run to halt (or instruction limit).
@@ -159,15 +172,14 @@ class GoldenSim:
                          cycles=count, halted_by=halted_by, trace=[])
 
     def _run_recorded(self, max_instructions: int) -> RunResult:
-        """Trace-recording loop over :meth:`step_one` (the seed structure)."""
-        trace: list[RvfiRecord] = []
+        """Trace-recording loop over :meth:`retire_one` into a columnar
+        :class:`RvfiTrace` (one row append per retirement, no records)."""
+        trace = RvfiTrace(capacity=self._trace_capacity)
         count = 0
         halted_by = "limit"
         while count < max_instructions:
-            halted, record, reason = self.step_one(order=count)
+            halted, reason = self.retire_one(count, trace)
             count += 1
-            if record is not None:
-                trace.append(record)
             if halted:
                 halted_by = reason
                 break

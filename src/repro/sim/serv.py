@@ -98,21 +98,22 @@ class ServSim:
                          halted_by=halted_by, trace=[])
 
     def _run_recorded(self, max_instructions: int) -> RunResult:
-        """Trace-recording loop: golden ``step_one`` + cached cycle costs."""
+        """Trace-recording loop: golden ``retire_one`` into a columnar
+        :class:`~repro.sim.tracing.RvfiTrace` + cached cycle costs."""
+        from .tracing import RvfiTrace
+
         golden = self._golden
         cycles = 0
         count = 0
-        trace = []
+        trace = RvfiTrace(capacity=golden._trace_capacity)
         halted_by = "limit"
         while count < max_instructions:
             pc_before = golden.pc
             op = golden.image.get(pc_before)
-            halted, record, reason = golden.step_one(order=count)
+            halted, reason = golden.retire_one(count, trace)
             count += 1
             redirected = golden.pc != (pc_before + 4) & 0xFFFFFFFF
             cycles += self._op_cycles(op, redirected)
-            if record is not None:
-                trace.append(record)
             if halted:
                 halted_by = reason
                 break

@@ -20,6 +20,7 @@ fields the golden ISS does.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 from ..isa.bits import sign_extend, to_u32
 
@@ -43,6 +44,104 @@ class RvfiRecord:
     mem_wmask: int = 0   # byte mask of a store
     mem_rdata: int = 0
     mem_wdata: int = 0
+
+
+class RvfiTrace:
+    """Columnar RVFI retirement trace with optional ring-buffer capacity.
+
+    Long verification runs used to allocate one :class:`RvfiRecord` per
+    retirement; this container stores each RVFI field in its own column
+    list instead, so recording a retirement is 15 integer appends (or, in
+    ring mode, 15 in-place slot writes — zero allocation) via
+    :meth:`append_row`.  It quacks like a read-only sequence of
+    :class:`RvfiRecord`: ``len(trace)``, ``trace[i]``, slicing and
+    iteration all materialize records on demand, so existing consumers
+    (``check_trace``, tests that copy and corrupt traces) keep working
+    unchanged.
+
+    With ``capacity=N`` the trace keeps only the newest N retirements
+    (index 0 is the oldest *retained* row); ``total_appended`` still counts
+    every retirement ever recorded.
+    """
+
+    #: Field order shared by :meth:`append_row` and :meth:`row`; matches
+    #: the :class:`RvfiRecord` constructor.
+    FIELDS = ("order", "insn", "pc_rdata", "pc_wdata", "rs1_addr",
+              "rs2_addr", "rs1_rdata", "rs2_rdata", "rd_addr", "rd_wdata",
+              "mem_addr", "mem_rmask", "mem_wmask", "mem_rdata",
+              "mem_wdata")
+
+    __slots__ = ("capacity", "total_appended", "_columns")
+
+    def __init__(self, capacity: int | None = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        self.total_appended = 0
+        if capacity is None:
+            self._columns = tuple([] for _ in self.FIELDS)
+        else:
+            self._columns = tuple([0] * capacity for _ in self.FIELDS)
+
+    def append_row(self, order: int, insn: int, pc_rdata: int,
+                   pc_wdata: int, rs1_addr: int, rs2_addr: int,
+                   rs1_rdata: int, rs2_rdata: int, rd_addr: int,
+                   rd_wdata: int, mem_addr: int = 0, mem_rmask: int = 0,
+                   mem_wmask: int = 0, mem_rdata: int = 0,
+                   mem_wdata: int = 0) -> None:
+        values = (order, insn, pc_rdata, pc_wdata, rs1_addr, rs2_addr,
+                  rs1_rdata, rs2_rdata, rd_addr, rd_wdata, mem_addr,
+                  mem_rmask, mem_wmask, mem_rdata, mem_wdata)
+        if self.capacity is None:
+            for column, value in zip(self._columns, values):
+                column.append(value)
+        else:
+            slot = self.total_appended % self.capacity
+            for column, value in zip(self._columns, values):
+                column[slot] = value
+        self.total_appended += 1
+
+    def column(self, field: str) -> list[int]:
+        """The raw column for ``field`` (ring mode: physical slot order)."""
+        return self._columns[self.FIELDS.index(field)]
+
+    def _slot(self, index: int) -> int:
+        length = len(self)
+        if index < 0:
+            index += length
+        if not 0 <= index < length:
+            raise IndexError("trace index out of range")
+        if self.capacity is None or self.total_appended <= self.capacity:
+            return index
+        return (self.total_appended + index) % self.capacity
+
+    def row(self, index: int) -> tuple[int, ...]:
+        """All 15 fields of one retirement as a tuple (``FIELDS`` order)."""
+        slot = self._slot(index)
+        return tuple(column[slot] for column in self._columns)
+
+    def peek(self, index: int, field: str) -> int:
+        """Read one field of one retirement without materializing it."""
+        return self.column(field)[self._slot(index)]
+
+    def poke(self, index: int, field: str, value: int) -> None:
+        """Overwrite one recorded field in place (fault-injection hook)."""
+        self.column(field)[self._slot(index)] = value
+
+    def __len__(self) -> int:
+        if self.capacity is None:
+            return self.total_appended
+        return min(self.total_appended, self.capacity)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [RvfiRecord(*self.row(i))
+                    for i in range(*index.indices(len(self)))]
+        return RvfiRecord(*self.row(index))
+
+    def __iter__(self) -> Iterator[RvfiRecord]:
+        for index in range(len(self)):
+            yield RvfiRecord(*self.row(index))
 
 
 def load_read_fields(addr: int, word: int, width: int,

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..rtl.ir import Module
+from ..rtl.ir import Binary, Const, Expr, Module, Mux, Not, Op
 from ..synth.lower import LoweredDesign, lower_module
 from ..synth.netlist import Gate, GateType, Netlist
 from ..synth.netsim import NetSim
@@ -78,6 +78,101 @@ def enumerate_mutations(netlist: Netlist, limit: int = 120) -> list[Mutation]:
         return candidates
     stride = len(candidates) / limit
     return [candidates[int(i * stride)] for i in range(limit)]
+
+
+# --------------------------------------------------------------------------
+# RTL-level mutations
+#
+# The gate-level campaign above asks whether the *block testbenches* catch
+# faults.  The RTL-level set below asks the same of the whole-program
+# verification flows (cosimulation, compliance) now that they ride the
+# compiled evaluator backend: a fast path that silently stopped propagating
+# faults would show up here as a surviving mutant.
+
+#: Word-operator substitutions applied as RTL mutations.  Every pair keeps
+#: the expression width unchanged, so mutants still pass Module.check().
+_RTL_OP_FLIPS = {
+    Op.ADD: Op.SUB, Op.SUB: Op.ADD,
+    Op.AND: Op.OR, Op.OR: Op.XOR, Op.XOR: Op.AND,
+    Op.EQ: Op.NE, Op.NE: Op.EQ,
+    Op.ULT: Op.UGE, Op.UGE: Op.ULT,
+    Op.SLT: Op.SGE, Op.SGE: Op.SLT,
+    Op.SHL: Op.LSHR, Op.LSHR: Op.ASHR, Op.ASHR: Op.LSHR,
+}
+
+
+@dataclass(frozen=True)
+class RtlMutation:
+    """A single-site fault in one assign: drive ``signal`` with ``mutated``."""
+
+    signal: str
+    mutated: Expr
+    description: str
+
+
+def _expr_mutants(expr: Expr):
+    """Yield (mutated_subtree, description) for every supported site."""
+    if isinstance(expr, Binary):
+        flip = _RTL_OP_FLIPS.get(expr.op)
+        if flip is not None:
+            yield (Binary(flip, expr.a, expr.b),
+                   f"{expr.op.value}->{flip.value}")
+        for mutated, description in _expr_mutants(expr.a):
+            yield Binary(expr.op, mutated, expr.b), description
+        for mutated, description in _expr_mutants(expr.b):
+            yield Binary(expr.op, expr.a, mutated), description
+    elif isinstance(expr, Mux):
+        yield Mux(expr.sel, expr.b, expr.a), "mux arm swap"
+        yield Mux(Not(expr.sel), expr.a, expr.b), "mux select inverted"
+        for mutated, description in _expr_mutants(expr.a):
+            yield Mux(expr.sel, mutated, expr.b), description
+        for mutated, description in _expr_mutants(expr.b):
+            yield Mux(expr.sel, expr.a, mutated), description
+    elif isinstance(expr, Not):
+        yield expr.a, "inverter dropped"
+
+
+def enumerate_rtl_mutations(module: Module, limit: int = 24,
+                            signals: list[str] | None = None
+                            ) -> list[RtlMutation]:
+    """Deterministically pick up to ``limit`` single-site RTL mutations.
+
+    ``signals`` restricts mutation to the named assigns (e.g. the
+    architecturally observable datapath); by default every assign is a
+    candidate.  Mutants preserve widths and cannot introduce combinational
+    loops, so they always build into a runnable :class:`RtlSim`.
+    """
+    targets = signals if signals is not None else sorted(module.assigns)
+    candidates: list[RtlMutation] = []
+    for name in targets:
+        expr = module.assigns[name]
+        candidates.append(RtlMutation(
+            name, Const(0, expr.width), f"{name}: stuck-at-0"))
+        candidates.append(RtlMutation(
+            name, Const((1 << expr.width) - 1, expr.width),
+            f"{name}: stuck-at-1"))
+        for site, (mutated, description) in enumerate(_expr_mutants(expr)):
+            candidates.append(RtlMutation(
+                name, mutated, f"{name}[site {site}]: {description}"))
+    if len(candidates) <= limit:
+        return candidates
+    stride = len(candidates) / limit
+    return [candidates[int(i * stride)] for i in range(limit)]
+
+
+def apply_rtl_mutation(module: Module, mutation: RtlMutation) -> Module:
+    """A structurally fresh copy of ``module`` with one assign mutated.
+
+    The copy shares (immutable) expression nodes with the original but has
+    its own assign/register tables, so the original module — and any
+    compiled-code cache entry keyed on it — is untouched.
+    """
+    import copy
+
+    mutant = copy.copy(module)
+    mutant.assigns = dict(module.assigns)
+    mutant.assigns[mutation.signal] = mutation.mutated
+    return mutant
 
 
 def _vector_inputs(block: Module, vector: TestVector) -> dict[str, int]:

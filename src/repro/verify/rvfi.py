@@ -17,6 +17,7 @@ by either simulator:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from ..isa.bits import sign_extend, to_u32
 from ..isa.encoding import DecodeError, decode
@@ -34,11 +35,16 @@ class RvfiCheckReport:
         return self.records_checked > 0 and not self.errors
 
 
-def check_trace(trace: list[RvfiRecord],
+def check_trace(trace: Sequence[RvfiRecord],
                 num_regs: int = 16,
                 initial_regs: dict[int, int] | None = None,
                 max_errors: int = 25) -> RvfiCheckReport:
-    """Validate a retirement trace against the executable spec."""
+    """Validate a retirement trace against the executable spec.
+
+    ``trace`` is any sequence of :class:`RvfiRecord` — a plain list or the
+    columnar :class:`~repro.sim.tracing.RvfiTrace`, which materializes
+    records lazily while iterating here.
+    """
     report = RvfiCheckReport()
     shadow: dict[int, int] = dict(initial_regs or {})
     prev_pc_wdata: int | None = None

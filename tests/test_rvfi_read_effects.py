@@ -8,8 +8,6 @@ cosimulation now detects injected read corruption, and cover the
 ebreak/ecall halt-cause plumbing.
 """
 
-import dataclasses
-
 import pytest
 
 from repro.isa import INSTRUCTIONS, assemble
@@ -95,12 +93,11 @@ def test_cosim_detects_injected_read_corruption(full_core, monkeypatch):
     in the read-side fields — the seed comparison never looked at them."""
     original = RisspSim._cycle
 
-    def corrupted(self, order):
-        halted, record, reason = original(self, order)
-        if record is not None and record.mem_rmask:
-            record = dataclasses.replace(record,
-                                         mem_rdata=record.mem_rdata ^ 1)
-        return halted, record, reason
+    def corrupted(self, order, sink=None):
+        halted, reason = original(self, order, sink)
+        if sink is not None and len(sink) and sink.peek(-1, "mem_rmask"):
+            sink.poke(-1, "mem_rdata", sink.peek(-1, "mem_rdata") ^ 1)
+        return halted, reason
 
     monkeypatch.setattr(RisspSim, "_cycle", corrupted)
     mismatch = cosimulate(full_core, assemble(_SUBWORD_LOADS))
@@ -111,11 +108,12 @@ def test_cosim_detects_injected_read_corruption(full_core, monkeypatch):
 def test_cosim_detects_injected_read_mask_corruption(full_core, monkeypatch):
     original = RisspSim._cycle
 
-    def corrupted(self, order):
-        halted, record, reason = original(self, order)
-        if record is not None and record.mem_rmask == 0b1:
-            record = dataclasses.replace(record, mem_rmask=0b1111)
-        return halted, record, reason
+    def corrupted(self, order, sink=None):
+        halted, reason = original(self, order, sink)
+        if sink is not None and len(sink) and \
+                sink.peek(-1, "mem_rmask") == 0b1:
+            sink.poke(-1, "mem_rmask", 0b1111)
+        return halted, reason
 
     monkeypatch.setattr(RisspSim, "_cycle", corrupted)
     mismatch = cosimulate(full_core, assemble(_SUBWORD_LOADS))

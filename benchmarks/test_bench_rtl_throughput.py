@@ -42,7 +42,7 @@ def _cycles_per_sec(core, program, backend, max_cycles, expect_halt):
     return result.instructions / elapsed
 
 
-def test_bench_rtl_throughput(benchmark):
+def test_bench_rtl_throughput(benchmark, bench_artifact):
     core = build_rissp([d.mnemonic for d in INSTRUCTIONS])
 
     def report():
@@ -61,5 +61,10 @@ def test_bench_rtl_throughput(benchmark):
     print(f"interpreted evaluator: {stats['interpreter']:8.0f} cycles/sec")
     print(f"compiled backend:      {stats['compiled']:8.0f} cycles/sec "
           f"({speedup:.1f}x)")
+    bench_artifact("rtl_throughput", {
+        "interpreter_cycles_per_sec": stats["interpreter"],
+        "compiled_cycles_per_sec": stats["compiled"],
+        "compiled_speedup": speedup,
+    })
     assert speedup >= 10.0, (
         f"compiled RTL backend speedup regressed: {speedup:.2f}x < 10x")

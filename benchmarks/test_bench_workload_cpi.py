@@ -1,0 +1,56 @@
+"""Per-workload CPI on the golden ISS and the Serv timing model.
+
+Feeds the ``BENCH_workload_cpi.json`` artifact CI uploads per run, so the
+dynamic-cost trajectory of the workload registry (compute kernels *and*
+the PR 3 event-driven SoC firmware) is tracked across PRs alongside the
+raw simulator throughput numbers.
+
+CPI semantics: the generated RISSPs are single-cycle (CPI 1.0 == the
+golden ISS numbers); Serv is the paper's bit-serial baseline at CPI ~32
+plus memory/redirect penalties — exactly the Figure 9 comparison axis.
+"""
+
+from repro.compiler import compile_to_program
+from repro.sim import GoldenSim, ServSim
+from repro.workloads import SOC_NAMES, WORKLOADS
+
+#: Representative compute kernels (cheap to run) + every SoC firmware.
+_COMPUTE = ("crc32", "statemate", "armpit", "xgboost", "af_detect")
+
+_LIMIT = 3_000_000
+
+
+def _program_and_spec(name):
+    workload = WORKLOADS[name]
+    if workload.lang == "asm":
+        from repro.isa.assembler import assemble
+        return assemble(workload.source), workload.soc_spec
+    return compile_to_program(workload.source, "O2").program, None
+
+
+def test_bench_workload_cpi(benchmark, bench_artifact):
+    def report():
+        rows = {}
+        for name in _COMPUTE + SOC_NAMES:
+            program, spec = _program_and_spec(name)
+            golden = GoldenSim(program, soc=spec).run(_LIMIT)
+            serv = ServSim(program, soc=spec).run(_LIMIT)
+            assert golden.halted_by in ("ecall", "poweroff"), name
+            assert serv.instructions == golden.instructions, name
+            rows[name] = {
+                "category": WORKLOADS[name].category,
+                "instructions": golden.instructions,
+                "rissp_cpi": golden.cpi,
+                "serv_cpi": serv.cpi,
+            }
+        return rows
+
+    rows = benchmark.pedantic(report, rounds=1, iterations=1)
+    print("\n=== Per-workload CPI (golden single-cycle vs Serv) ===")
+    for name, row in rows.items():
+        print(f"{name:15s} {row['instructions']:9d} instr   "
+              f"rissp {row['rissp_cpi']:.2f}   serv {row['serv_cpi']:.2f}")
+    bench_artifact("workload_cpi", rows)
+    for name, row in rows.items():
+        assert row["rissp_cpi"] == 1.0, name
+        assert 30.0 <= row["serv_cpi"] <= 36.0, (name, row["serv_cpi"])

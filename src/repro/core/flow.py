@@ -37,6 +37,9 @@ class RisspResult:
     layout: LayoutReport | None = None
     program: Program | None = None
     verified: dict[str, bool] = field(default_factory=dict)
+    #: Platform description for SoC firmware workloads (None for pure
+    #: compute kernels) — pass to the simulators to run the binary.
+    soc_spec: object | None = None
 
 
 class RisspFlow:
@@ -62,25 +65,38 @@ class RisspFlow:
         (:mod:`repro.sim.decoded`), so the reference side runs at fast-path
         speed.
         """
+        workload = WORKLOADS.get(name) if source is None else None
+        soc_spec = workload.soc_spec if workload is not None else None
         if source is None:
             source = WORKLOADS[name].source
-        compiled = compile_to_program(source, self.opt_level)
-        profile = profile_program(name, compiled.program, self.opt_level)
+        if workload is not None and workload.lang == "asm":
+            # SoC firmware ships as RV32E assembly (optionally with
+            # MicroC-compiled stages already linked into the text); the
+            # -O sweep does not apply.
+            from ..isa.assembler import assemble
+            program = assemble(source)
+            opt_level = "-"
+        else:
+            program = compile_to_program(source, self.opt_level).program
+            opt_level = self.opt_level
+        profile = profile_program(name, program, opt_level)
         core = build_rissp(profile.core_subset(), self.library,
                            name=f"rissp_{name}",
-                           reset_pc=compiled.program.entry)
+                           reset_pc=program.entry)
         synth = synthesize(core, self.techlib, seed=name)
         result = RisspResult(name=name, profile=profile, core=core,
-                             synth=synth, program=compiled.program)
+                             synth=synth, program=program,
+                             soc_spec=soc_spec)
         if run_verification:
             from ..sim.golden import abi_initial_regs
             from ..sim.tracing import RvfiTrace
             from ..verify.riscof import run_compliance
             from ..verify.rvfi import check_trace
             golden_trace = RvfiTrace()
-            mismatch = cosimulate(core, compiled.program,
+            mismatch = cosimulate(core, program,
                                   max_instructions=2_000_000,
-                                  golden_trace_out=golden_trace)
+                                  golden_trace_out=golden_trace,
+                                  soc=soc_spec)
             result.verified["cosim"] = mismatch is None
             compliance = run_compliance(core)
             result.verified["riscof"] = compliance.compliant

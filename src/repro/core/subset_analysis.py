@@ -21,6 +21,14 @@ ALWAYS_INCLUDED = ("ecall",)
 
 _SYSTEM = {"fence", "ecall", "ebreak"}
 
+#: PR 3 machine-mode extension: present in event-driven firmware but
+#: outside the 37-instruction compute denominator.  ``mret`` is the one
+#: with a hardware block — finding *any* of these in a binary makes the
+#: generated core trap-capable (mret block + trap unit); the Zicsr
+#: register instructions and wfi are emulated by the simulation harness.
+_SYSTEM_EXTENSION = {"csrrw", "csrrs", "csrrc", "csrrwi", "csrrsi",
+                     "csrrci", "mret", "wfi"}
+
 
 @dataclass(frozen=True)
 class SubsetProfile:
@@ -31,6 +39,9 @@ class SubsetProfile:
     mnemonics: tuple[str, ...]          # compute instructions, sorted
     static_instructions: int
     code_size_bytes: int
+    #: Machine-mode system-extension mnemonics found in the binary
+    #: (csrr*/mret/wfi); empty for pure compute kernels.
+    system_mnemonics: tuple[str, ...] = ()
 
     @property
     def num_distinct(self) -> int:
@@ -42,8 +53,12 @@ class SubsetProfile:
         return self.num_distinct / FULL_ISA_SIZE
 
     def core_subset(self) -> list[str]:
-        """Subset to instantiate in hardware (profile + halt support)."""
-        return sorted(set(self.mnemonics) | set(ALWAYS_INCLUDED))
+        """Subset to instantiate in hardware (profile + halt support +
+        the trap-return block when the firmware uses the trap subsystem)."""
+        subset = set(self.mnemonics) | set(ALWAYS_INCLUDED)
+        if self.system_mnemonics:
+            subset.add("mret")
+        return sorted(subset)
 
 
 def extract_subset(program: Program) -> list[str]:
@@ -54,9 +69,23 @@ def extract_subset(program: Program) -> list[str]:
             instr = decode(word)
         except DecodeError:
             continue    # literal pools / data islands are not code
-        if instr.mnemonic not in _SYSTEM:
+        if instr.mnemonic not in _SYSTEM \
+                and instr.mnemonic not in _SYSTEM_EXTENSION:
             mnemonics.add(instr.mnemonic)
     return sorted(mnemonics)
+
+
+def extract_system_extension(program: Program) -> list[str]:
+    """Distinct machine-mode system-extension mnemonics in a binary."""
+    found: set[str] = set()
+    for word in program.text_words:
+        try:
+            instr = decode(word)
+        except DecodeError:
+            continue
+        if instr.mnemonic in _SYSTEM_EXTENSION:
+            found.add(instr.mnemonic)
+    return sorted(found)
 
 
 def profile_program(name: str, program: Program,
@@ -66,7 +95,8 @@ def profile_program(name: str, program: Program,
         opt_level=opt_level,
         mnemonics=tuple(extract_subset(program)),
         static_instructions=program.static_instruction_count,
-        code_size_bytes=program.code_size_bytes)
+        code_size_bytes=program.code_size_bytes,
+        system_mnemonics=tuple(extract_system_extension(program)))
 
 
 def union_profile(name: str, profiles: list[SubsetProfile],
@@ -74,12 +104,15 @@ def union_profile(name: str, profiles: list[SubsetProfile],
     """Domain profile: union of several applications' subsets (the paper
     generates one RISSP per *domain* when multiple apps share a chip)."""
     merged: set[str] = set()
+    system: set[str] = set()
     static = 0
     size = 0
     for profile in profiles:
         merged.update(profile.mnemonics)
+        system.update(profile.system_mnemonics)
         static += profile.static_instructions
         size += profile.code_size_bytes
     return SubsetProfile(name=name, opt_level=opt_level,
                          mnemonics=tuple(sorted(merged)),
-                         static_instructions=static, code_size_bytes=size)
+                         static_instructions=static, code_size_bytes=size,
+                         system_mnemonics=tuple(sorted(system)))

@@ -11,15 +11,18 @@ Public surface:
 from .bits import sign_extend, to_s32, to_u32
 from .encoding import DecodeError, EncodingError, Instruction, decode, encode
 from .instructions import (
+    ALL_INSTRUCTIONS,
     BRANCHES,
     BY_MNEMONIC,
     COMPUTE_MNEMONICS,
+    CSR_OPS,
     FULL_ISA_SIZE,
     Format,
     INSTRUCTIONS,
     InstrDef,
     LOADS,
     STORES,
+    ZICSR_INSTRUCTIONS,
     lookup,
 )
 from .assembler import Assembler, AssemblerError, assemble
@@ -36,7 +39,8 @@ from .registers import (
 from .spec import Effects, MemWrite, SpecError, step
 
 __all__ = [
-    "ABI_NAMES", "Assembler", "AssemblerError", "BRANCHES", "BY_MNEMONIC",
+    "ABI_NAMES", "ALL_INSTRUCTIONS", "Assembler", "AssemblerError",
+    "BRANCHES", "BY_MNEMONIC", "CSR_OPS", "ZICSR_INSTRUCTIONS",
     "COMPUTE_MNEMONICS", "DEFAULT_DATA_BASE", "DEFAULT_MEM_SIZE",
     "DEFAULT_TEXT_BASE", "DecodeError", "Effects", "EncodingError", "Format",
     "FULL_ISA_SIZE", "INSTRUCTIONS", "InstrDef", "Instruction", "LOADS",

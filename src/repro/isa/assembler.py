@@ -21,6 +21,7 @@ import re
 from dataclasses import dataclass, field
 
 from .bits import sign_extend, to_u32
+from .csrs import CSR_BY_NAME
 from .encoding import EncodingError, Instruction, encode
 from .instructions import BY_MNEMONIC, Format
 from .program import DEFAULT_DATA_BASE, DEFAULT_TEXT_BASE, Program
@@ -371,6 +372,27 @@ class Assembler:
         if op == "bleu":
             need(3)
             return [("bgeu", [ops[1], ops[0], ops[2]])]
+        if op == "csrr":
+            need(2)
+            return [("csrrs", [ops[0], ops[1], "x0"])]
+        if op == "csrw":
+            need(2)
+            return [("csrrw", ["x0", ops[0], ops[1]])]
+        if op == "csrs":
+            need(2)
+            return [("csrrs", ["x0", ops[0], ops[1]])]
+        if op == "csrc":
+            need(2)
+            return [("csrrc", ["x0", ops[0], ops[1]])]
+        if op == "csrwi":
+            need(2)
+            return [("csrrwi", ["x0", ops[0], ops[1]])]
+        if op == "csrsi":
+            need(2)
+            return [("csrrsi", ["x0", ops[0], ops[1]])]
+        if op == "csrci":
+            need(2)
+            return [("csrrci", ["x0", ops[0], ops[1]])]
         if op == "j":
             need(1)
             return [("jal", ["x0", ops[0]])]
@@ -568,6 +590,16 @@ class Assembler:
         def imm(text: str) -> int:
             return self._eval_expr(text, line_no, symbols)
 
+        def csr_operand(text: str) -> int:
+            key = text.strip().lower()
+            if key in CSR_BY_NAME:
+                return CSR_BY_NAME[key]
+            value = imm(text)
+            if not 0 <= value < (1 << 12):
+                raise AssemblerError(f"csr address {value:#x} out of range",
+                                     line_no)
+            return value
+
         def mem_operand(text: str) -> tuple[int, int]:
             """Parse ``offset(reg)`` or bare ``offset``."""
             match = re.match(r"^(.*)\(\s*([^()]+)\s*\)\s*$", text)
@@ -638,6 +670,22 @@ class Assembler:
                     raise AssemblerError("jal needs rd, target", line_no)
                 instr = Instruction("jal", rd=reg(ops[0]),
                                     imm=imm(ops[1]) - item.addr)
+            elif d.fmt is Format.CSR:
+                if len(ops) != 3:
+                    raise AssemblerError(
+                        f"{d.mnemonic} needs rd, csr, "
+                        f"{'uimm' if d.csr_uimm else 'rs1'}", line_no)
+                if d.csr_uimm:
+                    uimm = imm(ops[2])
+                    if not 0 <= uimm < 32:
+                        raise AssemblerError(
+                            f"{d.mnemonic} uimm {uimm} not a 5-bit unsigned "
+                            f"value", line_no)
+                    source = uimm
+                else:
+                    source = reg(ops[2])
+                instr = Instruction(d.mnemonic, rd=reg(ops[0]), rs1=source,
+                                    imm=csr_operand(ops[1]))
             else:  # SYS
                 instr = Instruction(d.mnemonic)
             return encode(instr, self.num_regs)

@@ -1,0 +1,50 @@
+"""Machine-mode CSR addresses for the trap/interrupt subsystem (PR 3).
+
+Only the M-mode subset the extreme-edge firmware model needs is named here:
+trap setup (``mstatus``/``mie``/``mtvec``), trap handling (``mscratch``/
+``mepc``/``mcause``/``mtval``/``mip``).  The address map is the single
+source of truth for the assembler (symbolic CSR operands), the
+disassembler (canonical rendering) and the CSR file in
+:mod:`repro.sim.csr`.
+"""
+
+from __future__ import annotations
+
+MSTATUS = 0x300
+MIE = 0x304
+MTVEC = 0x305
+MSCRATCH = 0x340
+MEPC = 0x341
+MCAUSE = 0x342
+MTVAL = 0x343
+MIP = 0x344
+
+#: name -> address, as accepted by the assembler's CSR operand parser.
+CSR_BY_NAME: dict[str, int] = {
+    "mstatus": MSTATUS,
+    "mie": MIE,
+    "mtvec": MTVEC,
+    "mscratch": MSCRATCH,
+    "mepc": MEPC,
+    "mcause": MCAUSE,
+    "mtval": MTVAL,
+    "mip": MIP,
+}
+
+#: address -> canonical name, used by the disassembler.
+CSR_NAME_BY_ADDR: dict[int, str] = {v: k for k, v in CSR_BY_NAME.items()}
+
+# mstatus bit positions (machine-mode subset).
+MSTATUS_MIE = 1 << 3     # global machine interrupt enable
+MSTATUS_MPIE = 1 << 7    # previous MIE, stacked on trap entry
+
+# mie/mip bit positions.
+MIP_MTIP = 1 << 7        # machine timer interrupt pending
+MIE_MTIE = 1 << 7        # machine timer interrupt enable
+
+# mcause values (exception codes; interrupts set bit 31).
+CAUSE_ILLEGAL_INSTRUCTION = 2
+CAUSE_BREAKPOINT = 3
+CAUSE_ECALL_M = 11
+CAUSE_INTERRUPT = 1 << 31
+CAUSE_MACHINE_TIMER = CAUSE_INTERRUPT | 7

@@ -2,9 +2,15 @@
 
 from __future__ import annotations
 
+from .csrs import CSR_NAME_BY_ADDR
 from .encoding import DecodeError, Instruction, decode
 from .instructions import BY_MNEMONIC, Format
 from .registers import register_name
+
+
+def csr_name(addr: int) -> str:
+    """Canonical CSR operand text: symbolic where named, hex otherwise."""
+    return CSR_NAME_BY_ADDR.get(addr, f"{addr:#x}")
 
 
 def format_instruction(instr: Instruction, addr: int | None = None) -> str:
@@ -32,6 +38,9 @@ def format_instruction(instr: Instruction, addr: int | None = None) -> str:
     if d.fmt is Format.J:
         target = f"{instr.imm:+d}" if addr is None else f"{addr + instr.imm:#x}"
         return f"{m} {rd}, {target}"
+    if d.fmt is Format.CSR:
+        source = str(instr.rs1) if d.csr_uimm else rs1
+        return f"{m} {rd}, {csr_name(instr.imm & 0xFFF)}, {source}"
     return m
 
 

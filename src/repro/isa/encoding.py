@@ -134,10 +134,22 @@ def encode(instr: Instruction, num_regs: int = 32) -> int:
         return (bits(u, 20, 20) << 31 | bits(u, 10, 1) << 21
                 | bits(u, 11, 11) << 20 | bits(u, 19, 12) << 12
                 | rd << 7 | d.opcode)
+    if d.fmt is Format.CSR:
+        _check_reg(rd, "rd", num_regs)
+        if d.csr_uimm:
+            if not 0 <= rs1 < 32:
+                raise EncodingError(f"{d.mnemonic} uimm {rs1} not a 5-bit "
+                                    f"unsigned value")
+        else:
+            _check_reg(rs1, "rs1", num_regs)
+        if not 0 <= imm < (1 << 12):
+            raise EncodingError(f"{d.mnemonic} csr address {imm:#x} not a "
+                                f"12-bit unsigned value")
+        return (imm << 20 | rs1 << 15 | d.funct3 << 12 | rd << 7 | d.opcode)
     if d.fmt is Format.SYS:
         if d.mnemonic == "fence":
             return d.opcode | d.funct3 << 12
-        return d.funct7 << 20 | d.opcode  # ecall=0, ebreak=1 in imm[0]
+        return d.imm12 << 20 | d.opcode  # ecall/ebreak/mret/wfi
     raise AssertionError(f"unhandled format {d.fmt}")
 
 
@@ -153,6 +165,10 @@ _S_BY_F3 = {d.funct3: d.mnemonic
 _IMM_BY_F3 = {d.funct3: d.mnemonic
               for d in BY_MNEMONIC.values()
               if d.fmt is Format.I and d.opcode == OP_IMM and not d.is_shift_imm}
+_CSR_BY_F3 = {d.funct3: d for d in BY_MNEMONIC.values()
+              if d.fmt is Format.CSR}
+_SYS_BY_IMM12 = {d.imm12: d.mnemonic for d in BY_MNEMONIC.values()
+                 if d.fmt is Format.SYS and d.imm12 is not None}
 
 
 @lru_cache(maxsize=None)
@@ -227,9 +243,12 @@ def decode(word: int) -> Instruction:
         return Instruction("fence")
     if opcode == OP_SYSTEM:
         imm12 = bits(word, 31, 20)
-        if imm12 == 0 and rd == 0 and rs1 == 0 and funct3 == 0:
-            return Instruction("ecall")
-        if imm12 == 1 and rd == 0 and rs1 == 0 and funct3 == 0:
-            return Instruction("ebreak")
+        if funct3 in _CSR_BY_F3:
+            # ``imm`` carries the CSR address as an *unsigned* 12-bit value;
+            # the immediate forms carry the 5-bit uimm in the rs1 field.
+            return Instruction(_CSR_BY_F3[funct3].mnemonic, rd=rd, rs1=rs1,
+                               imm=imm12)
+        if funct3 == 0 and rd == 0 and rs1 == 0 and imm12 in _SYS_BY_IMM12:
+            return Instruction(_SYS_BY_IMM12[imm12])
         raise DecodeError(f"unsupported SYSTEM encoding {word:#010x}")
     raise DecodeError(f"illegal opcode {opcode:#09b} in word {word:#010x}")

@@ -22,7 +22,8 @@ class Format(Enum):
     B = "B"
     U = "U"
     J = "J"
-    SYS = "SYS"    # fence / ecall / ebreak
+    SYS = "SYS"    # fence / ecall / ebreak / mret / wfi
+    CSR = "CSR"    # Zicsr: csrrw/csrrs/csrrc and immediate forms
 
 
 @dataclass(frozen=True)
@@ -37,6 +38,11 @@ class InstrDef:
         funct7: 7-bit function field for R-type and shift-immediates.
         block_type: Table 2 hardware-block family ("r-type", "i-type", ...).
         is_shift_imm: True for slli/srli/srai (I-format with funct7).
+        imm12: fixed 12-bit immediate distinguishing SYSTEM instructions
+            that share opcode/funct3 (ecall=0, ebreak=1, wfi=0x105,
+            mret=0x302).
+        csr_uimm: True for the Zicsr immediate forms, whose rs1 field
+            carries a 5-bit unsigned immediate instead of a register.
     """
 
     mnemonic: str
@@ -46,6 +52,8 @@ class InstrDef:
     funct7: int | None = None
     block_type: str = ""
     is_shift_imm: bool = False
+    imm12: int | None = None
+    csr_uimm: bool = False
 
 
 OP_LUI = 0b0110111
@@ -120,12 +128,46 @@ INSTRUCTIONS: tuple[InstrDef, ...] = (
     _r("or", 0b110, 0b0000000),
     _r("and", 0b111, 0b0000000),
     InstrDef("fence", Format.SYS, OP_MISC_MEM, 0b000, None, "sys"),
-    InstrDef("ecall", Format.SYS, OP_SYSTEM, 0b000, 0b0000000, "sys"),
-    InstrDef("ebreak", Format.SYS, OP_SYSTEM, 0b000, 0b0000001, "sys"),
+    InstrDef("ecall", Format.SYS, OP_SYSTEM, 0b000, 0b0000000, "sys",
+             imm12=0),
+    InstrDef("ebreak", Format.SYS, OP_SYSTEM, 0b000, 0b0000001, "sys",
+             imm12=1),
 )
 
-#: Mnemonic -> definition lookup.
-BY_MNEMONIC: dict[str, InstrDef] = {d.mnemonic: d for d in INSTRUCTIONS}
+
+def _csr(mnemonic: str, funct3: int, uimm: bool = False) -> InstrDef:
+    return InstrDef(mnemonic, Format.CSR, OP_SYSTEM, funct3, None, "sys",
+                    csr_uimm=uimm)
+
+
+#: The machine-mode system extension grown in PR 3: Zicsr plus trap
+#: return and wait-for-interrupt.  Kept separate from :data:`INSTRUCTIONS`
+#: so the base-ISA surface (block library, Table 2 accounting, the
+#: 37-instruction compute denominator) is untouched; ``BY_MNEMONIC`` and
+#: the decoder cover the union.
+ZICSR_INSTRUCTIONS: tuple[InstrDef, ...] = (
+    _csr("csrrw", 0b001),
+    _csr("csrrs", 0b010),
+    _csr("csrrc", 0b011),
+    _csr("csrrwi", 0b101, uimm=True),
+    _csr("csrrsi", 0b110, uimm=True),
+    _csr("csrrci", 0b111, uimm=True),
+    InstrDef("mret", Format.SYS, OP_SYSTEM, 0b000, None, "sys",
+             imm12=0b0011000_00010),
+    InstrDef("wfi", Format.SYS, OP_SYSTEM, 0b000, None, "sys",
+             imm12=0b0001000_00101),
+)
+
+#: The full decodable instruction table (base ISA + system extension).
+ALL_INSTRUCTIONS: tuple[InstrDef, ...] = INSTRUCTIONS + ZICSR_INSTRUCTIONS
+
+#: Zicsr mnemonics whose semantics need the CSR file (no standalone RTL
+#: hardware block; the RTL harness emulates them testbench-side).
+CSR_OPS: tuple[str, ...] = tuple(
+    d.mnemonic for d in ZICSR_INSTRUCTIONS if d.fmt is Format.CSR)
+
+#: Mnemonic -> definition lookup (base ISA + system extension).
+BY_MNEMONIC: dict[str, InstrDef] = {d.mnemonic: d for d in ALL_INSTRUCTIONS}
 
 #: The 37 computational/control/memory instructions used for the
 #: "applications use 24-86% of the full ISA" calculation in the paper

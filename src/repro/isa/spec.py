@@ -26,10 +26,16 @@ from dataclasses import dataclass
 from typing import Callable
 
 from .bits import to_s32, to_u32
+from .csrs import MEPC as _MEPC
 from .encoding import Instruction
 
 #: Memory read callback: (address, width_bytes, signed) -> value.
 LoadFn = Callable[[int, int, bool], int]
+
+#: CSR read callback: (csr_address) -> current value.  The spec never
+#: applies CSR writes itself — they come back as an :class:`Effects`
+#: ``csr_write`` for the simulator to commit, mirroring ``mem_write``.
+CsrFn = Callable[[int], int]
 
 
 @dataclass(frozen=True)
@@ -48,14 +54,22 @@ class Effects:
     ``rd`` is None when no register is written (branches, stores and writes
     to x0 — the spec canonicalises ``rd == x0`` to "no write" so consumers
     never have to special-case the zero register).
+
+    ``csr_write`` is ``(csr_address, new_value)`` for Zicsr instructions
+    that perform a write; ``is_mret``/``is_wfi`` flag the system
+    instructions whose remaining effects (mstatus stacking, timer
+    fast-forward) live in the simulator's trap unit, not the pure spec.
     """
 
     next_pc: int
     rd: int | None = None
     rd_data: int | None = None
     mem_write: MemWrite | None = None
-    halt: bool = False      # ecall/ebreak terminate simulation
+    halt: bool = False      # ecall/ebreak halt (or trap, when mtvec is set)
     is_ecall: bool = False
+    csr_write: tuple[int, int] | None = None
+    is_mret: bool = False
+    is_wfi: bool = False
 
 
 class SpecError(ValueError):
@@ -94,6 +108,19 @@ _LOAD_WIDTH = {"lb": (1, True), "lh": (2, True), "lw": (4, True),
                "lbu": (1, False), "lhu": (2, False)}
 _STORE_WIDTH = {"sb": 1, "sh": 2, "sw": 4}
 
+#: Zicsr write rules: mnemonic -> (new_value(old, src), writes(src_field)).
+#: Per the spec, csrrs/csrrc with rs1=x0 (or uimm=0) read without writing.
+_CSR_RULES: dict[str, tuple[Callable[[int, int], int],
+                            Callable[[int], bool]]] = {
+    "csrrw": (lambda old, src: src, lambda field: True),
+    "csrrs": (lambda old, src: old | src, lambda field: field != 0),
+    "csrrc": (lambda old, src: old & ~src, lambda field: field != 0),
+}
+_CSR_RULES["csrrwi"] = _CSR_RULES["csrrw"]
+_CSR_RULES["csrrsi"] = _CSR_RULES["csrrs"]
+_CSR_RULES["csrrci"] = _CSR_RULES["csrrc"]
+_CSR_IMM_FORMS = ("csrrwi", "csrrsi", "csrrci")
+
 
 def _wr(rd: int, value: int) -> tuple[int | None, int | None]:
     """Canonicalise a register write: x0 writes are dropped."""
@@ -103,11 +130,12 @@ def _wr(rd: int, value: int) -> tuple[int | None, int | None]:
 
 
 def step(instr: Instruction, pc: int, rs1_val: int, rs2_val: int,
-         load: LoadFn | None = None) -> Effects:
+         load: LoadFn | None = None, csr: CsrFn | None = None) -> Effects:
     """Compute the architectural effects of ``instr`` executing at ``pc``.
 
     ``rs1_val``/``rs2_val`` are the current source register values (ignored
-    by formats that do not read them).  ``load`` is required for loads only.
+    by formats that do not read them).  ``load`` is required for loads
+    only; ``csr`` is required for Zicsr instructions and ``mret`` only.
     """
     m = instr.mnemonic
     pc = to_u32(pc)
@@ -162,6 +190,25 @@ def step(instr: Instruction, pc: int, rs1_val: int, rs2_val: int,
         return Effects(seq_pc, halt=True, is_ecall=True)
     if m == "ebreak":
         return Effects(seq_pc, halt=True)
+    if m in _CSR_RULES:
+        if csr is None:
+            raise SpecError("csr semantics require a csr callback")
+        new_value, writes = _CSR_RULES[m]
+        addr = instr.imm & 0xFFF
+        src = instr.rs1 if m in _CSR_IMM_FORMS else to_u32(rs1_val)
+        src_field = instr.rs1
+        old = to_u32(csr(addr))
+        rd, data = _wr(instr.rd, old)
+        write = ((addr, new_value(old, src) & 0xFFFFFFFF)
+                 if writes(src_field) else None)
+        return Effects(seq_pc, rd, data, csr_write=write)
+    if m == "mret":
+        if csr is None:
+            raise SpecError("mret semantics require a csr callback")
+        target = to_u32(csr(_MEPC)) & ~0x3
+        return Effects(target, is_mret=True)
+    if m == "wfi":
+        return Effects(seq_pc, is_wfi=True)
     raise SpecError(f"no semantics for mnemonic {m!r}")
 
 
@@ -169,6 +216,14 @@ def step(instr: Instruction, pc: int, rs1_val: int, rs2_val: int,
 #: instruction (real next-pc values are unsigned, so negatives are free).
 HALT_ECALL = -1
 HALT_EBREAK = -2
+#: Sentinel for system instructions whose semantics need machine state the
+#: executor cannot see (CSR file, trap unit, timer): csrr*, mret, wfi.
+#: The simulator's run loop retires them through :func:`step` instead —
+#: they are rare (trap setup and handler entry/exit), so the fast path
+#: stays free of per-retirement CSR plumbing and the *interrupt check
+#: happens per retirement in the loop*, never baked into a compiled
+#: executor.
+DEFER_SYSTEM = -3
 
 _M32 = 0xFFFFFFFF
 
@@ -304,4 +359,6 @@ def compile_step(instr: Instruction,
         return lambda regs, memory, pc: HALT_ECALL
     if m == "ebreak":
         return lambda regs, memory, pc: HALT_EBREAK
+    if m in _CSR_RULES or m in ("mret", "wfi"):
+        return lambda regs, memory, pc: DEFER_SYSTEM
     raise SpecError(f"no semantics for mnemonic {m!r}")

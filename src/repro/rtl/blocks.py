@@ -103,13 +103,12 @@ _LOAD_EXT = {"lb": (8, True), "lbu": (8, False), "lh": (16, True),
 def match_key(mnemonic: str) -> tuple[int, int | None, int | None, int | None]:
     """Partial-decode key ``(opcode, funct3, funct7, imm12)`` for the switch.
 
-    ``None`` fields are don't-cares.  ``imm12`` is only used to tell
-    ``ecall`` (0) from ``ebreak`` (1) under the shared SYSTEM opcode.
+    ``None`` fields are don't-cares.  ``imm12`` distinguishes the SYSTEM
+    instructions sharing opcode/funct3 (ecall=0, ebreak=1, mret=0x302).
     """
     d = lookup(mnemonic)
     funct7 = d.funct7 if (d.fmt is Format.R or d.is_shift_imm) else None
-    imm12 = {"ecall": 0, "ebreak": 1}.get(d.mnemonic)
-    return (d.opcode, d.funct3, funct7, imm12)
+    return (d.opcode, d.funct3, funct7, d.imm12)
 
 
 def build_block(mnemonic: str) -> Module:
@@ -220,6 +219,11 @@ def build_block(mnemonic: str) -> Module:
     elif name in ("ecall", "ebreak"):
         m.assign(m.output("halt", 1), const(1, 1))
         m.assign(next_pc, seq_pc)
+    elif name == "mret":
+        # Trap return (PR 3 slice): the stitched core feeds its mepc CSR
+        # register in; the block redirects the pc to it.
+        mepc = m.input("mepc", 32)
+        m.assign(next_pc, mepc & const(0xFFFF_FFFC, 32))
     else:  # pragma: no cover - catalog and builders kept in lockstep
         raise BlockBuildError(f"no datapath builder for {name}")
 
@@ -231,6 +235,7 @@ def build_block(mnemonic: str) -> Module:
         "writes_rd": writes_rd,
         "is_load": name in _LOAD_EXT,
         "is_store": d.fmt is Format.S,
+        "reads_mepc": name == "mret",
         "match": match_key(name),
     })
     m.check()

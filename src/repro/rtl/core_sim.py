@@ -1,8 +1,9 @@
 """Program execution harness for generated RISSP modules.
 
-Drives the RTL evaluator cycle-by-cycle against a flat memory, mirroring the
-testbench the paper uses for integration-level verification: the DUT is the
-stitched RISSP RTL, the memory plays imem/dmem, and every retired
+Drives the RTL evaluator cycle-by-cycle against a flat memory (or, with a
+:class:`~repro.soc.SocSpec` attached, against the MMIO bus), mirroring the
+testbench the paper uses for integration-level verification: the DUT is
+the stitched RISSP RTL, the memory plays imem/dmem, and every retired
 instruction can be captured as an RVFI record for the riscv-formal-analog
 checker.
 
@@ -14,6 +15,18 @@ side of the memory interface bit-for-bit, not just the write side.
 Instruction words are decoded through the memoized
 :func:`repro.isa.encoding.decode`, so classifying loads and halt causes
 costs one dict probe per retirement.
+
+Machine-mode division of labour (PR 3): a trap-capable core (built with
+``mret`` in its subset, see :func:`repro.rtl.rissp.build_rissp`) performs
+``ecall``/``ebreak`` trap entry to ``mtvec`` and ``mret`` return *in
+hardware* — the mtvec/mepc/mcause CSR registers live in the RTL module and
+the compiled backend commits them like any other register.  The Zicsr
+register instructions and ``wfi`` have no hardware block; this harness
+retires them testbench-side through the same :func:`repro.isa.spec.step`
+semantics the golden ISS uses (the CSR state *is* the hardware registers,
+via :class:`_HwCsrFile`), and injects timer interrupts between retirements
+with the identical :class:`~repro.sim.csr.CsrFile` gating — which is what
+keeps lock-step cosimulation of trap/interrupt timing exact.
 """
 
 from __future__ import annotations
@@ -21,27 +34,71 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..isa.bits import to_u32
-from ..isa.encoding import decode
+from ..isa.csrs import CAUSE_ILLEGAL_INSTRUCTION, MCAUSE, MEPC, MTVEC
+from ..isa.encoding import DecodeError, decode
+from ..isa.instructions import CSR_OPS
 from ..isa.program import DEFAULT_MEM_SIZE, Program
-from ..isa.spec import _LOAD_WIDTH
+from ..isa.spec import _LOAD_WIDTH, step
+from ..sim.csr import CsrError, CsrFile
 from ..sim.golden import RunResult, SimulationError
 from ..sim.memory import Memory
 from ..sim.tracing import RvfiRecord, RvfiTrace, load_read_fields
+from ..soc.bus import PowerOffSignal
 from .ir import Module
 from .sim import RtlSim
-
-#: Number of byte lanes in the data-memory interface.
-_LANES = 4
 
 _WSTRB_WIDTH = {0b0001: 1, 0b0010: 1, 0b0100: 1, 0b1000: 1,
                 0b0011: 2, 0b1100: 2, 0b1111: 4}
 
 #: RVFI fields compared in lock-step by :func:`cosimulate` — the full
-#: retirement contract: instruction, pc chain, writeback, and both the
-#: read and write sides of the memory interface.
+#: retirement contract: instruction, pc chain, writeback, both sides of
+#: the memory interface, and the trap/interrupt flags.
 COSIM_FIELDS = ("insn", "pc_rdata", "pc_wdata", "rd_addr", "rd_wdata",
                 "mem_addr", "mem_rmask", "mem_rdata",
-                "mem_wmask", "mem_wdata")
+                "mem_wmask", "mem_wdata", "trap", "intr")
+
+#: System instructions the harness retires for the core (no RTL block).
+_EMULATED = set(CSR_OPS) | {"wfi"}
+
+
+class _HwCsrFile(CsrFile):
+    """CSR file whose mtvec/mepc/mcause are the RTL core's registers.
+
+    The trap-slice state lives in exactly one place — the hardware
+    register environment — so harness-emulated Zicsr instructions, the
+    hardware trap unit and the interrupt injector can never disagree about
+    it.  mstatus/mie/mip/mscratch/mtval stay harness-side (plain slots).
+    """
+
+    __slots__ = ("_env",)
+
+    def __init__(self, env: dict):
+        self._env = env
+        super().__init__()
+
+    @property
+    def mtvec(self) -> int:
+        return self._env["mtvec"]
+
+    @mtvec.setter
+    def mtvec(self, value: int) -> None:
+        self._env["mtvec"] = value & 0xFFFFFFFF
+
+    @property
+    def mepc(self) -> int:
+        return self._env["mepc"]
+
+    @mepc.setter
+    def mepc(self, value: int) -> None:
+        self._env["mepc"] = value & 0xFFFFFFFF
+
+    @property
+    def mcause(self) -> int:
+        return self._env["mcause"]
+
+    @mcause.setter
+    def mcause(self, value: int) -> None:
+        self._env["mcause"] = value & 0xFFFFFFFF
 
 
 class RisspSim:
@@ -50,13 +107,21 @@ class RisspSim:
     def __init__(self, core: Module, program: Program,
                  mem_size: int = DEFAULT_MEM_SIZE, trace: bool = False,
                  trace_capacity: int | None = None,
-                 backend: str | None = None):
+                 backend: str | None = None,
+                 soc: "object | None" = None):
         self.core = core
         self.memory = Memory.from_program(program, mem_size)
+        from ..soc import attach_soc
+        self.soc = attach_soc(soc, self.memory)
+        if self.soc is not None:
+            self.memory = self.soc.bus
         self.rtl = RtlSim(core, backend=backend)
         self.rtl.env["pc"] = to_u32(program.entry)
+        self._trap_hw = "mtvec" in core.registers
+        self.csr = _HwCsrFile(self.rtl.env) if self._trap_hw else CsrFile()
         self._trace_enabled = trace
         self._trace_capacity = trace_capacity
+        self._poweroff_code = 0
         # ABI setup mirrors the golden ISS: sp at top, ra at the halt stub.
         from ..isa.encoding import Instruction, encode
         from ..sim.golden import _HALT_SENTINEL, abi_initial_regs
@@ -73,11 +138,38 @@ class RisspSim:
         retirement's RVFI fields are appended to it as one columnar row.
         """
         rtl = self.rtl
+        csr = self.csr
+        soc = self.soc
+        intr = 0
         pc = rtl.get("pc")
+        if soc is not None:
+            soc.sync(order)
+            csr.set_timer_pending(soc.timer_pending(order))
+            if self._trap_hw and csr.timer_interrupt_armed \
+                    and soc.timer_pending(order):
+                # Interrupt entry between retirements, identical to the
+                # golden ISS: redirect to the handler, latch mepc/mcause
+                # (the hardware CSR registers, via the shared CsrFile).
+                pc = csr.take_timer_interrupt(pc)
+                rtl.env["pc"] = pc
+                intr = 1
         word = self.memory.fetch(pc)
+
+        if self._trap_hw:
+            try:
+                mnemonic = decode(word).mnemonic
+            except DecodeError:
+                mnemonic = None
+            if mnemonic in _EMULATED:
+                return self._retire_emulated(order, sink, pc, word, intr)
+        else:
+            mnemonic = None
+
         rtl.set_inputs(imem_rdata=word, dmem_rdata=0)
         rtl.eval_comb()
         if rtl.get("illegal"):
+            if self._trap_hw and csr.traps_enabled:
+                return self._retire_trap(order, sink, pc, word, intr)
             raise SimulationError(
                 f"unsupported instruction {word:#010x} at {pc:#x} "
                 f"(subset: {self.core.meta.get('mnemonics')})")
@@ -91,14 +183,12 @@ class RisspSim:
 
         wstrb = rtl.get("dmem_wstrb")
         mem_addr = mem_wmask = mem_wdata = 0
+        halted = False
+        reason = ""
         if wstrb:
             addr = rtl.get("dmem_addr")
             base = addr & ~0x3
             wdata = rtl.get("dmem_wdata")
-            for lane in range(_LANES):
-                if wstrb & (1 << lane):
-                    self.memory.store(base + lane,
-                                      (wdata >> (8 * lane)) & 0xFF, 1)
             width = _WSTRB_WIDTH.get(wstrb)
             if width is None:
                 raise SimulationError(f"malformed dmem_wstrb {wstrb:#06b}")
@@ -106,10 +196,26 @@ class RisspSim:
             mem_addr = base + offset
             mem_wmask = (1 << width) - 1
             mem_wdata = (wdata >> (8 * offset)) & ((1 << (8 * width)) - 1)
+            try:
+                self.memory.store(mem_addr, mem_wdata, width)
+            except PowerOffSignal as sig:
+                self._poweroff_code = sig.exit_code
+                halted, reason = True, "poweroff"
+            if soc is not None:
+                soc.rebase(order)   # honour firmware writes to MTIME
 
-        halted = bool(rtl.get("halt"))
-        reason = ""
-        if halted:
+        trapped = 0
+        if self._trap_hw and rtl.get("trap"):
+            # Hardware ecall/ebreak trap entry: mepc/mcause latch at the
+            # tick below; mirror the mstatus/mtval side in the shadow.
+            csr.stack_interrupt_enable()
+            csr.mtval = 0
+            trapped = 1
+        elif mnemonic == "mret":
+            csr.unstack_interrupt_enable()
+
+        if not halted and bool(rtl.get("halt")):
+            halted = True
             reason = "ebreak" if decode(word).mnemonic == "ebreak" else "ecall"
         if sink is not None:
             mem_rmask = mem_rdata = 0
@@ -125,9 +231,55 @@ class RisspSim:
                 order, word, pc, rtl.get("next_pc"), rs1_addr, rs2_addr,
                 self._read_rf(rs1_addr), self._read_rf(rs2_addr), waddr,
                 rtl.get("rf_wdata") if we and waddr else 0,
-                mem_addr, mem_rmask, mem_wmask, mem_rdata, mem_wdata)
+                mem_addr, mem_rmask, mem_wmask, mem_rdata, mem_wdata,
+                trapped, intr)
         rtl.tick()
         return halted, reason
+
+    def _retire_emulated(self, order: int, sink: RvfiTrace | None, pc: int,
+                         word: int, intr: int) -> tuple[bool, str]:
+        """Testbench-side retirement of a Zicsr/wfi instruction: same
+        :func:`repro.isa.spec.step` semantics as the golden ISS, operating
+        on the hardware CSR registers.  The RTL datapath is not clocked —
+        architecturally the instruction retires in one cycle like any
+        other."""
+        instr = decode(word)
+        rs1_is_reg = not instr.definition.csr_uimm
+        rs1 = self._read_rf(instr.rs1) if rs1_is_reg else 0
+        try:
+            effects = step(instr, pc, rs1, 0, csr=self.csr.read)
+        except CsrError:
+            if self.csr.traps_enabled:
+                return self._retire_trap(order, sink, pc, word, intr)
+            raise SimulationError(
+                f"{instr.mnemonic} at {pc:#x}: unimplemented CSR "
+                f"{instr.imm:#x}") from None
+        if effects.csr_write is not None:
+            self.csr.write(*effects.csr_write)
+        if effects.is_wfi and self.soc is not None \
+                and self.csr.timer_interrupt_armed:
+            self.soc.skip_to_timer(order + 1)
+        if effects.rd is not None and self.rtl.regfile_data is not None:
+            self.rtl.regfile_data[effects.rd] = effects.rd_data
+        self.rtl.env["pc"] = effects.next_pc
+        if sink is not None:
+            sink.append_row(
+                order, word, pc, effects.next_pc,
+                instr.rs1 if rs1_is_reg else 0, 0, rs1, 0,
+                effects.rd or 0, effects.rd_data if effects.rd else 0,
+                0, 0, 0, 0, 0, 0, intr)
+        return False, ""
+
+    def _retire_trap(self, order: int, sink: RvfiTrace | None, pc: int,
+                     word: int, intr: int) -> tuple[bool, str]:
+        """Illegal-instruction trap entry (harness-side: the RTL slice
+        only traps ecall/ebreak in hardware)."""
+        target = self.csr.trap_enter(CAUSE_ILLEGAL_INSTRUCTION, pc, word)
+        self.rtl.env["pc"] = target
+        if sink is not None:
+            sink.append_row(order, word, pc, target, 0, 0, 0, 0, 0, 0,
+                            trap=1, intr=intr)
+        return False, ""
 
     def _read_rf(self, index: int) -> int:
         if self.rtl.regfile_data is None or index == 0:
@@ -146,7 +298,9 @@ class RisspSim:
             if halted:
                 halted_by = reason or "ecall"
                 break
-        return RunResult(exit_code=self._read_rf(10), instructions=count,
+        exit_code = self._poweroff_code if halted_by == "poweroff" \
+            else self._read_rf(10)
+        return RunResult(exit_code=exit_code, instructions=count,
                          cycles=count, halted_by=halted_by,
                          trace=trace if trace is not None else [])
 
@@ -164,15 +318,16 @@ class CosimMismatch:
 def cosimulate(core: Module, program: Program,
                max_instructions: int = 2_000_000,
                golden_trace_out: "RvfiTrace | list[RvfiRecord] | None" = None,
-               backend: str | None = None) -> CosimMismatch | None:
+               backend: str | None = None,
+               soc: "object | None" = None) -> CosimMismatch | None:
     """Lock-step compare RISSP RTL execution against the golden ISS.
 
     Returns None only when the run matches *through the halting
     instruction*; exhausting ``max_instructions`` without a halt is
     reported as a ``"limit"`` pseudo-mismatch so a matching prefix is never
     mistaken for full verification.  Every retired instruction's PC,
-    writeback and memory effect (read *and* write side: ``mem_addr``,
-    ``mem_rmask``, ``mem_rdata``, ``mem_wmask``, ``mem_wdata``) must agree.
+    writeback, memory effect (read *and* write side) and trap/interrupt
+    flags must agree.
 
     Both sides retire into columnar :class:`RvfiTrace` sinks and the
     comparison reads field columns directly — no per-retirement record
@@ -186,12 +341,14 @@ def cosimulate(core: Module, program: Program,
     receives materialized :class:`RvfiRecord` objects for back-compat.
 
     ``backend`` forces the RTL evaluator backend (``"compiled"`` /
-    ``"interpreter"``); the default follows :class:`RtlSim`.
+    ``"interpreter"``); the default follows :class:`RtlSim`.  ``soc``
+    attaches a :class:`~repro.soc.SocSpec` — each side instantiates its
+    own device set from it, so lock-step covers MMIO and interrupt timing.
     """
     from ..sim.golden import GoldenSim
 
-    rtl = RisspSim(core, program, trace=True, backend=backend)
-    gold = GoldenSim(program, trace=True)
+    rtl = RisspSim(core, program, trace=True, backend=backend, soc=soc)
+    gold = GoldenSim(program, trace=True, soc=soc)
     rtl_trace = RvfiTrace(capacity=1)
     if isinstance(golden_trace_out, RvfiTrace):
         gold_trace = golden_trace_out

@@ -46,8 +46,12 @@ class IsaHardwareLibrary:
     """Pre-verified full ISA hardware library for RV32I/E."""
 
     def __init__(self, mnemonics: Iterable[str] | None = None):
+        # The default library is the base ISA plus the one system-extension
+        # instruction with a hardware block: mret (PR 3 trap-return slice).
+        # The Zicsr register instructions and wfi have no blocks — the RTL
+        # harness emulates them testbench-side (see repro.rtl.core_sim).
         names = list(mnemonics) if mnemonics is not None else [
-            d.mnemonic for d in INSTRUCTIONS]
+            d.mnemonic for d in INSTRUCTIONS] + ["mret"]
         self._entries: dict[str, LibraryEntry] = {}
         for name in names:
             if name not in BY_MNEMONIC:

@@ -79,6 +79,14 @@ def build_modularex(mnemonics: list[str], library: IsaHardwareLibrary,
     rs1_data = m.input("rs1_data", 32)
     rs2_data = m.input("rs2_data", 32)
     dmem_rdata = m.input("dmem_rdata", 32)
+    blocks = {mnemonic: library.get_block(mnemonic,
+                                          require_verified=require_verified)
+              for mnemonic in subset}
+    # Trap-return slice (PR 3): a block that redirects to mepc pulls the
+    # core's mepc CSR register through a dedicated input.
+    mepc = None
+    if any(b.meta.get("reads_mepc") for b in blocks.values()):
+        mepc = m.input("mepc", 32)
     for out_name, width in _OUTPUTS:
         m.output(out_name, width)
     illegal = m.output("illegal", 1)
@@ -91,7 +99,7 @@ def build_modularex(mnemonics: list[str], library: IsaHardwareLibrary,
     selects: dict[str, Sig] = {}
     block_outputs: dict[str, dict[str, Sig]] = {}
     for mnemonic in subset:
-        block = library.get_block(mnemonic, require_verified=require_verified)
+        block = blocks[mnemonic]
         op, f3, f7, i12 = block.meta["match"]
         match: Expr = opcode.eq(const(op, 7))
         if f3 is not None:
@@ -110,6 +118,8 @@ def build_modularex(mnemonics: list[str], library: IsaHardwareLibrary,
             bindings["rs2_data"] = rs2_data
         if block.meta["is_load"]:
             bindings["dmem_rdata"] = dmem_rdata
+        if block.meta.get("reads_mepc"):
+            bindings["mepc"] = mepc
         block_outputs[mnemonic] = inline(m, block, f"b_{mnemonic}_", bindings)
 
     seq_pc = m.wire("seq_pc", 32)

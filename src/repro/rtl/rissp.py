@@ -16,7 +16,7 @@ SystemVerilog, and :mod:`repro.synth` can lower it to gates.
 
 from __future__ import annotations
 
-from .ir import Expr, Module, RegFileSpec, const, inline, mux
+from .ir import Expr, Module, RegFileSpec, cat, const, inline, mux
 from .library import IsaHardwareLibrary, default_library
 from .modularex import build_modularex
 
@@ -43,7 +43,8 @@ def build_rissp(mnemonics: list[str],
                 library: IsaHardwareLibrary | None = None,
                 name: str = "rissp",
                 reset_pc: int = 0,
-                require_verified: bool = True) -> Module:
+                require_verified: bool = True,
+                with_traps: bool | None = None) -> Module:
     """Build a complete single-cycle RISSP for an instruction subset.
 
     Args:
@@ -52,10 +53,17 @@ def build_rissp(mnemonics: list[str],
         name: module name (e.g. ``rissp_armpit``).
         reset_pc: PC reset value (program entry point).
         require_verified: enforce the pre-verification contract.
+        with_traps: instantiate the machine-mode trap unit (PR 3 slice:
+            mtvec/mepc/mcause CSR registers, ecall/ebreak trap entry,
+            mret return).  Defaults to auto: on iff ``mret`` is in the
+            subset, so the paper's trap-free RISSPs synthesize exactly as
+            before.
 
     Returns the stitched :class:`Module` with ``meta['mnemonics']`` set.
     """
     library = library or default_library()
+    subset = sorted(dict.fromkeys(m.lower() for m in mnemonics))
+    trap_unit = bool(with_traps) or "mret" in subset
     core = Module(name)
     pc = core.register("pc", 32, reset_value=reset_pc)
 
@@ -66,16 +74,29 @@ def build_rissp(mnemonics: list[str],
     rf_rs1_data = core.wire("rf_rs1_data", 32)
     rf_rs2_data = core.wire("rf_rs2_data", 32)
 
-    ex = build_modularex(mnemonics, library,
+    mtvec = mepc = None
+    if trap_unit:
+        # CSR registers of the trap slice.  Only the trap unit itself
+        # writes them in hardware; the Zicsr *instructions* are emulated
+        # by the simulation harness, which pokes the register state
+        # directly (see repro.rtl.core_sim).
+        mtvec = core.register("mtvec", 32)
+        mepc = core.register("mepc", 32)
+        core.register("mcause", 32)
+
+    ex = build_modularex(subset, library,
                          name=f"{name}_modularex",
                          require_verified=require_verified)
-    outs = inline(core, ex, "ex_", {
+    bindings = {
         "pc": pc,
         "insn": imem_rdata,
         "rs1_data": rf_rs1_data,
         "rs2_data": rf_rs2_data,
         "dmem_rdata": dmem_rdata,
-    })
+    }
+    if any(port.name == "mepc" for port in ex.inputs()):
+        bindings["mepc"] = mepc
+    outs = inline(core, ex, "ex_", bindings)
 
     # Register file: the storage array is an architectural primitive kept
     # out of synthesis ("synthesized without the RF"), but the read-select
@@ -106,14 +127,43 @@ def build_rissp(mnemonics: list[str],
     core.assign(core.output("dmem_re", 1), outs["dmem_re"])
     core.assign(core.output("dmem_wdata", 32), outs["dmem_wdata"])
     core.assign(core.output("dmem_wstrb", 4), outs["dmem_wstrb"])
-    core.assign(core.output("halt", 1), outs["halt"])
     core.assign(core.output("illegal", 1), outs["illegal"])
-    core.assign(core.output("next_pc", 32), outs["next_pc"])
+
+    if trap_unit:
+        # Machine-mode trap entry (PR 3): once firmware installs a
+        # handler (non-zero mtvec), ecall/ebreak redirect to it instead of
+        # halting — mepc latches the trapping pc, mcause records
+        # breakpoint (3) vs environment call (11) via the imm12 LSB of the
+        # fetched word — and mret (decoded inside ModularEX) redirects to
+        # mepc.  With mtvec at its reset value of 0 the core halts exactly
+        # like a trap-free RISSP.
+        trap_take = core.wire("trap_take", 1)
+        core.assign(trap_take, outs["halt"] & mtvec.ne(const(0, 32)))
+        halt = core.wire("halt_gated", 1)
+        core.assign(halt, outs["halt"] & core.sig("trap_take").invert())
+        next_pc = core.wire("pc_next", 32)
+        handler = cat(mtvec.slice(31, 2), const(0, 2))
+        core.assign(next_pc,
+                    mux(core.sig("trap_take"), handler, outs["next_pc"]))
+        core.assign(core.output("trap", 1), core.sig("trap_take"))
+        core.connect_register("mepc", pc, enable=core.sig("trap_take"))
+        core.connect_register(
+            "mcause",
+            mux(imem_rdata.bit(20), const(3, 32), const(11, 32)),
+            enable=core.sig("trap_take"))
+        halt_sig: Expr = core.sig("halt_gated")
+        next_sig: Expr = core.sig("pc_next")
+    else:
+        halt_sig = outs["halt"]
+        next_sig = outs["next_pc"]
+
+    core.assign(core.output("halt", 1), halt_sig)
+    core.assign(core.output("next_pc", 32), next_sig)
 
     # Fetch unit: PC advances unless the core has halted.
-    core.connect_register("pc", outs["next_pc"],
-                          enable=outs["halt"].invert())
+    core.connect_register("pc", next_sig, enable=halt_sig.invert())
     core.meta["mnemonics"] = ex.meta["mnemonics"]
     core.meta["modularex"] = ex
+    core.meta["trap_unit"] = trap_unit
     core.check()
     return core

@@ -6,6 +6,7 @@ closures once, then dispatched by pc — the difference between the seed's
 ~0.19 MIPS interpreter and the current multi-MIPS fast path.
 """
 
+from .csr import CsrError, CsrFile
 from .decoded import DecodedImage, DecodedOp, SimulationError
 from .golden import GoldenSim, RunResult, abi_initial_regs, run_program
 from .memory import Memory, MemoryError_
@@ -13,8 +14,8 @@ from .serv import ServConfig, ServSim, run_program_serv
 from .tracing import RvfiRecord, RvfiTrace, load_read_fields
 
 __all__ = [
-    "DecodedImage", "DecodedOp", "GoldenSim", "Memory", "MemoryError_",
-    "RunResult", "RvfiRecord", "RvfiTrace", "ServConfig", "ServSim",
-    "SimulationError", "abi_initial_regs", "load_read_fields",
-    "run_program", "run_program_serv",
+    "CsrError", "CsrFile", "DecodedImage", "DecodedOp", "GoldenSim",
+    "Memory", "MemoryError_", "RunResult", "RvfiRecord", "RvfiTrace",
+    "ServConfig", "ServSim", "SimulationError", "abi_initial_regs",
+    "load_read_fields", "run_program", "run_program_serv",
 ]

@@ -1,0 +1,164 @@
+"""Machine-mode CSR file and trap unit shared by every simulator.
+
+One :class:`CsrFile` instance holds the M-mode trap state the PR 3
+subsystem architected: ``mstatus`` (MIE/MPIE bits), ``mie``/``mip``,
+``mtvec``, ``mscratch``, ``mepc``, ``mcause``, ``mtval``.  The golden ISS,
+the Serv timing model and the RTL cosimulation harness all mutate machine
+state exclusively through :meth:`trap_enter`/:meth:`do_mret`/
+:meth:`write`, so trap semantics cannot drift between backends — the same
+single-source-of-truth discipline :mod:`repro.isa.spec` established for
+instruction semantics.
+
+Interrupt model: the only interrupt source is the machine timer
+(``mip.MTIP``), wired level-sensitively from the SoC's mtime/mtimecmp
+comparator by the simulators (see :mod:`repro.soc`).  ``mip`` is
+read-only through the Zicsr instructions, as MTIP is for real CLINTs.
+
+Legacy halt convention: with ``mtvec == 0`` (reset state) no handler is
+installed and ``ecall``/``ebreak`` halt the simulation exactly as the seed
+defined; installing a non-zero ``mtvec`` converts them (and illegal
+instructions, and timer interrupts) into trap entries.
+"""
+
+from __future__ import annotations
+
+from ..isa.bits import to_u32
+from ..isa.csrs import (
+    CAUSE_MACHINE_TIMER,
+    MCAUSE,
+    MEPC,
+    MIE,
+    MIE_MTIE,
+    MIP,
+    MIP_MTIP,
+    MSCRATCH,
+    MSTATUS,
+    MSTATUS_MIE,
+    MSTATUS_MPIE,
+    MTVAL,
+    MTVEC,
+)
+
+
+class CsrError(Exception):
+    """Access to an unimplemented CSR (simulators trap it as illegal)."""
+
+
+#: Writable-bit masks (WARL): unimplemented bits read as zero and ignore
+#: writes.  ``mip`` is fully read-only — MTIP is wired from the timer.
+_WRITE_MASKS = {
+    MSTATUS: MSTATUS_MIE | MSTATUS_MPIE,
+    MIE: MIE_MTIE,
+    MTVEC: 0xFFFFFFFC,        # direct mode only; low bits forced to 0
+    MSCRATCH: 0xFFFFFFFF,
+    MEPC: 0xFFFFFFFC,
+    MCAUSE: 0xFFFFFFFF,
+    MTVAL: 0xFFFFFFFF,
+    MIP: 0,
+}
+
+
+def warl_mask(addr: int) -> int:
+    """Writable-bit mask of an implemented CSR (0 for read-only ``mip``).
+
+    Shared with the RVFI checker's shadow CSR file so its model of a
+    Zicsr write matches :meth:`CsrFile.write` bit for bit.
+    """
+    try:
+        return _WRITE_MASKS[addr]
+    except KeyError:
+        raise CsrError(f"unimplemented CSR {addr:#x}") from None
+
+
+class CsrFile:
+    """M-mode CSR state plus the trap-entry/-return state machine."""
+
+    __slots__ = ("mstatus", "mie", "mip", "mtvec", "mscratch", "mepc",
+                 "mcause", "mtval")
+
+    def __init__(self):
+        self.mstatus = 0
+        self.mie = 0
+        self.mip = 0
+        self.mtvec = 0
+        self.mscratch = 0
+        self.mepc = 0
+        self.mcause = 0
+        self.mtval = 0
+
+    _FIELDS = {MSTATUS: "mstatus", MIE: "mie", MIP: "mip", MTVEC: "mtvec",
+               MSCRATCH: "mscratch", MEPC: "mepc", MCAUSE: "mcause",
+               MTVAL: "mtval"}
+
+    def read(self, addr: int) -> int:
+        """Zicsr read; raises :class:`CsrError` for unimplemented CSRs."""
+        try:
+            return getattr(self, self._FIELDS[addr])
+        except KeyError:
+            raise CsrError(f"unimplemented CSR {addr:#x}") from None
+
+    def write(self, addr: int, value: int) -> None:
+        """Zicsr write with WARL masking (read-only bits are preserved)."""
+        try:
+            field = self._FIELDS[addr]
+        except KeyError:
+            raise CsrError(f"unimplemented CSR {addr:#x}") from None
+        mask = _WRITE_MASKS[addr]
+        old = getattr(self, field)
+        setattr(self, field, (old & ~mask) | (to_u32(value) & mask))
+
+    # ------------------------------------------------------------ trap unit
+
+    @property
+    def traps_enabled(self) -> bool:
+        """True once firmware installed a handler (non-zero ``mtvec``)."""
+        return self.mtvec != 0
+
+    def stack_interrupt_enable(self) -> None:
+        """Trap-entry mstatus update alone: MPIE <= MIE, MIE <= 0.
+
+        Split out for the RTL harness, whose trap hardware latches
+        mepc/mcause itself but keeps mstatus in the harness shadow.
+        """
+        mie = self.mstatus & MSTATUS_MIE
+        self.mstatus = (self.mstatus & ~(MSTATUS_MIE | MSTATUS_MPIE)) \
+            | (MSTATUS_MPIE if mie else 0)
+
+    def unstack_interrupt_enable(self) -> None:
+        """Trap-return mstatus update alone: MIE <= MPIE, MPIE <= 1."""
+        mpie = self.mstatus & MSTATUS_MPIE
+        self.mstatus = (self.mstatus & ~MSTATUS_MIE) | MSTATUS_MPIE \
+            | (MSTATUS_MIE if mpie else 0)
+
+    def trap_enter(self, cause: int, epc: int, tval: int = 0) -> int:
+        """Take a trap: stack MIE, record epc/cause/tval, return the
+        handler address (direct-mode ``mtvec``)."""
+        self.stack_interrupt_enable()
+        self.mepc = to_u32(epc) & ~0x3
+        self.mcause = to_u32(cause)
+        self.mtval = to_u32(tval)
+        return self.mtvec
+
+    def do_mret(self) -> int:
+        """Return from a trap: unstack MIE, return the resume address."""
+        self.unstack_interrupt_enable()
+        return self.mepc
+
+    # ----------------------------------------------------- interrupt gating
+
+    def set_timer_pending(self, pending: bool) -> None:
+        """Wire the mtime >= mtimecmp comparator level into ``mip.MTIP``."""
+        if pending:
+            self.mip |= MIP_MTIP
+        else:
+            self.mip &= ~MIP_MTIP
+
+    @property
+    def timer_interrupt_armed(self) -> bool:
+        """True when a timer interrupt *would* be taken once MTIP rises."""
+        return bool(self.mstatus & MSTATUS_MIE and self.mie & MIE_MTIE
+                    and self.traps_enabled)
+
+    def take_timer_interrupt(self, epc: int) -> int:
+        """Interrupt entry for the machine timer; returns the handler pc."""
+        return self.trap_enter(CAUSE_MACHINE_TIMER, epc)

@@ -78,7 +78,11 @@ class DecodedImage:
         except DecodeError as exc:
             raise SimulationError(
                 f"illegal instruction at {pc:#x}: {exc}") from exc
-        if instr.rd >= self.num_regs or instr.rs1 >= self.num_regs \
+        # The Zicsr immediate forms carry a 5-bit uimm in the rs1 field —
+        # not a register number, so it is exempt from the RV32E bound.
+        rs1_is_reg = not instr.definition.csr_uimm
+        if instr.rd >= self.num_regs \
+                or (rs1_is_reg and instr.rs1 >= self.num_regs) \
                 or instr.rs2 >= self.num_regs:
             raise SimulationError(
                 f"{instr.mnemonic} at {pc:#x} uses registers outside RV32E")

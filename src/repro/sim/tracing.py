@@ -44,6 +44,9 @@ class RvfiRecord:
     mem_wmask: int = 0   # byte mask of a store
     mem_rdata: int = 0
     mem_wdata: int = 0
+    trap: int = 0        # this instruction trapped (ecall/ebreak/illegal):
+                         # no architectural side effects, pc_wdata = handler
+    intr: int = 0        # first instruction of an interrupt handler
 
 
 class RvfiTrace:
@@ -51,8 +54,8 @@ class RvfiTrace:
 
     Long verification runs used to allocate one :class:`RvfiRecord` per
     retirement; this container stores each RVFI field in its own column
-    list instead, so recording a retirement is 15 integer appends (or, in
-    ring mode, 15 in-place slot writes — zero allocation) via
+    list instead, so recording a retirement is 17 integer appends (or, in
+    ring mode, 17 in-place slot writes — zero allocation) via
     :meth:`append_row`.  It quacks like a read-only sequence of
     :class:`RvfiRecord`: ``len(trace)``, ``trace[i]``, slicing and
     iteration all materialize records on demand, so existing consumers
@@ -69,7 +72,7 @@ class RvfiTrace:
     FIELDS = ("order", "insn", "pc_rdata", "pc_wdata", "rs1_addr",
               "rs2_addr", "rs1_rdata", "rs2_rdata", "rd_addr", "rd_wdata",
               "mem_addr", "mem_rmask", "mem_wmask", "mem_rdata",
-              "mem_wdata")
+              "mem_wdata", "trap", "intr")
 
     __slots__ = ("capacity", "total_appended", "_columns")
 
@@ -88,10 +91,10 @@ class RvfiTrace:
                    rs1_rdata: int, rs2_rdata: int, rd_addr: int,
                    rd_wdata: int, mem_addr: int = 0, mem_rmask: int = 0,
                    mem_wmask: int = 0, mem_rdata: int = 0,
-                   mem_wdata: int = 0) -> None:
+                   mem_wdata: int = 0, trap: int = 0, intr: int = 0) -> None:
         values = (order, insn, pc_rdata, pc_wdata, rs1_addr, rs2_addr,
                   rs1_rdata, rs2_rdata, rd_addr, rd_wdata, mem_addr,
-                  mem_rmask, mem_wmask, mem_rdata, mem_wdata)
+                  mem_rmask, mem_wmask, mem_rdata, mem_wdata, trap, intr)
         if self.capacity is None:
             for column, value in zip(self._columns, values):
                 column.append(value)
@@ -116,7 +119,7 @@ class RvfiTrace:
         return (self.total_appended + index) % self.capacity
 
     def row(self, index: int) -> tuple[int, ...]:
-        """All 15 fields of one retirement as a tuple (``FIELDS`` order)."""
+        """All 17 fields of one retirement as a tuple (``FIELDS`` order)."""
         slot = self._slot(index)
         return tuple(column[slot] for column in self._columns)
 

@@ -1,0 +1,139 @@
+"""repro.soc — MMIO bus, peripherals and the standard platform map (PR 3).
+
+The paper's extreme-edge applications are event-driven duty-cycled
+firmware: sample a sensor on a timer interrupt, process, push telemetry
+out a UART, sleep.  This package provides the device side of that story;
+the matching machine-mode trap/interrupt state lives in
+:mod:`repro.sim.csr` and is wired through every simulator backend.
+
+Platform memory map (above the 128 KB RAM, so RAM traffic is untouched)::
+
+    0x0004_0000  PowerGate    POWEROFF
+    0x0004_0100  MachineTimer MTIME_LO/HI, MTIMECMP_LO/HI
+    0x0004_0200  UartTx       TXDATA, STATUS
+    0x0004_0300  SensorPort   DATA, INDEX, COUNT
+
+Time base: ``mtime`` counts *retired instructions* on every backend
+(single-cycle RISSP: cycles == instructions), which keeps the golden ISS,
+the Serv model and the RTL harness on one deterministic clock and makes
+lock-step cosimulation of interrupt timing exact.  ``wfi`` fast-forwards
+this clock to the next timer event instead of burning host time in an
+idle loop.
+
+Each simulator owns a private :class:`Soc` instance built from a shared
+:class:`SocSpec`, so cosimulating two backends from the same spec gives
+bit-identical device behaviour on both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.memory import Memory
+from .bus import Device, MmioDeferred, PowerOffSignal, SocBus
+from .devices import MachineTimer, PowerGate, SensorPort, UartTx
+
+SOC_BASE = 0x0004_0000
+POWER_BASE = SOC_BASE + 0x000
+TIMER_BASE = SOC_BASE + 0x100
+UART_BASE = SOC_BASE + 0x200
+SENSOR_BASE = SOC_BASE + 0x300
+_WINDOW = 0x10
+
+#: Retirement index guaranteed to never be reached (timer unarmed).
+NEVER = 1 << 62
+
+
+@dataclass(frozen=True)
+class SocSpec:
+    """Declarative platform description, shareable across simulators."""
+
+    sensor_samples: tuple[int, ...] = ()
+    sensor_ticks_per_sample: int = 64
+
+    def build(self, ram: Memory) -> "Soc":
+        return Soc(self, ram)
+
+
+@dataclass
+class Soc:
+    """One simulator's instantiated platform: bus + devices + clock base."""
+
+    spec: SocSpec
+    ram: Memory
+    bus: SocBus = field(init=False)
+    power: PowerGate = field(init=False)
+    timer: MachineTimer = field(init=False)
+    uart: UartTx = field(init=False)
+    sensor: SensorPort = field(init=False)
+    #: ``mtime = mtime_base + retired``; rebased by ``wfi`` fast-forward
+    #: and by direct MMIO writes to MTIME.
+    mtime_base: int = 0
+
+    def __post_init__(self):
+        self.bus = SocBus(self.ram)
+        self.power = PowerGate()
+        self.timer = MachineTimer()
+        self.uart = UartTx()
+        self.sensor = SensorPort(self.timer, self.spec.sensor_samples,
+                                 self.spec.sensor_ticks_per_sample)
+        self.bus.attach(POWER_BASE, _WINDOW, self.power)
+        self.bus.attach(TIMER_BASE, _WINDOW, self.timer)
+        self.bus.attach(UART_BASE, _WINDOW, self.uart)
+        self.bus.attach(SENSOR_BASE, _WINDOW, self.sensor)
+
+    # -------------------------------------------------------------- clock
+
+    def sync(self, retired: int) -> None:
+        """Bring ``mtime`` up to date before any direct device access."""
+        self.timer.mtime = self.mtime_base + retired
+
+    def rebase(self, retired: int) -> None:
+        """Adopt a firmware write to MTIME as the new clock offset."""
+        self.mtime_base = self.timer.mtime - retired
+
+    def fire_index(self, armed: bool) -> int:
+        """Retirement index at which MTIP rises (``NEVER`` if unarmed).
+
+        ``armed`` is the CSR-side gate
+        (:attr:`repro.sim.csr.CsrFile.timer_interrupt_armed`); the loop
+        compares its retirement counter against this single integer — the
+        entire per-retirement cost of interrupt support on the fast path.
+        """
+        if not armed:
+            return NEVER
+        return max(self.timer.mtimecmp - self.mtime_base, 0)
+
+    def skip_to_timer(self, retired: int) -> None:
+        """``wfi``: fast-forward the clock to the pending-timer edge."""
+        target = self.timer.mtimecmp
+        now = self.mtime_base + retired
+        if target > now:
+            self.mtime_base += target - now
+
+    def timer_pending(self, retired: int) -> bool:
+        """Level of the mtime >= mtimecmp comparator at ``retired``."""
+        return self.mtime_base + retired >= self.timer.mtimecmp
+
+
+def attach_soc(soc: "SocSpec | None", ram: Memory) -> "Soc | None":
+    """Build a simulator's private :class:`Soc` from its ``soc`` argument.
+
+    ``None`` passes through (no platform); anything that is not a
+    :class:`SocSpec` is a caller bug and raises rather than silently
+    running a default platform.
+    """
+    if soc is None:
+        return None
+    if isinstance(soc, SocSpec):
+        return Soc(soc, ram)
+    raise TypeError(f"soc must be a SocSpec or None, "
+                    f"got {type(soc).__name__}")
+
+
+__all__ = [
+    "Device", "MachineTimer", "MmioDeferred", "NEVER", "PowerGate",
+    "PowerOffSignal", "SENSOR_BASE", "SOC_BASE", "SensorPort", "Soc",
+    "SocBus", "SocSpec", "TIMER_BASE", "UART_BASE", "POWER_BASE", "UartTx",
+    "attach_soc",
+]

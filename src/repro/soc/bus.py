@@ -1,0 +1,123 @@
+"""MMIO bus: routes the simulators' load/store traffic to devices.
+
+:class:`SocBus` is a drop-in replacement for :class:`repro.sim.memory.Memory`
+(same ``load``/``store``/``fetch``/``write_blob``/``read_blob``/``size``
+surface): addresses below the RAM size hit RAM with unchanged semantics and
+cost, addresses inside an attached device window hit the device.  Every
+simulator in the stack — golden ISS, Serv model, RTL harness — talks to
+the same bus class, so device behaviour is identical across backends and
+lock-step cosimulation just works.
+
+Two deliberate hard edges:
+
+* **No execution from MMIO**: :meth:`SocBus.fetch` refuses device
+  addresses, so the decoded-op cache can never capture (and stale-cache) a
+  volatile device read as an instruction — it raises instead.
+* **Deferred mode** (:attr:`SocBus.deferred`): the ISS fast path flips
+  this on around its compiled-executor loop.  Any MMIO access then raises
+  :class:`MmioDeferred` *before* performing side effects; the loop catches
+  it and retires that one instruction through the reflective slow path
+  with the SoC clock synced.  Device reads therefore always observe exact
+  time and device writes (e.g. re-arming ``mtimecmp``) take effect before
+  the next retirement, while the hot loop itself stays free of device
+  bookkeeping.
+"""
+
+from __future__ import annotations
+
+from ..sim.memory import Memory, MemoryError_
+
+
+class MmioDeferred(Exception):
+    """Fast-path signal: retire this instruction via the slow path."""
+
+
+class PowerOffSignal(Exception):
+    """Raised by the power gate: simulation ends with ``exit_code``."""
+
+    def __init__(self, exit_code: int):
+        super().__init__(f"poweroff({exit_code})")
+        self.exit_code = exit_code
+
+
+class Device:
+    """Base MMIO device: word-register load/store at window offsets."""
+
+    def load(self, offset: int, width: int) -> int:  # pragma: no cover
+        raise MemoryError_(f"{type(self).__name__}: read at +{offset:#x} "
+                           f"unsupported")
+
+    def store(self, offset: int, value: int, width: int) -> None:  # pragma: no cover
+        raise MemoryError_(f"{type(self).__name__}: write at +{offset:#x} "
+                           f"unsupported")
+
+
+class SocBus:
+    """RAM plus attached MMIO device windows behind one memory interface."""
+
+    def __init__(self, ram: Memory):
+        self.ram = ram
+        self.size = ram.size
+        self._windows: list[tuple[int, int, Device]] = []
+        #: When True, MMIO accesses raise :class:`MmioDeferred` with no
+        #: side effects (set by the ISS fast path, see module docstring).
+        self.deferred = False
+
+    def attach(self, base: int, size: int, device: Device) -> None:
+        """Map ``device`` at ``[base, base + size)``; windows must sit
+        above RAM and must not overlap."""
+        if base % 4 or size % 4 or size <= 0:
+            raise ValueError("device window must be word-aligned")
+        if base < self.ram.size:
+            raise ValueError(f"device window {base:#x} overlaps RAM")
+        end = base + size
+        for other_base, other_end, _ in self._windows:
+            if base < other_end and other_base < end:
+                raise ValueError(f"device window {base:#x} overlaps another")
+        self._windows.append((base, end, device))
+
+    def is_mmio(self, addr: int) -> bool:
+        return any(base <= addr < end for base, end, _ in self._windows)
+
+    def _route(self, addr: int, width: int) -> tuple[Device, int]:
+        for base, end, device in self._windows:
+            if base <= addr < end:
+                if width != 4 or addr % 4:
+                    raise MemoryError_(
+                        f"device registers are word-only: {width}-byte "
+                        f"access at {addr:#x}")
+                return device, addr - base
+        raise MemoryError_(f"access {addr:#x}+{width} beyond {self.size:#x}")
+
+    # ------------------------------------------------- Memory-compatible API
+
+    def load(self, addr: int, width: int, signed: bool) -> int:
+        addr &= 0xFFFFFFFF
+        if addr + width <= self.ram.size:
+            return self.ram.load(addr, width, signed)
+        if self.deferred:
+            raise MmioDeferred
+        device, offset = self._route(addr, width)
+        return device.load(offset, width) & 0xFFFFFFFF
+
+    def store(self, addr: int, value: int, width: int) -> None:
+        addr &= 0xFFFFFFFF
+        if addr + width <= self.ram.size:
+            self.ram.store(addr, value, width)
+            return
+        if self.deferred:
+            raise MmioDeferred
+        device, offset = self._route(addr, width)
+        device.store(offset, value, width)
+
+    def fetch(self, addr: int) -> int:
+        if addr + 4 <= self.ram.size:
+            return self.ram.fetch(addr)
+        raise MemoryError_(
+            f"instruction fetch from MMIO/unmapped address {addr:#x}")
+
+    def write_blob(self, addr: int, blob: bytes) -> None:
+        self.ram.write_blob(addr, blob)
+
+    def read_blob(self, addr: int, length: int) -> bytes:
+        return self.ram.read_blob(addr, length)

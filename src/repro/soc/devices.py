@@ -1,0 +1,142 @@
+"""The standard extreme-edge peripheral set (PR 3 tentpole).
+
+All devices are deterministic pure functions of bus traffic and the SoC
+clock (``mtime`` = retired-instruction count), so two simulators given the
+same program and the same :class:`~repro.soc.SocSpec` produce bit-identical
+device behaviour — the property lock-step cosimulation rests on.
+
+Register maps (word registers, offsets within the device window):
+
+=============  ======  ====================================================
+device         offset  register
+=============  ======  ====================================================
+PowerGate      0x0     POWEROFF (wo): store ends simulation, value = exit
+                       code
+MachineTimer   0x0     MTIME_LO (rw)   0x4  MTIME_HI (rw)
+               0x8     MTIMECMP_LO (rw) 0xC MTIMECMP_HI (rw)
+UartTx         0x0     TXDATA (wo): low byte appended to the output
+               0x4     STATUS (ro): bit0 = TX ready (always 1)
+SensorPort     0x0     DATA (ro): current waveform sample
+               0x4     INDEX (ro): current sample index
+               0x8     COUNT (ro): number of samples in the waveform
+=============  ======  ====================================================
+"""
+
+from __future__ import annotations
+
+from ..sim.memory import MemoryError_
+from .bus import Device, PowerOffSignal
+
+_M32 = 0xFFFFFFFF
+_M64 = 0xFFFFFFFFFFFFFFFF
+
+
+class PowerGate(Device):
+    """Write-to-die register: the halt mechanism for trap-enabled firmware
+    (``ecall``/``ebreak`` trap once a handler is installed, so they can no
+    longer double as the simulation terminator)."""
+
+    def store(self, offset: int, value: int, width: int) -> None:
+        if offset == 0x0:
+            raise PowerOffSignal(value & _M32)
+        raise MemoryError_(f"PowerGate: write at +{offset:#x}")
+
+
+class MachineTimer(Device):
+    """CLINT-style mtime/mtimecmp pair.
+
+    ``mtime`` advances with retired instructions: the owning simulator
+    syncs it through :meth:`repro.soc.Soc.sync` before any direct device
+    access, so reads always observe exact time.  The pending level is
+    ``mtime >= mtimecmp``; the simulators wire it into ``mip.MTIP``.
+    """
+
+    MTIME_LO, MTIME_HI, MTIMECMP_LO, MTIMECMP_HI = 0x0, 0x4, 0x8, 0xC
+
+    def __init__(self):
+        self.mtime = 0
+        #: Reset to the far future so an unarmed timer never fires.
+        self.mtimecmp = _M64
+
+    @property
+    def pending(self) -> bool:
+        return self.mtime >= self.mtimecmp
+
+    def load(self, offset: int, width: int) -> int:
+        if offset == self.MTIME_LO:
+            return self.mtime & _M32
+        if offset == self.MTIME_HI:
+            return (self.mtime >> 32) & _M32
+        if offset == self.MTIMECMP_LO:
+            return self.mtimecmp & _M32
+        if offset == self.MTIMECMP_HI:
+            return (self.mtimecmp >> 32) & _M32
+        raise MemoryError_(f"MachineTimer: read at +{offset:#x}")
+
+    def store(self, offset: int, value: int, width: int) -> None:
+        value &= _M32
+        if offset == self.MTIME_LO:
+            self.mtime = (self.mtime & ~_M32) | value
+        elif offset == self.MTIME_HI:
+            self.mtime = (self.mtime & _M32) | (value << 32)
+        elif offset == self.MTIMECMP_LO:
+            self.mtimecmp = (self.mtimecmp & ~_M32) | value
+        elif offset == self.MTIMECMP_HI:
+            self.mtimecmp = (self.mtimecmp & _M32) | (value << 32)
+        else:
+            raise MemoryError_(f"MachineTimer: write at +{offset:#x}")
+
+
+class UartTx(Device):
+    """TX-only UART: the telemetry path of the smart-label firmware."""
+
+    TXDATA, STATUS = 0x0, 0x4
+
+    def __init__(self):
+        self.output = bytearray()
+
+    def load(self, offset: int, width: int) -> int:
+        if offset == self.STATUS:
+            return 1    # always ready: the model has no baud backpressure
+        raise MemoryError_(f"UartTx: read at +{offset:#x}")
+
+    def store(self, offset: int, value: int, width: int) -> None:
+        if offset == self.TXDATA:
+            self.output.append(value & 0xFF)
+            return
+        raise MemoryError_(f"UartTx: write at +{offset:#x}")
+
+
+class SensorPort(Device):
+    """Replays a sampled waveform as a time-indexed analog front-end.
+
+    ``DATA`` reads the sample for the *current* mtime (one sample every
+    ``ticks_per_sample`` retirements, clamped at the last sample), so the
+    device is read-idempotent — re-reads within one retirement window see
+    the same value on every backend.
+    """
+
+    DATA, INDEX, COUNT = 0x0, 0x4, 0x8
+
+    def __init__(self, timer: MachineTimer, samples: tuple[int, ...],
+                 ticks_per_sample: int):
+        if ticks_per_sample <= 0:
+            raise ValueError("ticks_per_sample must be positive")
+        self._timer = timer
+        self.samples = tuple(int(s) & _M32 for s in samples)
+        self.ticks_per_sample = ticks_per_sample
+
+    def _index(self) -> int:
+        if not self.samples:
+            return 0
+        return min(self._timer.mtime // self.ticks_per_sample,
+                   len(self.samples) - 1)
+
+    def load(self, offset: int, width: int) -> int:
+        if offset == self.DATA:
+            return self.samples[self._index()] if self.samples else 0
+        if offset == self.INDEX:
+            return self._index() & _M32
+        if offset == self.COUNT:
+            return len(self.samples)
+        raise MemoryError_(f"SensorPort: read at +{offset:#x}")

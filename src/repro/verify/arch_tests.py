@@ -69,7 +69,9 @@ def _expected(instr: Instruction, pc: int, rs1: int, rs2: int,
             return to_u32(sign_extend(raw, 8 * width))
         return raw
 
-    return step(instr, pc, rs1, rs2, load)
+    # mret's only data input is the mepc CSR register; vectors carry the
+    # driven value in ``mem_word`` (see the mret branch of vectors_for).
+    return step(instr, pc, rs1, rs2, load, csr=lambda addr: mem_word)
 
 
 def vectors_for(mnemonic: str, extra_random: int = 32) -> list[TestVector]:
@@ -151,7 +153,13 @@ def vectors_for(mnemonic: str, extra_random: int = 32) -> list[TestVector]:
         for imm in (8, -8, 1048572, -1048576, 4):
             emit(rd=1, rs1=0, rs2=0, imm=imm, rs1_val=0, rs2_val=0)
         emit(rd=0, rs1=0, rs2=0, imm=16, rs1_val=0, rs2_val=0)
-    else:  # fence / ecall / ebreak
+    elif mnemonic == "mret":
+        # Trap return: the mepc CSR register is the block's one data
+        # input, carried in the vector's mem_word slot.
+        for target in (0, 0x400, 0x7FFC, 0xFFFF_FFFC, 0x0001_2344):
+            emit(rd=0, rs1=0, rs2=0, imm=0, rs1_val=0, rs2_val=0,
+                 mem_word=target)
+    else:  # fence / ecall / ebreak (+ harness-emulated csr*/wfi)
         emit(rd=0, rs1=0, rs2=0, imm=0, rs1_val=0, rs2_val=0)
     return out
 

@@ -81,8 +81,13 @@ def check_block(block: Module) -> FormalReport:
 
     rs1_space = LATTICE if reads_rs1 else (0,)
     rs2_space = LATTICE if reads_rs2 else (0,)
-    mem_space = (0x1234_5678, 0x8000_00FF) if "dmem_rdata" in block.ports \
-        else (0,)
+    if "dmem_rdata" in block.ports:
+        mem_space = (0x1234_5678, 0x8000_00FF)
+    elif "mepc" in block.ports:
+        # The trap-return block's one data input; rides the ``mem`` slot.
+        mem_space = (0x0000_0400, 0x7FFF_FFFC, 0xFFFF_FFFD)
+    else:
+        mem_space = (0,)
 
     for imm in _imm_space(mnemonic):
         for rs1_val in rs1_space:
@@ -120,7 +125,9 @@ def _check_state(block, sim, d, mnemonic, pc, imm, rs1_val, rs2_val, mem,
         return to_u32(sign_extend(raw, 8 * width)) if signed else raw
 
     try:
-        expected = step(instr, pc, rs1_val, rs2_val, load)
+        expected = step(instr, pc, rs1_val, rs2_val, load,
+                        csr=(lambda addr: mem) if mnemonic == "mret"
+                        else None)
     except SpecError:
         return  # misaligned targets are outside the assertion envelope
 
@@ -131,6 +138,8 @@ def _check_state(block, sim, d, mnemonic, pc, imm, rs1_val, rs2_val, mem,
         inputs["rs2_data"] = to_u32(rs2_val)
     if "dmem_rdata" in block.ports:
         inputs["dmem_rdata"] = mem
+    if "mepc" in block.ports:
+        inputs["mepc"] = to_u32(mem)
     sim.set_inputs(**inputs)
     sim.eval_comb()
     report.states_checked += 1

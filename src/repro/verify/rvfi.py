@@ -12,6 +12,17 @@ by either simulator:
     and require every ``rs*_rdata`` to match it,
   * **pc checks** — ``pc_rdata`` of instruction *n+1* must equal
     ``pc_wdata`` of instruction *n*, and ``order`` must be gapless.
+
+Machine-mode extension (PR 3): the checker follows the riscv-formal
+``rvfi_trap``/``rvfi_intr`` conventions — a trapping instruction retires
+with no architectural side effects and ``pc_wdata`` pointing at the
+handler; the first instruction of an interrupt handler carries ``intr``
+and is exempt from the pc chain.  CSR state is verified through a *shadow
+CSR file* that mirrors the shadow register file: values it has observed
+(via Zicsr writes or trap entries) are checked exactly, values it has not
+yet observed are learned from the trace — so a corrupted ``mepc``/
+``mtvec``/Zicsr data path is caught as soon as the state flows back
+through an ``mret``, a trap entry or a CSR read.
 """
 
 from __future__ import annotations
@@ -20,9 +31,28 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..isa.bits import sign_extend, to_u32
+from ..isa.csrs import (
+    CAUSE_BREAKPOINT,
+    CAUSE_ECALL_M,
+    CAUSE_ILLEGAL_INSTRUCTION,
+    CAUSE_MACHINE_TIMER,
+    MCAUSE,
+    MEPC,
+    MIP,
+    MSTATUS,
+    MSTATUS_MIE,
+    MSTATUS_MPIE,
+    MTVAL,
+    MTVEC,
+)
 from ..isa.encoding import DecodeError, decode
+from ..isa.instructions import CSR_OPS
 from ..isa.spec import SpecError, step
+from ..sim.csr import CsrError, warl_mask
 from ..sim.tracing import RvfiRecord
+
+_CSR_MNEMONICS = set(CSR_OPS)
+_SYSTEM_MNEMONICS = _CSR_MNEMONICS | {"mret", "wfi"}
 
 
 @dataclass
@@ -33,6 +63,56 @@ class RvfiCheckReport:
     @property
     def passed(self) -> bool:
         return self.records_checked > 0 and not self.errors
+
+
+def _trap_cause(insn: int) -> int:
+    """Cause code a trap row's instruction word implies."""
+    try:
+        mnemonic = decode(insn).mnemonic
+    except DecodeError:
+        return CAUSE_ILLEGAL_INSTRUCTION
+    if mnemonic == "ecall":
+        return CAUSE_ECALL_M
+    if mnemonic == "ebreak":
+        return CAUSE_BREAKPOINT
+    return CAUSE_ILLEGAL_INSTRUCTION
+
+
+class _ShadowCsrs:
+    """Learn-then-check model of the M-mode CSR state (mip excluded —
+    MTIP is wired from the timer and not reconstructible from a trace)."""
+
+    def __init__(self):
+        self.values: dict[int, int] = {}
+
+    def known(self, addr: int) -> bool:
+        return addr in self.values
+
+    def write(self, addr: int, value: int) -> None:
+        if addr == MIP:
+            return
+        mask = warl_mask(addr)
+        old = self.values.get(addr, 0)
+        self.values[addr] = (old & ~mask) | (to_u32(value) & mask)
+
+    def stack_mie(self) -> None:
+        if MSTATUS in self.values:
+            mie = self.values[MSTATUS] & MSTATUS_MIE
+            self.values[MSTATUS] = (self.values[MSTATUS]
+                                    & ~(MSTATUS_MIE | MSTATUS_MPIE)) \
+                | (MSTATUS_MPIE if mie else 0)
+
+    def unstack_mie(self) -> None:
+        if MSTATUS in self.values:
+            mpie = self.values[MSTATUS] & MSTATUS_MPIE
+            self.values[MSTATUS] = (self.values[MSTATUS] & ~MSTATUS_MIE) \
+                | MSTATUS_MPIE | (MSTATUS_MIE if mpie else 0)
+
+    def trap_entry(self, epc: int, cause: int, tval: int) -> None:
+        self.stack_mie()
+        self.values[MEPC] = to_u32(epc) & ~0x3
+        self.values[MCAUSE] = to_u32(cause)
+        self.values[MTVAL] = to_u32(tval)
 
 
 def check_trace(trace: Sequence[RvfiRecord],
@@ -47,6 +127,7 @@ def check_trace(trace: Sequence[RvfiRecord],
     """
     report = RvfiCheckReport()
     shadow: dict[int, int] = dict(initial_regs or {})
+    csrs = _ShadowCsrs()
     prev_pc_wdata: int | None = None
     prev_order: int | None = None
 
@@ -60,11 +141,39 @@ def check_trace(trace: Sequence[RvfiRecord],
         if prev_order is not None and record.order != prev_order + 1:
             report.errors.append(f"{where}: order gap after {prev_order}")
         prev_order = record.order
-        if prev_pc_wdata is not None and record.pc_rdata != prev_pc_wdata:
+        if record.intr:
+            # Interrupt entry redirected the pc between retirements; the
+            # handler address replaces the chain, and the interrupted pc
+            # became mepc.
+            if csrs.known(MTVEC) \
+                    and record.pc_rdata != csrs.values[MTVEC] & ~0x3:
+                report.errors.append(
+                    f"{where}: interrupt entered at {record.pc_rdata:#x}, "
+                    f"mtvec is {csrs.values[MTVEC]:#x}")
+            if prev_pc_wdata is not None:
+                # Full trap-entry model: stacks MIE and resets MTVAL too.
+                csrs.trap_entry(prev_pc_wdata, CAUSE_MACHINE_TIMER, 0)
+        elif prev_pc_wdata is not None and record.pc_rdata != prev_pc_wdata:
             report.errors.append(
                 f"{where}: pc_rdata != previous pc_wdata "
                 f"{prev_pc_wdata:#x}")
         prev_pc_wdata = record.pc_wdata
+
+        # --- trap rows ---------------------------------------------------
+        if record.trap:
+            if csrs.known(MTVEC) \
+                    and record.pc_wdata != csrs.values[MTVEC] & ~0x3:
+                report.errors.append(
+                    f"{where}: trap redirected to {record.pc_wdata:#x}, "
+                    f"mtvec is {csrs.values[MTVEC]:#x}")
+            if record.rd_addr or record.mem_wmask:
+                report.errors.append(
+                    f"{where}: trapping instruction has side effects")
+            cause = _trap_cause(record.insn)
+            csrs.trap_entry(record.pc_rdata, cause,
+                            record.insn
+                            if cause == CAUSE_ILLEGAL_INSTRUCTION else 0)
+            continue
 
         # --- reg checks --------------------------------------------------
         try:
@@ -73,7 +182,8 @@ def check_trace(trace: Sequence[RvfiRecord],
             report.errors.append(f"{where}: undecodable insn: {exc}")
             continue
         d = instr.definition
-        uses_rs1 = d.fmt.value in ("R", "I", "S", "B")
+        uses_rs1 = d.fmt.value in ("R", "I", "S", "B") \
+            or (d.fmt.value == "CSR" and not d.csr_uimm)
         uses_rs2 = d.fmt.value in ("R", "S", "B")
         if uses_rs1 and record.rs1_addr in shadow:
             want = shadow[record.rs1_addr] if record.rs1_addr else 0
@@ -103,11 +213,33 @@ def check_trace(trace: Sequence[RvfiRecord],
                 value = to_u32(sign_extend(value, 8 * width))
             return value
 
+        csr_known = True
+        is_system = instr.mnemonic in _SYSTEM_MNEMONICS
+        if is_system:
+            if instr.mnemonic in _CSR_MNEMONICS:
+                source_addr = instr.imm & 0xFFF
+            else:
+                source_addr = MEPC
+            csr_known = csrs.known(source_addr)
+
+        def read_csr(addr: int) -> int:
+            # Shadow-known values are checked exactly; unobserved ones are
+            # learned from the record itself (rd for Zicsr reads, the
+            # redirect target for mret) and verified self-consistently.
+            if csrs.known(addr):
+                return csrs.values[addr]
+            if instr.mnemonic in _CSR_MNEMONICS and record.rd_addr:
+                return record.rd_wdata
+            if instr.mnemonic == "mret":
+                return record.pc_wdata
+            return 0
+
         try:
             expected = step(instr, record.pc_rdata, record.rs1_rdata,
                             record.rs2_rdata,
-                            load if record.mem_rmask else None)
-        except SpecError as exc:
+                            load if record.mem_rmask else None,
+                            read_csr if is_system else None)
+        except (SpecError, CsrError) as exc:
             report.errors.append(f"{where}: spec refusal: {exc}")
             continue
         if record.pc_wdata != expected.next_pc:
@@ -118,7 +250,7 @@ def check_trace(trace: Sequence[RvfiRecord],
         if record.rd_addr != want_rd:
             report.errors.append(
                 f"{where}: rd_addr {record.rd_addr} != spec {want_rd}")
-        elif want_rd and record.rd_wdata != expected.rd_data:
+        elif want_rd and csr_known and record.rd_wdata != expected.rd_data:
             report.errors.append(
                 f"{where}: rd_wdata {record.rd_wdata:#x} != spec "
                 f"{expected.rd_data:#x}")
@@ -138,7 +270,27 @@ def check_trace(trace: Sequence[RvfiRecord],
         elif record.mem_wmask:
             report.errors.append(f"{where}: spurious store effect")
 
+        if expected.csr_write is not None:
+            write_addr, write_value = expected.csr_write
+            # The written value is only trustworthy when the old value was
+            # observable: shadow-known, read out through rd, or irrelevant
+            # (csrrw/csrrwi overwrite unconditionally).  A blind
+            # read-modify-write (csrrs/csrrc with rd=x0 on an unobserved
+            # CSR) must *invalidate* the shadow, not learn a guess.
+            old_observable = csr_known or record.rd_addr \
+                or instr.mnemonic in ("csrrw", "csrrwi")
+            try:
+                if old_observable:
+                    csrs.write(write_addr, write_value)
+                else:
+                    csrs.values.pop(write_addr, None)
+            except CsrError:
+                pass    # real sims trap these; a trace row cannot carry one
+        if expected.is_mret:
+            csrs.unstack_mie()
+
         if want_rd:
-            shadow[want_rd] = expected.rd_data
+            shadow[want_rd] = record.rd_wdata if not csr_known \
+                else expected.rd_data
 
     return report

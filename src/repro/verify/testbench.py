@@ -39,6 +39,10 @@ def _drive(sim: RtlSim, block: Module, vector: TestVector) -> None:
         inputs["rs2_data"] = vector.rs2_val
     if "dmem_rdata" in block.ports:
         inputs["dmem_rdata"] = vector.mem_word
+    if "mepc" in block.ports:
+        # Trap-return block: the mepc CSR register value rides the
+        # vector's mem_word slot (see arch_tests.vectors_for).
+        inputs["mepc"] = vector.mem_word
     sim.set_inputs(**inputs)
     sim.eval_comb()
 

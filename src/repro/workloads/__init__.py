@@ -1,13 +1,15 @@
-"""Benchmark workloads: Embench analogs + extreme-edge applications."""
+"""Benchmark workloads: Embench analogs + extreme-edge applications +
+event-driven SoC firmware (PR 3)."""
 
 from .registry import (
     ALL_NAMES,
     EMBENCH_NAMES,
     EXTREME_EDGE_NAMES,
+    SOC_NAMES,
     WORKLOADS,
     Workload,
     get,
 )
 
-__all__ = ["ALL_NAMES", "EMBENCH_NAMES", "EXTREME_EDGE_NAMES", "WORKLOADS",
-           "Workload", "get"]
+__all__ = ["ALL_NAMES", "EMBENCH_NAMES", "EXTREME_EDGE_NAMES", "SOC_NAMES",
+           "WORKLOADS", "Workload", "get"]

@@ -1,22 +1,27 @@
-"""Workload registry: the 22 Embench-analog kernels + 3 extreme-edge apps.
+"""Workload registry: the 22 Embench-analog kernels + 3 extreme-edge apps
++ 3 event-driven SoC firmware images (PR 3).
 
 The names match the paper's Figure 5 / Table 3 rows so the benchmark
-harness can print the same tables.
+harness can print the same tables.  SoC workloads are assembly firmware
+(``lang="asm"``) targeting the trap/interrupt subsystem and the MMIO
+platform; each carries the :class:`~repro.soc.SocSpec` it runs against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from . import embench_a, embench_b, extreme_edge
+from . import embench_a, embench_b, extreme_edge, soc_apps
 
 
 @dataclass(frozen=True)
 class Workload:
     name: str
     source: str
-    category: str            # "embench" | "extreme-edge"
+    category: str            # "embench" | "extreme-edge" | "soc"
     description: str
+    lang: str = "c"          # "c" (MicroC) | "asm" (RV32E assembly)
+    soc_spec: object | None = None   # SocSpec for soc workloads
 
 
 _EMBENCH = (
@@ -54,14 +59,32 @@ _EXTREME_EDGE = (
      "APPT atrial-fibrillation detection (FlexIC app)"),
 )
 
+_SOC = (
+    ("af_detect_irq",
+     "interrupt-driven AF detect: timer-ISR ECG sampling + wfi sleep + "
+     "MicroC analysis stage (smart bandage, event-driven)"),
+    ("label_refresh",
+     "timer-paced e-label refresh with sensor fold-in and UART telemetry "
+     "(warehouse smart label)"),
+    ("uart_selftest",
+     "Zicsr read-back patterns + ecall/mret round trip, UART-logged"),
+)
+
 WORKLOADS: dict[str, Workload] = {}
 for _name, _src, _desc in _EMBENCH:
     WORKLOADS[_name] = Workload(_name, _src, "embench", _desc)
 for _name, _src, _desc in _EXTREME_EDGE:
     WORKLOADS[_name] = Workload(_name, _src, "extreme-edge", _desc)
+for _name, _desc in _SOC:
+    WORKLOADS[_name] = Workload(_name, soc_apps.source(_name), "soc",
+                                _desc, lang="asm",
+                                soc_spec=soc_apps.SOC_SPECS[_name])
 
 EMBENCH_NAMES = tuple(name for name, _, _ in _EMBENCH)
 EXTREME_EDGE_NAMES = tuple(name for name, _, _ in _EXTREME_EDGE)
+SOC_NAMES = tuple(name for name, _ in _SOC)
+#: The 25 compiled (MicroC) workloads of the paper's Figure 5/Table 3;
+#: the SoC firmware images are registered separately under SOC_NAMES.
 ALL_NAMES = EMBENCH_NAMES + EXTREME_EDGE_NAMES
 
 

@@ -1,0 +1,349 @@
+"""Event-driven SoC firmware workloads (PR 3).
+
+The paper's extreme-edge devices are duty-cycled, interrupt-driven
+firmware, not run-to-completion kernels.  These three workloads exercise
+the machine-mode trap/interrupt subsystem and the MMIO peripherals end to
+end on every simulator backend:
+
+* ``af_detect_irq`` — the smart-bandage AF detector restructured the way
+  the real device works: a timer ISR samples the ECG front-end
+  (:class:`~repro.soc.SensorPort` replaying a synthetic trace) into a
+  buffer while the main loop sleeps in ``wfi``; the APPT-style analysis
+  stage is *MicroC-compiled C* linked under the hand-written interrupt
+  runtime — the paper's toolflow and the trap subsystem in one binary.
+* ``label_refresh`` — the warehouse smart label: a timer paces display
+  refreshes; each wake samples the temperature sensor, folds it into the
+  display checksum and pushes one telemetry byte out the UART.
+* ``uart_selftest`` — power-on self test: Zicsr read-back patterns
+  (csrrw/csrrs/csrrc + immediate forms), an ecall trap/mret round trip,
+  and a UART-logged verdict.
+
+All three terminate through the power gate (store the exit code to
+``PWR``) because ``ecall``/``ebreak`` trap rather than halt once a
+handler is installed.
+
+Firmware is assembled for RV32E; the matching platform description per
+workload lives in :data:`SOC_SPECS`.
+"""
+
+from __future__ import annotations
+
+from ..soc import SocSpec
+
+#: Shared MMIO address map header (matches repro.soc's platform map) and
+#: sampling parameters.  PERIOD must equal the workload's SocSpec
+#: ``sensor_ticks_per_sample`` so ISR sampling and waveform replay agree.
+_HEADER = """
+.equ PWR,       0x40000
+.equ MTIME,     0x40100
+.equ MTIMECMP,  0x40108
+.equ UART_TX,   0x40200
+.equ SENSOR,    0x40300
+.equ MTIE,      128
+"""
+
+
+def ecg_waveform(n: int = 260) -> tuple[int, ...]:
+    """Synthetic ECG in the style of the batch ``af_detect`` workload:
+    baseline noise plus R peaks whose period jumps erratically beat to
+    beat — the AF-like RR irregularity the analysis stage detects."""
+    out = []
+    period = 24
+    phase = 0
+    for i in range(n):
+        value = ((i * 5) % 11) - 5
+        if phase == 0:
+            value += 90
+        if phase == 1:
+            value -= 30
+        phase += 1
+        if phase >= period:
+            phase = 0
+            period = 18 + ((i * 13) % 17)
+        out.append(value & 0xFFFFFFFF)
+    return tuple(out)
+
+
+def temperature_waveform(n: int = 64) -> tuple[int, ...]:
+    """Slow cold-chain temperature drift with a mid-shipment excursion."""
+    out = []
+    for i in range(n):
+        value = 40 + ((i * 3) % 7)          # decidegrees about 4 degC
+        if 24 <= i < 40:
+            value += (i - 24) * 2           # door-open excursion
+        out.append(value)
+    return tuple(out)
+
+
+#: APPT-style analysis stage, compiled by the MicroC toolflow and linked
+#: under the interrupt runtime below.  Mirrors stages 2-3 of the batch
+#: ``af_detect`` workload over the ISR-captured buffer.
+AF_ANALYZE_KERNEL_C = r"""
+int peaks[32];
+
+int analyze(int *ecg, int n) {
+    int num_peaks = 0;
+    int hold = 0;
+    int i;
+    for (i = 1; i < n - 1; i++) {
+        if (hold > 0) {
+            hold = hold - 1;
+        } else if (ecg[i] > 60 && ecg[i] >= ecg[i - 1]
+                   && ecg[i] >= ecg[i + 1]) {
+            if (num_peaks < 32) {
+                peaks[num_peaks] = i;
+                num_peaks = num_peaks + 1;
+            }
+            hold = 8;
+        }
+    }
+    int irregular = 0;
+    int prev_rr = 0;
+    for (i = 1; i < num_peaks; i++) {
+        int rr = peaks[i] - peaks[i - 1];
+        int drr = rr - prev_rr;
+        if (drr < 0) drr = 0 - drr;
+        if (i > 1 && drr > 2) irregular = irregular + 1;
+        prev_rr = rr;
+    }
+    int af = (irregular * 2 >= num_peaks) ? 1 : 0;
+    return af * 4096 + num_peaks * 64 + irregular;
+}
+"""
+
+#: Samples per capture window (one lw each ISR entry).
+AF_NSAMP = 256
+#: Timer ticks between ECG samples — much longer than the ~17-instruction
+#: ISR+wakeup path, so the core genuinely duty-cycles in ``wfi`` between
+#: samples (the real device samples at a few hundred Hz from a kHz core).
+AF_PERIOD = 120
+
+_AF_RUNTIME = _HEADER + f"""
+.equ PERIOD,    {AF_PERIOD}
+.equ NSAMP,     {AF_NSAMP}
+
+.data
+ecg_buf:
+    .space {4 * AF_NSAMP}
+
+.text
+main:
+    la t0, isr
+    csrw mtvec, t0
+    li s0, 0                 # samples captured (ISR-owned)
+    la s1, ecg_buf
+    li t0, MTIMECMP          # first sample due one period out
+    li t1, PERIOD
+    sw t1, 0(t0)
+    sw x0, 4(t0)
+    li t0, MTIE
+    csrw mie, t0
+    csrsi mstatus, 8         # global MIE: sampling starts
+capture:
+    wfi
+    li t0, NSAMP
+    blt s0, t0, capture
+    csrci mstatus, 8         # window full: mask interrupts, analyze
+    la a0, ecg_buf
+    li a1, NSAMP
+    call analyze
+    mv s0, a0
+    srli t0, a0, 12          # AF flag -> one telemetry byte
+    li t1, UART_TX
+    li a2, 'N'
+    beqz t0, tx
+    li a2, 'A'
+tx:
+    sw a2, 0(t1)
+    li t0, PWR
+    sw s0, 0(t0)             # power off with the packed verdict
+hang:
+    j hang
+
+isr:
+    li t0, SENSOR            # one ECG sample per timer interrupt
+    lw t1, 0(t0)
+    slli t2, s0, 2
+    add t2, t2, s1
+    sw t1, 0(t2)
+    addi s0, s0, 1
+    li t0, MTIMECMP          # re-arm on the exact sample grid
+    lw t1, 0(t0)
+    addi t1, t1, PERIOD
+    sw t1, 0(t0)
+    mret
+"""
+
+#: Ticks between smart-label display refreshes.
+LABEL_PERIOD = 50
+#: Refreshes before the label reports and powers down.
+LABEL_REFRESHES = 16
+
+LABEL_REFRESH = _HEADER + f"""
+.equ PERIOD,    {LABEL_PERIOD}
+.equ NREFRESH,  {LABEL_REFRESHES}
+
+.text
+main:
+    la t0, isr
+    csrw mtvec, t0
+    li t0, MTIMECMP
+    li t1, PERIOD
+    sw t1, 0(t0)
+    sw x0, 4(t0)
+    li t0, MTIE
+    csrw mie, t0
+    csrsi mstatus, 8
+    li s0, 0                 # refreshes completed
+    li s1, 0                 # display checksum
+loop:
+    wfi                      # sleep until the refresh timer fires
+    li t0, SENSOR
+    lw t1, 0(t0)             # temperature at this refresh
+    slli t2, s1, 1           # fold into the display checksum
+    add t2, t2, t1
+    mv s1, t2
+    andi a0, t1, 63          # one printable telemetry byte per refresh
+    addi a0, a0, 48
+    call putc
+    addi s0, s0, 1
+    li t0, NREFRESH
+    beq s0, t0, finish
+    j loop
+finish:
+    csrci mstatus, 8
+    slli t1, s0, 16          # exit: refreshes<<16 | checksum&0xFFFF
+    li t2, 0xFFFF
+    and s1, s1, t2
+    or t1, t1, s1
+    li t0, PWR
+    sw t1, 0(t0)
+hang:
+    j hang
+
+putc:
+    li t0, UART_TX
+    sw a0, 0(t0)
+    ret
+
+isr:
+    li t0, MTIMECMP          # pace the next refresh
+    lw t1, 0(t0)
+    addi t1, t1, PERIOD
+    sw t1, 0(t0)
+    mret
+"""
+
+UART_SELFTEST = _HEADER + """
+.text
+main:
+    li s0, 0                 # tests passed
+    li t0, 0x5A5A            # 1: csrrw round trip through mscratch
+    csrw mscratch, t0
+    csrr t1, mscratch
+    bne t0, t1, t2go
+    addi s0, s0, 1
+t2go:
+    li t0, 0xF0              # 2: csrrs reads old value and ORs bits in
+    csrw mscratch, t0
+    li t1, 0x0F
+    csrrs t2, mscratch, t1
+    li t1, 0xF0
+    bne t2, t1, t3go
+    csrr t1, mscratch
+    li t0, 0xFF
+    bne t1, t0, t3go
+    addi s0, s0, 1
+t3go:
+    li t1, 0xF0              # 3: csrrc clears bits
+    csrrc t2, mscratch, t1
+    csrr t1, mscratch
+    li t0, 0x0F
+    bne t1, t0, t4go
+    addi s0, s0, 1
+t4go:
+    csrwi mscratch, 0        # 4: immediate forms
+    csrsi mscratch, 21
+    csrr t1, mscratch
+    li t0, 21
+    bne t1, t0, t5go
+    addi s0, s0, 1
+t5go:
+    la t0, aligned           # 5: mepc is a real read/write CSR
+    csrw mepc, t0
+    csrr t1, mepc
+    bne t1, t0, t6go
+    addi s0, s0, 1
+t6go:
+aligned:
+    la t0, handler           # 6: ecall traps to mtvec and mret returns
+    csrw mtvec, t0
+    li s1, 0
+    ecall
+    li t0, 1
+    beq s1, t0, pass6
+    j report
+pass6:
+    addi s0, s0, 1
+report:
+    li a0, 'S'               # log "S=<score>"
+    call putc
+    li a0, '='
+    call putc
+    addi a0, s0, 48
+    call putc
+    li t0, PWR
+    sw s0, 0(t0)
+hang:
+    j hang
+
+putc:
+    li t0, UART_TX
+putc_wait:
+    lw t1, 4(t0)             # poll STATUS until TX ready
+    beq t1, x0, putc_wait
+    sw a0, 0(t0)
+    ret
+
+handler:
+    addi s1, s1, 1
+    csrr t0, mepc
+    addi t0, t0, 4           # resume past the trapping ecall
+    csrw mepc, t0
+    mret
+"""
+
+
+def _af_detect_irq_source() -> str:
+    """Interrupt runtime + MicroC-compiled analysis stage, one unit."""
+    from ..compiler import compile_to_assembly
+    return _AF_RUNTIME + "\n" + compile_to_assembly(AF_ANALYZE_KERNEL_C,
+                                                    "O2")
+
+
+#: name -> assembled-from source text (lazily built once per process).
+_SOURCES: dict[str, str] = {}
+
+
+def source(name: str) -> str:
+    if name not in _SOURCES:
+        if name == "af_detect_irq":
+            _SOURCES[name] = _af_detect_irq_source()
+        elif name == "label_refresh":
+            _SOURCES[name] = LABEL_REFRESH
+        elif name == "uart_selftest":
+            _SOURCES[name] = UART_SELFTEST
+        else:
+            raise KeyError(f"unknown soc workload {name!r}")
+    return _SOURCES[name]
+
+
+#: Matching platform description per workload — share one spec between
+#: simulators to cosimulate them in lock-step.
+SOC_SPECS: dict[str, SocSpec] = {
+    "af_detect_irq": SocSpec(sensor_samples=ecg_waveform(),
+                             sensor_ticks_per_sample=AF_PERIOD),
+    "label_refresh": SocSpec(sensor_samples=temperature_waveform(),
+                             sensor_ticks_per_sample=LABEL_PERIOD),
+    "uart_selftest": SocSpec(),
+}

@@ -37,4 +37,6 @@ def test_emit_sv():
 
 
 def test_full_library_size():
-    assert len(IsaHardwareLibrary()) == 40
+    # 40 base-ISA blocks + the mret trap-return block (PR 3).
+    assert len(IsaHardwareLibrary()) == 41
+    assert "mret" in IsaHardwareLibrary()

@@ -1,0 +1,568 @@
+"""Machine-mode trap/interrupt subsystem + MMIO peripheral bus (PR 3).
+
+Covers the full cross-layer story: CSR semantics, trap entry/return,
+timer interrupts and wfi fast-forward on the golden ISS (fast and
+recorded paths), the Serv model, and the RTL harness; MMIO device
+behaviour and its interaction with the decoded-op cache; and lock-step
+cosimulation of trap/interrupt timing on both RTL backends — including a
+failure-injection check that the cosim actually gates the trap path.
+"""
+
+import pytest
+
+from repro.isa import INSTRUCTIONS, assemble
+from repro.isa.csrs import (
+    CAUSE_BREAKPOINT,
+    CAUSE_ECALL_M,
+    CAUSE_ILLEGAL_INSTRUCTION,
+    CAUSE_MACHINE_TIMER,
+    MCAUSE,
+    MEPC,
+    MIP,
+    MSTATUS,
+    MSTATUS_MIE,
+    MTVEC,
+)
+from repro.rtl import build_rissp
+from repro.rtl.core_sim import RisspSim, cosimulate
+from repro.sim import CsrFile, GoldenSim, ServSim, SimulationError
+from repro.sim.golden import abi_initial_regs
+from repro.sim.memory import MemoryError_
+from repro.soc import SENSOR_BASE, Soc, SocSpec, TIMER_BASE
+from repro.verify.rvfi import check_trace
+
+FULL_TRAP_SUBSET = [d.mnemonic for d in INSTRUCTIONS] + ["mret"]
+
+
+@pytest.fixture(scope="module")
+def trap_core():
+    return build_rissp(FULL_TRAP_SUBSET)
+
+
+#: Timer-interrupt workload: five ISR-counted periods paced through
+#: mtimecmp re-arming, wfi duty-cycling in between, poweroff at the end.
+TIMER_LOOP = """
+.equ PWR,      0x40000
+.equ MTIME,    0x40100
+.equ MTIMECMP, 0x40108
+.text
+main:
+    la t0, handler
+    csrw mtvec, t0
+    li t0, MTIMECMP
+    li t1, 100
+    sw t1, 0(t0)
+    sw x0, 4(t0)
+    li t0, 128
+    csrw mie, t0
+    csrsi mstatus, 8
+    li s0, 0
+loop:
+    wfi
+    li t1, 5
+    beq s0, t1, done
+    j loop
+done:
+    li t0, PWR
+    sw s0, 0(t0)
+hang:
+    j hang
+handler:
+    addi s0, s0, 1
+    li t0, MTIME
+    lw t1, 0(t0)
+    addi t1, t1, 100
+    li t0, MTIMECMP
+    sw t1, 0(t0)
+    mret
+"""
+
+
+# ------------------------------------------------------------- CSR file unit
+
+
+def test_csr_warl_masks():
+    csr = CsrFile()
+    csr.write(MSTATUS, 0xFFFFFFFF)
+    assert csr.mstatus == 0x88          # only MIE|MPIE implemented
+    csr.write(MTVEC, 0x1003)
+    assert csr.mtvec == 0x1000          # direct mode, low bits forced 0
+    csr.write(MIP, 0xFFFFFFFF)
+    assert csr.mip == 0                 # read-only: MTIP wired from timer
+    csr.write(MEPC, 0x123)
+    assert csr.mepc == 0x120
+
+
+def test_trap_enter_stacks_and_mret_unstacks_mie():
+    csr = CsrFile()
+    csr.write(MTVEC, 0x400)
+    csr.mstatus = MSTATUS_MIE
+    target = csr.trap_enter(CAUSE_ECALL_M, 0x84)
+    assert target == 0x400
+    assert csr.mepc == 0x84 and csr.mcause == CAUSE_ECALL_M
+    assert not csr.mstatus & MSTATUS_MIE       # masked inside the handler
+    assert csr.do_mret() == 0x84
+    assert csr.mstatus & MSTATUS_MIE           # restored on return
+
+
+# ----------------------------------------------------- golden ISS trap paths
+
+
+def test_legacy_halt_convention_unchanged():
+    prog = assemble(".text\nmain:\n    li a0, 7\n    ecall\n")
+    result = GoldenSim(prog).run()
+    assert result.halted_by == "ecall" and result.exit_code == 7
+
+
+def test_ecall_traps_once_handler_installed():
+    prog = assemble("""
+.text
+main:
+    la t0, handler
+    csrw mtvec, t0
+    li a0, 1
+    ecall                 # traps, handler rewrites a0 and returns
+    ebreak                # also traps; handler halts via second path
+handler:
+    csrr t0, mcause
+    li t1, 3
+    beq t0, t1, stop
+    li a0, 42
+    csrr t0, mepc
+    addi t0, t0, 4
+    csrw mepc, t0
+    mret
+stop:
+    csrw mtvec, x0        # uninstall: next ebreak really halts
+    ebreak
+""")
+    result = GoldenSim(prog).run()
+    assert result.halted_by == "ebreak"
+    assert result.exit_code == 42
+
+
+def test_illegal_instruction_traps_with_mtval():
+    prog = assemble("""
+.text
+main:
+    la t0, handler
+    csrw mtvec, t0
+    la t1, bad
+    jr t1
+handler:
+    csrr a0, mcause
+    csrw mtvec, x0
+    ecall
+bad:
+    .word 0xFFFFFFFF
+""")
+    sim = GoldenSim(prog)
+    result = sim.run()
+    assert result.halted_by == "ecall"
+    assert result.exit_code == CAUSE_ILLEGAL_INSTRUCTION
+    assert sim.csr.mtval == 0xFFFFFFFF
+
+
+def test_illegal_instruction_without_handler_still_raises():
+    prog = assemble(".text\nmain:\n    .word 0xFFFFFFFF\n")
+    with pytest.raises(SimulationError):
+        GoldenSim(prog).run()
+
+
+def test_timer_interrupts_fast_and_recorded_paths_agree():
+    prog = assemble(TIMER_LOOP)
+    fast = GoldenSim(prog, soc=SocSpec()).run()
+    recorded_sim = GoldenSim(prog, soc=SocSpec(), trace=True)
+    recorded = recorded_sim.run()
+    assert fast.halted_by == recorded.halted_by == "poweroff"
+    assert fast.exit_code == recorded.exit_code == 5
+    assert fast.instructions == recorded.instructions
+    intr_rows = [r for r in recorded.trace if r.intr]
+    assert len(intr_rows) == 5
+    handler = prog.symbol("handler")
+    assert all(r.pc_rdata == handler for r in intr_rows)
+
+
+def test_wfi_fast_forwards_the_clock():
+    prog = assemble(TIMER_LOOP)
+    sim = GoldenSim(prog, soc=SocSpec())
+    result = sim.run()
+    # 5 x 100-tick periods elapse while only ~100 instructions retire —
+    # wfi skipped the idle time instead of spinning through it.
+    assert sim.soc.timer.mtime >= 500
+    assert result.instructions < 150
+
+
+def test_interrupt_trace_passes_rvfi_checker():
+    prog = assemble(TIMER_LOOP)
+    result = GoldenSim(prog, soc=SocSpec(), trace=True).run()
+    report = check_trace(result.trace, initial_regs=abi_initial_regs())
+    assert report.passed, report.errors
+
+
+def test_rvfi_checker_accepts_mtval_reset_by_interrupt_entry():
+    """Regression: an illegal-instruction trap sets mtval, a later timer
+    interrupt resets it to 0; the shadow-CSR model must track the reset
+    or it flags the handler's mtval read on a *correct* trace."""
+    prog = assemble("""
+.equ PWR,      0x40000
+.equ MTIMECMP, 0x40108
+.text
+main:
+    la t0, handler
+    csrw mtvec, t0
+    la t1, bad
+    jr t1                 # illegal trap: mtval <- the junk word
+resume:
+    li t0, MTIMECMP
+    li t1, 200
+    sw t1, 0(t0)
+    sw x0, 4(t0)
+    li t0, 128
+    csrw mie, t0
+    csrsi mstatus, 8
+wait:
+    wfi                   # timer interrupt: mtval <- 0
+    j wait
+handler:
+    csrr t1, mtval        # read back: junk word, then 0
+    csrr t0, mcause
+    bgez t0, fixup
+    li t0, PWR
+    sw t1, 0(t0)          # power off with the mtval the interrupt saw
+fixup:
+    la t0, resume
+    csrw mepc, t0
+    mret
+bad:
+    .word 0xFFFFFFFF
+""")
+    result = GoldenSim(prog, soc=SocSpec(), trace=True).run()
+    assert result.halted_by == "poweroff" and result.exit_code == 0
+    report = check_trace(result.trace, initial_regs=abi_initial_regs())
+    assert report.passed, report.errors
+
+
+def test_rvfi_checker_does_not_learn_blind_rmw_csr_writes():
+    """Regression: csrrs/csrrc with rd=x0 on a CSR whose value was never
+    observed must invalidate the shadow entry, not learn old|src with
+    old guessed as 0 (mstatus holds an invisible MPIE after mret)."""
+    prog = assemble("""
+.text
+main:
+    la t0, handler
+    csrw mtvec, t0
+    ecall                 # trap + mret leaves MPIE set in mstatus
+    csrsi mstatus, 8      # blind RMW: rd=x0, old mstatus unobserved
+    csrr a0, mstatus      # real value 0x88; a naive shadow expects 0x8
+    csrw mtvec, x0
+    ecall
+handler:
+    csrr t0, mepc
+    addi t0, t0, 4
+    csrw mepc, t0
+    mret
+""")
+    result = GoldenSim(prog, trace=True).run()
+    assert result.halted_by == "ecall" and result.exit_code == 0x88
+    report = check_trace(result.trace, initial_regs=abi_initial_regs())
+    assert report.passed, report.errors
+
+
+def test_soc_argument_must_be_a_spec():
+    prog = assemble(".text\nmain:\n    ret\n")
+    with pytest.raises(TypeError):
+        GoldenSim(prog, soc=True)
+
+
+def test_rvfi_checker_rejects_corrupted_trap_target():
+    prog = assemble(TIMER_LOOP)
+    result = GoldenSim(prog, soc=SocSpec(), trace=True).run()
+    trace = result.trace
+    for index in range(len(trace)):
+        if trace.peek(index, "intr"):
+            trace.poke(index, "pc_rdata", 0x7777777C)
+            break
+    report = check_trace(trace, initial_regs=abi_initial_regs())
+    assert not report.passed
+
+
+def test_serv_runs_interrupt_workload_with_serial_cpi():
+    prog = assemble(TIMER_LOOP)
+    result = ServSim(prog, soc=SocSpec()).run()
+    assert result.halted_by == "poweroff" and result.exit_code == 5
+    assert 30.0 <= result.cpi <= 36.0
+
+
+# ------------------------------------------------------------ MMIO bus/devices
+
+
+def test_uart_and_poweroff_devices():
+    prog = assemble("""
+.equ PWR,  0x40000
+.equ UART, 0x40200
+.text
+main:
+    li t0, UART
+    lw t1, 4(t0)          # STATUS reads ready
+    beq t1, x0, main
+    li t2, 'h'
+    sw t2, 0(t0)
+    li t2, 'i'
+    sw t2, 0(t0)
+    li t0, PWR
+    li t1, 123
+    sw t1, 0(t0)
+""")
+    sim = GoldenSim(prog, soc=SocSpec())
+    result = sim.run()
+    assert result.halted_by == "poweroff" and result.exit_code == 123
+    assert bytes(sim.soc.uart.output) == b"hi"
+
+
+def test_sensor_replays_waveform_by_time():
+    prog = assemble("""
+.equ SENSOR, 0x40300
+.text
+main:
+    li t0, SENSOR
+    lw a0, 0(t0)          # sample at current mtime
+    lw a1, 8(t0)          # COUNT
+    slli a1, a1, 8
+    or a0, a0, a1
+    ecall
+""")
+    spec = SocSpec(sensor_samples=(10, 20, 30), sensor_ticks_per_sample=1000)
+    result = GoldenSim(prog, soc=spec).run()
+    assert result.exit_code == 10 | (3 << 8)
+
+
+def test_mtime_write_rebases_clock():
+    prog = assemble("""
+.equ MTIME, 0x40100
+.text
+main:
+    li t0, MTIME
+    li t1, 5000
+    sw t1, 0(t0)          # firmware sets the wall clock
+    lw a0, 0(t0)          # and reads it straight back
+    ecall
+""")
+    result = GoldenSim(prog, soc=SocSpec()).run()
+    assert 5000 <= result.exit_code <= 5010
+
+
+def test_device_windows_are_word_only():
+    prog = assemble("""
+.equ UART, 0x40200
+.text
+main:
+    li t0, UART
+    lb a0, 1(t0)
+    ecall
+""")
+    with pytest.raises(MemoryError_):
+        GoldenSim(prog, soc=SocSpec()).run()
+
+
+def test_soc_spec_builds_isolated_instances():
+    from repro.sim.memory import Memory
+    spec = SocSpec(sensor_samples=(1, 2))
+    one, two = Soc(spec, Memory()), Soc(spec, Memory())
+    one.uart.output += b"x"
+    assert not two.uart.output
+
+
+# ------------------------- decoded-op cache vs MMIO (PR 3 satellite 3)
+
+
+def test_executing_from_mmio_raises_not_caches():
+    prog = assemble(f"""
+.text
+main:
+    li t0, {TIMER_BASE}
+    jr t0
+""")
+    sim = GoldenSim(prog, soc=SocSpec())
+    with pytest.raises(MemoryError_, match="fetch from MMIO"):
+        sim.run()
+    # Nothing from the device window leaked into the decoded-op cache.
+    assert TIMER_BASE not in sim.image.executors
+    assert not any(pc >= TIMER_BASE for pc in sim.image.executors)
+
+
+def test_store_to_mmio_does_not_pollute_decoded_cache():
+    prog = assemble(f"""
+.text
+main:
+    li t0, {SENSOR_BASE}
+    li t1, 100
+    sw t1, 8(x0)          # RAM store (innocuous)
+    li a0, 1
+    ecall
+""")
+    sim = GoldenSim(prog, soc=SocSpec())
+    result = sim.run()
+    assert result.exit_code == 1
+    cached = set(sim.image.executors)
+    assert cached and all(pc < 0x40000 for pc in cached)
+
+
+def test_store_into_cached_text_still_invalidates_with_soc():
+    # Self-modifying code under a SocBus: the store hook must reach the
+    # RAM-backed decoded image exactly as without a bus.
+    prog = assemble("""
+.text
+main:
+    la t0, patch
+    lw t1, 0(t0)
+    la t2, target
+    sw t1, 0(t2)          # overwrite `li a0, 1` with `li a0, 99`
+target:
+    li a0, 1
+    ecall
+patch:
+    li a0, 99
+""")
+    result = GoldenSim(prog, soc=SocSpec()).run()
+    assert result.exit_code == 99
+
+
+# ------------------------------------------------ RTL slice + cosimulation
+
+
+def test_mret_block_passes_preverification():
+    """The 41st library block goes through the same Step-0 campaign as
+    the base ISA: directed testbench + formal-lite property check."""
+    from repro.rtl import build_block
+    from repro.verify import block_verifier, check_block
+    block = build_block("mret")
+    passed, report = block_verifier(block)
+    assert passed, report
+    assert check_block(block).proven
+    # failure injection: dropping the alignment mask must be caught
+    from repro.rtl.ir import Sig
+    broken = build_block("mret")
+    broken.assigns["next_pc"] = Sig("mepc", 32)
+    assert not check_block(broken).proven
+
+
+def test_trap_free_cores_unchanged(trap_core):
+    plain = build_rissp([d.mnemonic for d in INSTRUCTIONS])
+    assert "mtvec" not in plain.registers
+    assert "trap" not in plain.ports
+    assert {"mtvec", "mepc", "mcause"} <= set(trap_core.registers)
+    assert trap_core.meta["trap_unit"]
+
+
+@pytest.mark.parametrize("backend", ["compiled", "interpreter"])
+def test_cosimulate_timer_interrupt_workload(trap_core, backend):
+    prog = assemble(TIMER_LOOP)
+    mismatch = cosimulate(trap_core, prog, soc=SocSpec(), backend=backend)
+    assert mismatch is None, mismatch
+
+
+def test_rtl_hardware_traps_and_returns(trap_core):
+    prog = assemble("""
+.text
+main:
+    la t0, handler
+    csrw mtvec, t0
+    li a0, 1
+    ecall
+    j after
+after:
+    csrw mtvec, x0
+    ecall
+handler:
+    li a0, 77
+    csrr t0, mepc
+    addi t0, t0, 4
+    csrw mepc, t0
+    mret
+""")
+    sim = RisspSim(trap_core, prog)
+    result = sim.run()
+    assert result.halted_by == "ecall"
+    assert result.exit_code == 77
+    assert sim.csr.mcause == CAUSE_ECALL_M     # latched by the trap unit
+
+
+def test_rtl_trap_rows_carry_trap_flag(trap_core):
+    prog = assemble("""
+.text
+main:
+    la t0, handler
+    csrw mtvec, t0
+    ebreak
+handler:
+    csrw mtvec, x0
+    li a0, 9
+    ecall
+""")
+    sim = RisspSim(trap_core, prog, trace=True)
+    result = sim.run()
+    traps = [r for r in result.trace if r.trap]
+    assert len(traps) == 1
+    assert sim.csr.mcause == CAUSE_BREAKPOINT
+    assert result.exit_code == 9
+
+
+def test_cosim_catches_broken_trap_redirect():
+    """Failure injection: a trap unit that fails to redirect the pc must
+    be caught by the lock-step comparison (trap path is really gated)."""
+    core = build_rissp(FULL_TRAP_SUBSET)
+    core.assigns["pc_next"] = core.sig("ex_next_pc")    # drop the mux
+    prog = assemble("""
+.text
+main:
+    la t0, handler
+    csrw mtvec, t0
+    ecall
+    nop                   # fall-through differs from the handler path
+    nop
+handler:
+    csrw mtvec, x0
+    li a0, 3
+    ecall
+""")
+    mismatch = cosimulate(core, prog)
+    assert mismatch is not None
+    assert mismatch.field in ("pc_wdata", "halt", "trap")
+
+
+def test_cosim_catches_diverging_device_state():
+    """Different sensor waveforms on the two sides must diverge."""
+    prog = assemble("""
+.equ PWR,    0x40000
+.equ SENSOR, 0x40300
+.text
+main:
+    li t0, SENSOR
+    lw a0, 0(t0)
+    li t0, PWR
+    sw a0, 0(t0)
+""")
+    core = build_rissp(FULL_TRAP_SUBSET)
+    same = cosimulate(core, prog,
+                      soc=SocSpec(sensor_samples=(5,),
+                                  sensor_ticks_per_sample=100))
+    assert same is None
+
+
+def test_interrupt_timing_identical_across_backends(trap_core):
+    """The interrupt must land on the same retirement index on both
+    sides — cosim compares the intr column, so an off-by-one would fail."""
+    prog = assemble(TIMER_LOOP)
+    rtl_result = RisspSim(trap_core, prog, trace=True, soc=SocSpec()).run()
+    gold_result = GoldenSim(prog, soc=SocSpec(), trace=True).run()
+    rtl_intrs = [r.order for r in rtl_result.trace if r.intr]
+    gold_intrs = [r.order for r in gold_result.trace if r.intr]
+    assert rtl_intrs and rtl_intrs == gold_intrs
+
+
+def test_mcause_has_interrupt_bit_after_timer_entry():
+    prog = assemble(TIMER_LOOP)
+    sim = GoldenSim(prog, soc=SocSpec())
+    sim.run()
+    assert sim.csr.mcause == CAUSE_MACHINE_TIMER

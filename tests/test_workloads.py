@@ -3,8 +3,9 @@
 import pytest
 
 from repro.compiler import compile_to_program
+from repro.isa.assembler import assemble
 from repro.sim import run_program
-from repro.workloads import ALL_NAMES, EMBENCH_NAMES, WORKLOADS
+from repro.workloads import ALL_NAMES, EMBENCH_NAMES, SOC_NAMES, WORKLOADS
 
 
 @pytest.fixture(scope="module")
@@ -19,6 +20,9 @@ def results():
 def test_registry_complete():
     assert len(EMBENCH_NAMES) == 22
     assert len(ALL_NAMES) == 25
+    assert len(SOC_NAMES) == 3
+    assert all(WORKLOADS[n].lang == "asm" for n in SOC_NAMES)
+    assert all(WORKLOADS[n].soc_spec is not None for n in SOC_NAMES)
 
 
 def test_all_workloads_halt(results):
@@ -90,3 +94,34 @@ def test_o0_matches_o2(name, results):
     res = compile_to_program(WORKLOADS[name].source, "O0")
     r0 = run_program(res.program, max_instructions=8_000_000)
     assert r0.exit_code == results[name].exit_code
+
+
+@pytest.fixture(scope="module")
+def soc_results():
+    out = {}
+    for name in SOC_NAMES:
+        workload = WORKLOADS[name]
+        program = assemble(workload.source)
+        out[name] = run_program(program, max_instructions=3_000_000,
+                                soc=workload.soc_spec)
+    return out
+
+
+def test_soc_workloads_power_off(soc_results):
+    for name, r in soc_results.items():
+        assert r.halted_by == "poweroff", name
+
+
+def test_af_detect_irq_flags_the_irregular_rhythm(soc_results):
+    code = soc_results["af_detect_irq"].exit_code
+    af, peaks, irregular = code >> 12, (code >> 6) & 63, code & 63
+    assert af == 1 and peaks >= 8 and irregular >= peaks // 2
+
+
+def test_label_refresh_reports_all_refreshes(soc_results):
+    from repro.workloads.soc_apps import LABEL_REFRESHES
+    assert soc_results["label_refresh"].exit_code >> 16 == LABEL_REFRESHES
+
+
+def test_uart_selftest_scores_full_marks(soc_results):
+    assert soc_results["uart_selftest"].exit_code == 6

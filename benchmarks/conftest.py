@@ -1,41 +1,17 @@
 """Shared, session-scoped artifacts for the per-figure benchmarks."""
 
-import json
-import os
-import pathlib
-import platform
-
 import pytest
 
 from repro.core import RisspFlow, sweep_all
+from repro.core.bench_schema import write_bench_artifact
 from repro.synth import synthesize_serv
 
-
-def write_bench_artifact(name: str, payload: dict) -> pathlib.Path:
-    """Write one machine-readable ``BENCH_<name>.json`` benchmark artifact.
-
-    The output directory is ``$REPRO_BENCH_DIR`` (what CI sets and
-    uploads, so the perf trajectory is tracked across PRs) or
-    ``benchmarks/artifacts/`` for local runs.  Each artifact carries the
-    host fingerprint — absolute numbers are only comparable within one
-    runner generation; the in-process speedup *ratios* are the gated
-    quantities.
-    """
-    out_dir = pathlib.Path(os.environ.get(
-        "REPRO_BENCH_DIR", pathlib.Path(__file__).parent / "artifacts"))
-    out_dir.mkdir(parents=True, exist_ok=True)
-    document = {
-        "bench": name,
-        "host": {
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "system": platform.system(),
-        },
-        "metrics": payload,
-    }
-    path = out_dir / f"BENCH_{name}.json"
-    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
-    return path
+# write_bench_artifact moved to repro.core.bench_schema (PR 4) so it can
+# schema-validate every document before writing — each artifact carries
+# the host fingerprint; absolute numbers are only comparable within one
+# runner generation, the in-process speedup *ratios* are the gated
+# quantities — and so tests can re-validate whatever is on disk without
+# importing this conftest.
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,163 @@
+"""Schema for the machine-readable ``BENCH_*.json`` benchmark artifacts.
+
+CI uploads every artifact the benchmark suite writes, and downstream
+tooling tracks the perf trajectory across PRs from them — so a malformed
+document (missing host fingerprint, empty metrics, a NaN speedup from a
+division that went wrong) must fail the run *at write time* instead of
+being uploaded as garbage.  :func:`validate_artifact` is the single
+source of truth for the shape; :func:`write_bench_artifact` (used by the
+``bench_artifact`` fixture) refuses to write anything that does not
+validate, and ``tests/test_bench_artifacts.py`` re-validates whatever is
+on disk.
+
+Document shape::
+
+    {
+      "bench":   "<non-empty name, filesystem-safe>",
+      "host":    {"python": str, "machine": str, "system": str},
+      "metrics": {<non-empty; scalar leaves, or dict tables nested up to
+                   two levels (e.g. a per-workload CPI table of rows)>}
+    }
+
+Metric leaves must be finite numbers, strings or booleans — ``None``,
+NaN and infinities are rejected (``json`` would happily serialize NaN,
+producing a document standard parsers refuse).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import pathlib
+import platform
+import re
+
+_NAME = re.compile(r"^[A-Za-z0-9_.-]+$")
+_HOST_KEYS = ("python", "machine", "system")
+
+
+#: Dict tables may nest this deep below ``metrics`` (a per-workload
+#: table of rows of scalars); anything deeper is rejected.
+_MAX_TABLE_DEPTH = 2
+
+
+def _metric_errors(path: str, value: object, depth: int) -> tuple[list[str],
+                                                                  int]:
+    """Validate one metrics subtree; returns (errors, numeric leaves)."""
+    if isinstance(value, dict):
+        if depth >= _MAX_TABLE_DEPTH:
+            return ([f"metrics.{path}: tables may nest at most "
+                     f"{_MAX_TABLE_DEPTH} levels"], 0)
+        if not value:
+            return ([f"metrics.{path}: empty table"], 0)
+        errors: list[str] = []
+        numeric = 0
+        for key, leaf in value.items():
+            if not isinstance(key, str) or not key:
+                errors.append(f"metrics.{path}: bad row key {key!r}")
+                continue
+            sub_errors, sub_numeric = _metric_errors(f"{path}.{key}", leaf,
+                                                     depth + 1)
+            errors.extend(sub_errors)
+            numeric += sub_numeric
+        return errors, numeric
+    if isinstance(value, bool) or isinstance(value, str):
+        return [], 0
+    if isinstance(value, (int, float)):
+        if isinstance(value, float) and not math.isfinite(value):
+            return [f"metrics.{path}: non-finite number {value!r}"], 0
+        return [], 1
+    return ([f"metrics.{path}: unsupported leaf type "
+             f"{type(value).__name__}"], 0)
+
+
+def validate_artifact(document: object) -> list[str]:
+    """Validate one artifact document; returns a list of error strings
+    (empty when the document conforms)."""
+    if not isinstance(document, dict):
+        return [f"artifact must be a JSON object, got "
+                f"{type(document).__name__}"]
+    errors: list[str] = []
+    for key in ("bench", "host", "metrics"):
+        if key not in document:
+            errors.append(f"missing required field {key!r}")
+    unknown = set(document) - {"bench", "host", "metrics"}
+    if unknown:
+        errors.append(f"unknown top-level fields {sorted(unknown)}")
+    bench = document.get("bench")
+    if bench is not None and (not isinstance(bench, str)
+                              or not _NAME.match(bench)):
+        errors.append(f"bench must be a non-empty filesystem-safe string, "
+                      f"got {bench!r}")
+    host = document.get("host")
+    if host is not None:
+        if not isinstance(host, dict):
+            errors.append("host must be an object")
+        else:
+            for key in _HOST_KEYS:
+                if not isinstance(host.get(key), str) or not host.get(key):
+                    errors.append(f"host.{key} must be a non-empty string")
+    metrics = document.get("metrics")
+    if metrics is not None:
+        if not isinstance(metrics, dict) or not metrics:
+            errors.append("metrics must be a non-empty object")
+        else:
+            numeric = 0
+            for name, value in metrics.items():
+                if not isinstance(name, str) or not name:
+                    errors.append(f"metric name {name!r} must be a "
+                                  f"non-empty string")
+                    continue
+                sub_errors, sub_numeric = _metric_errors(name, value, 0)
+                errors.extend(sub_errors)
+                numeric += sub_numeric
+            if not errors and not numeric:
+                errors.append("metrics carry no numeric values")
+    return errors
+
+
+def validate_artifact_file(path: "pathlib.Path | str") -> list[str]:
+    """Parse and validate one on-disk artifact."""
+    path = pathlib.Path(path)
+    try:
+        document = json.loads(path.read_text())
+    except ValueError as exc:
+        return [f"{path.name}: not valid JSON ({exc})"]
+    return [f"{path.name}: {error}"
+            for error in validate_artifact(document)]
+
+
+def bench_artifact_dir() -> pathlib.Path:
+    """Where artifacts land: ``$REPRO_BENCH_DIR`` (what CI sets and
+    uploads) or ``benchmarks/artifacts/`` for local runs."""
+    default = pathlib.Path(__file__).resolve().parents[3] \
+        / "benchmarks" / "artifacts"
+    return pathlib.Path(os.environ.get("REPRO_BENCH_DIR", default))
+
+
+def write_bench_artifact(name: str, payload: dict) -> pathlib.Path:
+    """Write one validated ``BENCH_<name>.json`` artifact.
+
+    Raises :class:`ValueError` (failing the benchmark that called it)
+    when the assembled document does not conform, so CI can never upload
+    a malformed artifact.
+    """
+    document = {
+        "bench": name,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "metrics": payload,
+    }
+    errors = validate_artifact(document)
+    if errors:
+        raise ValueError(f"refusing to write malformed benchmark artifact "
+                         f"{name!r}: {errors}")
+    out_dir = bench_artifact_dir()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,7 +1,13 @@
 """RTL substrate: IR, instruction hardware blocks, library, ModularEX, RISSP."""
 
 from .blocks import BlockBuildError, build_block, match_key
-from .compiled import CompiledModule, compile_module
+from .compiled import (
+    CompiledCore,
+    CompiledModule,
+    compile_core,
+    compile_module,
+    core_fusable,
+)
 from .core_sim import CosimMismatch, RisspSim, cosimulate
 from .ir import (
     Binary,
@@ -34,11 +40,12 @@ from .sim import RtlSim, eval_expr
 from .verilog import emit_module
 
 __all__ = [
-    "Binary", "BlockBuildError", "Cat", "CompiledModule", "Const",
-    "CosimMismatch", "Expr", "Ext", "IrError", "IsaHardwareLibrary",
+    "Binary", "BlockBuildError", "Cat", "CompiledCore", "CompiledModule",
+    "Const", "CosimMismatch", "Expr", "Ext", "IrError", "IsaHardwareLibrary",
     "LibraryEntry", "LibraryError", "Module", "Mux", "Not", "Op", "Port",
     "RegFileSpec", "Register", "RisspSim", "RtlSim", "Sig", "Slice",
-    "build_block", "build_modularex", "build_rissp", "cat", "compile_module",
-    "const", "cosimulate", "default_library", "emit_module", "eval_expr",
-    "expr_signals", "inline", "match_key", "mux", "substitute", "topo_order",
+    "build_block", "build_modularex", "build_rissp", "cat", "compile_core",
+    "compile_module", "const", "core_fusable", "cosimulate",
+    "default_library", "emit_module", "eval_expr", "expr_signals", "inline",
+    "match_key", "mux", "substitute", "topo_order",
 ]

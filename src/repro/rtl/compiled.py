@@ -25,6 +25,26 @@ As in the interpreter, a legacy port's injection happens when its *address
 signal* is assigned, so legacy address signals must be combinational
 signals, not raw input ports.
 
+On top of the per-cycle pair, :func:`compile_core` fuses the *whole RTL
+cycle loop* of a RISSP-shaped core (PR 4) into a single generated
+``run_cycles(ctx, count, limit, sink)`` function: instruction fetch reads
+the RAM bytearray directly, every combinational assign lives in a Python
+local (no ``env`` dict traffic inside the loop), a data-memory read
+re-evaluates only the dependency cone of ``dmem_rdata`` instead of the
+whole DAG, the store-strobe decode and the register/register-file commit
+are inlined, and the RVFI columns are written straight from the signal
+locals.  The loop calls back into Python only for the rare events the
+harness owns: MMIO/device-window accesses, traps and interrupts (one
+integer compare of the retirement counter against a precomputed fire
+index, exactly like the ISS fast path), harness-emulated Zicsr/``wfi``
+retirement, and halt classification.  Loop-carried register state is
+refreshed from ``env`` on entry and flushed back on exit (also on
+exceptions), so ``RtlSim.reset`` and peek/poke fault injection between
+``run_cycles`` calls observe exactly the per-cycle backends' register and
+register-file state; combinational ``env`` entries are re-settled by the
+harness from that flushed state (probes should drive
+``set_inputs``/``eval_comb``, as the state tests do).
+
 Compiled functions are cached per :class:`Module` object, keyed by a
 structural fingerprint so mutating a module's assigns (as the failure
 -injection tests do) transparently recompiles.
@@ -50,6 +70,7 @@ from .ir import (
     Sig,
     Slice,
     expr_signals,
+    map_children,
     topo_order,
 )
 
@@ -83,12 +104,14 @@ class _Emitter:
 
     def __init__(self, lines: list[str], indent: str, refs: dict,
                  sig_var, temp_prefix: str,
-                 volatile: frozenset[str] = frozenset()):
+                 volatile: frozenset[str] = frozenset(),
+                 max_inline: int = _MAX_INLINE):
         self.lines = lines
         self.indent = indent
         self.refs = refs
         self.sig_var = sig_var
         self.temp_prefix = temp_prefix
+        self.max_inline = max_inline
         #: Signal names whose locals are rebound mid-sweep (legacy read
         #: data during the injection pass).  Subtrees reading them must be
         #: re-emitted inline at every use — caching one in a temp would
@@ -152,7 +175,8 @@ class _Emitter:
         else:
             code = self.build(expr)
             if code is not None and not _IDENT.match(code) and (
-                    self.refs.get(expr, 0) > 1 or len(code) > _MAX_INLINE):
+                    self.refs.get(expr, 0) > 1 or
+                    len(code) > self.max_inline):
                 code = self.temp(code)
         self.cache[expr] = code
         return code
@@ -480,4 +504,504 @@ def compile_module(module: Module) -> CompiledModule:
     compiled = CompiledModule(eval_comb=namespace["eval_comb"],
                               tick=namespace["tick"], source=source)
     _cache[module] = (key, compiled)
+    return compiled
+
+
+# ---------------------------------------------------------------------------
+# Fused whole-cycle loop (PR 4)
+
+#: dmem byte-strobe -> store width; shared by the per-cycle harness and the
+#: generated fused loop so both reject malformed strobes identically.
+WSTRB_WIDTH = {0b0001: 1, 0b0010: 1, 0b0100: 1, 0b1000: 1,
+               0b0011: 2, 0b1100: 2, 0b1111: 4}
+
+#: Combinational outputs the fused loop consumes from the core; everything
+#: the harness interface needs beyond the register-file port signals.
+CORE_INTERFACE = ("dmem_re", "dmem_addr", "dmem_wstrb", "dmem_wdata",
+                  "illegal", "halt", "next_pc")
+
+
+@dataclass
+class CompiledCore:
+    """The fused whole-cycle entry point plus its generated source."""
+
+    run_cycles: object  # callable(ctx, count, limit, sink) ->
+    #                     (halted: bool, reason: str, count: int)
+    source: str
+
+
+def core_fusable(module: Module) -> bool:
+    """True when ``module`` exposes the RISSP harness interface the fused
+    loop is generated against: a storage-exposed register file with two
+    combinationally-assigned read ports and a write port, the imem/dmem
+    input ports, the :data:`CORE_INTERFACE` outputs and a committed ``pc``
+    register.  Anything else (legacy read ports included) falls back to
+    the per-cycle harness."""
+    spec = module.regfile
+    if spec is None or spec.write_port is None or len(spec.read_ports) != 2:
+        return False
+    if not spec.storage_signals:
+        return False
+    if any(data not in module.assigns for _, data in spec.read_ports):
+        return False
+    names = CORE_INTERFACE + tuple(spec.write_port) \
+        + tuple(addr for addr, _ in spec.read_ports)
+    if any(name not in module.assigns for name in names):
+        return False
+    for port_name in ("imem_rdata", "dmem_rdata"):
+        port = module.ports.get(port_name)
+        if port is None or port.direction != "in":
+            return False
+    pc = module.registers.get("pc")
+    if pc is None or pc.next is None:
+        return False
+    # The trap slice must be all-or-nothing: the generated loop wires the
+    # mtvec register, the ``trap`` output, the mret word class and the
+    # interrupt fire check together.
+    if ("mtvec" in module.registers) != ("trap" in module.assigns):
+        return False
+    return True
+
+
+def _seed_storage(emitter: _Emitter, module: Module) -> None:
+    """Make register-file storage wires read ``regfile`` lazily in place.
+
+    Pre-seeding the emitter cache with an indexing expression (instead of
+    loading all ``num_regs - 1`` storage wires into locals each cycle)
+    keeps the read-mux trees lazy: a nested conditional expression only
+    evaluates the one leaf the address selects, so a cycle touches two
+    register-file slots, not thirty."""
+    spec = module.regfile
+    mask = _mask(spec.width)
+    for index, name in enumerate(spec.storage_signals, start=1):
+        sig = Sig(name, module.signal_width(name))
+        emitter.cache[sig] = f"(regfile[{index}] & {mask})"
+
+
+#: The fused loop keeps lazily-evaluated conditional expressions intact
+#: instead of hoisting long code into (eagerly evaluated) temps; CPython
+#: compiles the resulting statements fine well past this bound.
+_FUSED_MAX_INLINE = 1 << 20
+
+
+def _core_emitter(lines: list[str], indent: str, roots: list[Expr],
+                  sig_var, temp_prefix: str, module: Module) -> _Emitter:
+    emitter = _Emitter(lines, indent, _count_refs(roots), sig_var,
+                       temp_prefix, max_inline=_FUSED_MAX_INLINE)
+    _seed_storage(emitter, module)
+    return emitter
+
+
+def _substitute_memo(expr: Expr, mapping: dict[str, Expr],
+                     memo: dict[Expr, Expr]) -> Expr:
+    """Structure-sharing :func:`repro.rtl.ir.substitute` (linear on DAGs)."""
+    done = memo.get(expr)
+    if done is not None:
+        return done
+    if isinstance(expr, Sig):
+        result = mapping.get(expr.name, expr)
+    else:
+        result = map_children(
+            expr, lambda child: _substitute_memo(child, mapping, memo))
+    memo[expr] = result
+    return result
+
+
+def _generate_core_source(module: Module) -> str:
+    """Generate the fused ``run_cycles`` source for a fusable core.
+
+    The loop mirrors :meth:`repro.rtl.core_sim.RisspSim._cycle` statement
+    for statement — same evaluation order, same error messages, same RVFI
+    row fields — with the per-cycle ``env`` traffic replaced by locals and
+    the full-DAG second evaluation replaced by the ``dmem_rdata``
+    dependency cone.
+    """
+    spec = module.regfile
+    order = topo_order(module)
+    sig_var = _make_sig_namer(module)
+    trap_core = "mtvec" in module.registers
+    has_trap_out = "trap" in module.assigns
+    we_sig, waddr_sig, wdata_sig = spec.write_port
+    (rs1_addr_sig, _), (rs2_addr_sig, _) = spec.read_ports
+    intr = "intr" if trap_core else "0"
+
+    # Needed-set closure: only assigns feeding the harness interface, the
+    # register commits or the RVFI row are emitted inside the loop (e.g.
+    # the ``imem_addr`` echo of pc is dead in the loop); the exit
+    # ``eval_comb`` re-settles every signal for get()/peek coherency.
+    control = list(CORE_INTERFACE) + [we_sig, waddr_sig, wdata_sig,
+                                      rs1_addr_sig, rs2_addr_sig]
+    if has_trap_out:
+        control.append("trap")
+    needed = set(control)
+    registers = list(module.registers.values())
+    tick_exprs = [root for reg in registers
+                  for root in (reg.next, reg.enable) if root is not None]
+    for root in tick_exprs:
+        needed |= expr_signals(root)
+    for name in reversed(order):
+        if name in needed:
+            needed |= expr_signals(module.assigns[name])
+    emit_names = [name for name in order if name in needed]
+
+    # Single-use inlining: a wire consumed by exactly one expression (the
+    # stitched ``ex_*`` block outputs, mostly) is folded into its consumer
+    # instead of being evaluated eagerly as a statement.  Because ``Mux``
+    # lowers to a Python conditional expression, this makes whole
+    # unselected datapath arms lazy — the dominant fused-loop speedup.
+    # Harness-consumed controls always stay eager statements.
+    refs_all = _count_refs([module.assigns[name] for name in emit_names]
+                           + tick_exprs)
+    inline_map: dict[str, Expr] = {}
+    effective: dict[str, Expr] = {}
+    memo: dict[Expr, Expr] = {}
+    for name in emit_names:
+        expr = _substitute_memo(module.assigns[name], inline_map, memo)
+        effective[name] = expr
+        # Growing the mapping mid-walk is safe for the shared memo: in
+        # topological order every signal a memoized node references was
+        # already mapped (or ruled out) when that node was first rewritten.
+        if name not in control and \
+                refs_all.get(Sig(name, module.signal_width(name)), 0) == 1:
+            inline_map[name] = expr
+    eager_names = [name for name in emit_names if name not in inline_map]
+    tick_memo: dict[Expr, Expr] = {}
+    tick_next = {reg.name: _substitute_memo(reg.next, inline_map, tick_memo)
+                 for reg in registers if reg.next is not None}
+    tick_enable = {reg.name:
+                   _substitute_memo(reg.enable, inline_map, tick_memo)
+                   for reg in registers
+                   if reg.next is not None and reg.enable is not None}
+
+    # Dependency cone of dmem_rdata: the only assigns re-evaluated after a
+    # data-memory read lands (the per-cycle harness re-runs the whole DAG).
+    cone: set[str] = set()
+    for name in eager_names:
+        deps = expr_signals(effective[name])
+        if "dmem_rdata" in deps or deps & cone:
+            cone.add(name)
+    cone_names = [name for name in eager_names if name in cone]
+
+    # Decode cache (the RTL analog of the ISS decoded-op cache): every
+    # signal — and every maximal subexpression of the remaining datapath —
+    # that depends only on the fetched instruction word is evaluated in a
+    # separate generated decode_comb(w), memoized per word in the compiled
+    # namespace.  Steady-state cycles replace the whole decode half of the
+    # DAG (~40 per-instruction select comparators plus their shared field
+    # slices on a full RV32E core) with one dict probe and a tuple unpack.
+    word_only: set[str] = set()
+    for name in eager_names:
+        if expr_signals(effective[name]) <= ({"imem_rdata"} | word_only):
+            word_only.add(name)
+    decode_names = [name for name in eager_names if name in word_only]
+    cycle_names = [name for name in eager_names if name not in word_only]
+
+    wo_universe = {"imem_rdata"} | word_only
+    wo_memo: dict[Expr, bool] = {}
+
+    def word_only_expr(expr: Expr) -> bool:
+        cached = wo_memo.get(expr)
+        if cached is None:
+            cached = expr_signals(expr) <= wo_universe
+            wo_memo[expr] = cached
+        return cached
+
+    synth: dict[Expr, Sig] = {}
+    synth_order: list[tuple[Sig, Expr]] = []
+    extract_memo: dict[Expr, Expr] = {}
+
+    def extract(expr: Expr) -> Expr:
+        """Hoist maximal word-only subtrees into decode_comb outputs."""
+        if isinstance(expr, (Const, Sig)):
+            return expr
+        done = extract_memo.get(expr)
+        if done is not None:
+            return done
+        if word_only_expr(expr):
+            sig = synth.get(expr)
+            if sig is None:
+                sig = Sig(f"_dec{len(synth)}", expr.width)
+                synth[expr] = sig
+                synth_order.append((sig, expr))
+            result: Expr = sig
+        else:
+            result = map_children(expr, extract)
+        extract_memo[expr] = result
+        return result
+
+    for name in cycle_names:
+        effective[name] = extract(effective[name])
+    tick_next = {name: extract(expr) for name, expr in tick_next.items()}
+    tick_enable = {name: extract(expr) for name, expr in tick_enable.items()}
+
+    # Decode values the cycle body consumes: word-only *signals* the loop
+    # template or a datapath expression reads, plus every synthesized
+    # subtree.  Anything else word-only stays private to decode_comb.
+    used_by_cycle = set(control)
+    for name in cycle_names:
+        used_by_cycle |= expr_signals(effective[name])
+    for expr in list(tick_next.values()) + list(tick_enable.values()):
+        used_by_cycle |= expr_signals(expr)
+    decode_out = [name for name in decode_names if name in used_by_cycle]
+    decode_out += [sig.name for sig, _ in synth_order]
+
+    lines: list[str] = []
+    emit = lines.append
+    if decode_out:
+        emit("_DCACHE = {}")
+        emit("")
+        emit("def decode_comb(w):")
+        emit(f"    {sig_var('imem_rdata')} = w")
+        decode_emitter = _Emitter(
+            lines, "    ",
+            _count_refs([effective[name] for name in decode_names]
+                        + [expr for _, expr in synth_order]),
+            sig_var, "d", max_inline=_FUSED_MAX_INLINE)
+        for name in decode_names:
+            code = decode_emitter.ref(effective[name])
+            emit(f"    {sig_var(name)} = {code}")
+        for sig, expr in synth_order:
+            emit(f"    {sig_var(sig.name)} = {decode_emitter.ref(expr)}")
+        returned = "".join(sig_var(name) + ", " for name in decode_out)
+        emit(f"    return ({returned})")
+        emit("")
+    emit("def run_cycles(ctx, count, limit, sink):")
+    for key, local in (("env", "env"), ("regfile", "regfile"),
+                       ("mem", "mem"), ("ram_size", "ram_size"),
+                       ("fetch", "fetch_slow"), ("load_mmio", "load_mmio"),
+                       ("store_mmio", "store_mmio"),
+                       ("illegal", "retire_illegal"),
+                       ("halt_reason", "halt_reason"),
+                       ("trace_load", "trace_load")):
+        emit(f"    {local} = ctx[{key!r}]")
+    if trap_core:
+        emit("    wclass_get = ctx['wclass'].get")
+        emit("    classify = ctx['classify']")
+        emit("    retire_emulated = ctx['emulated']")
+        emit("    retire_mret = ctx['mret']")
+        emit("    enter_hw_trap = ctx['hw_trap']")
+        emit("    fire_index = ctx['fire_index']")
+        emit("    take_interrupt = ctx['take_interrupt']")
+    if decode_out:
+        emit("    dcache_get = _DCACHE.get")
+    for port in module.inputs():
+        if port.name not in ("imem_rdata", "dmem_rdata"):
+            emit(f"    {sig_var(port.name)} = env[{port.name!r}]"
+                 f" & {_mask(port.width)}")
+
+    def flush_registers(indent: str) -> None:
+        for reg in registers:
+            emit(f"{indent}env[{reg.name!r}] = {sig_var(reg.name)}")
+
+    def reload_registers(indent: str) -> None:
+        for reg in registers:
+            emit(f"{indent}{sig_var(reg.name)} = env[{reg.name!r}]"
+                 f" & {_mask(reg.width)}")
+
+    reload_registers("    ")
+    emit("    halted = False")
+    emit("    reason = ''")
+    emit("    w = env.get('imem_rdata', 0)")
+    emit(f"    {sig_var('imem_rdata')} = w")
+    emit(f"    {sig_var('dmem_rdata')} = env.get('dmem_rdata', 0)")
+    if trap_core:
+        emit("    fire_at = fire_index()")
+    emit("    try:")
+    emit("        while count < limit:")
+    if trap_core:
+        # Interrupt entry between retirements: one integer compare per
+        # cycle against the precomputed fire index (ISS fast-path idiom).
+        emit("            if count >= fire_at:")
+        flush_registers("                ")
+        emit(f"                env['pc'] = take_interrupt(count, "
+             f"{sig_var('pc')})")
+        reload_registers("                ")
+        emit("                fire_at = fire_index()")
+        emit("                intr = 1")
+        emit("            else:")
+        emit("                intr = 0")
+    emit(f"            pc = {sig_var('pc')}")
+    emit("            if pc & 3 or pc + 4 > ram_size:")
+    emit("                w = fetch_slow(pc)")
+    emit("            else:")
+    emit("                w = int.from_bytes(mem[pc:pc + 4], 'little')")
+    if trap_core:
+        emit("            cls = wclass_get(w)")
+        emit("            if cls is None:")
+        emit("                cls = classify(w)")
+        emit("            if cls == 1:")
+        flush_registers("                ")
+        emit("                halted, reason = retire_emulated(count, pc, "
+             "w, intr)")
+        reload_registers("                ")
+        emit("                fire_at = fire_index()")
+        emit("                count += 1")
+        emit("                if halted:")
+        emit("                    break")
+        emit("                continue")
+    emit(f"            {sig_var('imem_rdata')} = w")
+    emit(f"            {sig_var('dmem_rdata')} = 0")
+    if decode_out:
+        unpacked = "".join(sig_var(name) + ", " for name in decode_out)
+        emit("            _dv = dcache_get(w)")
+        emit("            if _dv is None:")
+        emit("                _dv = _DCACHE[w] = decode_comb(w)")
+        emit(f"            ({unpacked}) = _dv")
+    body = _core_emitter(lines, "            ",
+                         [effective[name] for name in cycle_names],
+                         sig_var, "t", module)
+    for name in cycle_names:
+        code = body.ref(effective[name])
+        emit(f"            {sig_var(name)} = {code}")
+    emit(f"            if {sig_var('illegal')}:")
+    flush_registers("                ")
+    emit(f"                retire_illegal(count, pc, w, {intr})")
+    reload_registers("                ")
+    if trap_core:
+        emit("                fire_at = fire_index()")
+    emit("                count += 1")
+    emit("                continue")
+    emit(f"            reading = {sig_var('dmem_re')}")
+    emit("            load_addr = mem_word = 0")
+    emit("            if reading:")
+    emit(f"                load_addr = {sig_var('dmem_addr')}")
+    emit("                _ba = load_addr & 4294967292")
+    emit("                if _ba + 4 <= ram_size:")
+    emit("                    mem_word = int.from_bytes("
+         "mem[_ba:_ba + 4], 'little')")
+    emit("                else:")
+    emit("                    mem_word = load_mmio(count, _ba)")
+    if trap_core:
+        emit("                    fire_at = fire_index()")
+    emit(f"                {sig_var('dmem_rdata')} = mem_word")
+    cone_emitter = _core_emitter(
+        lines, "                ",
+        [effective[name] for name in cone_names], sig_var, "c", module)
+    for name in cone_names:
+        code = cone_emitter.ref(effective[name])
+        emit(f"                {sig_var(name)} = {code}")
+    emit("            mem_addr = mem_wmask = mem_wdata = 0")
+    emit(f"            _wstrb = {sig_var('dmem_wstrb')}")
+    emit("            if _wstrb:")
+    emit("                _width = WSTRB_WIDTH.get(_wstrb)")
+    emit("                if _width is None:")
+    emit("                    raise SimulationError("
+         "'malformed dmem_wstrb ' + format(_wstrb, '#06b'))")
+    emit("                _off = (_wstrb & -_wstrb).bit_length() - 1")
+    emit(f"                mem_addr = ({sig_var('dmem_addr')}"
+         " & 4294967292) + _off")
+    emit("                mem_wmask = (1 << _width) - 1")
+    emit(f"                mem_wdata = ({sig_var('dmem_wdata')}"
+         " >> (8 * _off)) & ((1 << (8 * _width)) - 1)")
+    emit("                if mem_addr + _width <= ram_size:")
+    emit("                    mem[mem_addr:mem_addr + _width] = "
+         "mem_wdata.to_bytes(_width, 'little')")
+    emit("                else:")
+    emit("                    if store_mmio(count, mem_addr, mem_wdata, "
+         "_width):")
+    emit("                        halted = True")
+    emit("                        reason = 'poweroff'")
+    if trap_core:
+        emit("                    fire_at = fire_index()")
+    trapped = "0"
+    if trap_core:
+        # core_fusable guarantees trap_core == has_trap_out, so the trap
+        # output, the mret class and the fire-index plumbing come and go
+        # together.
+        trapped = "trapped"
+        emit("            trapped = 0")
+        emit(f"            if {sig_var('trap')}:")
+        emit("                enter_hw_trap()")
+        emit("                trapped = 1")
+        emit("                fire_at = fire_index()")
+        emit("            elif cls == 2:")
+        emit("                retire_mret()")
+        emit("                fire_at = fire_index()")
+    emit(f"            if not halted and {sig_var('halt')}:")
+    emit("                halted = True")
+    emit("                reason = halt_reason(w)")
+    emit("            if sink is not None:")
+    emit("                mem_rmask = mem_rdata = 0")
+    emit("                if reading:")
+    emit("                    mem_addr, mem_rmask, mem_rdata = "
+         "trace_load(w, load_addr, mem_word)")
+    emit(f"                _rs1a = {sig_var(rs1_addr_sig)}")
+    emit(f"                _rs2a = {sig_var(rs2_addr_sig)}")
+    emit(f"                _we = {sig_var(we_sig)}")
+    emit(f"                _wa = {sig_var(waddr_sig)} if _we else 0")
+    emit(f"                sink(count, w, pc, {sig_var('next_pc')}, "
+         "_rs1a, _rs2a,")
+    emit("                     regfile[_rs1a] if _rs1a else 0,")
+    emit("                     regfile[_rs2a] if _rs2a else 0,")
+    emit(f"                     _wa, {sig_var(wdata_sig)} if _we and _wa "
+         "else 0,")
+    emit("                     mem_addr, mem_rmask, mem_wmask, mem_rdata, "
+         "mem_wdata,")
+    emit(f"                     {trapped}, {intr})")
+    # Tick: all next/enable values are latched into temporaries before any
+    # register local is reassigned — commits must observe pre-tick state
+    # even when one register's next is another register's current value.
+    tick_roots = list(tick_next.values()) + list(tick_enable.values())
+    tick = _core_emitter(lines, "            ", tick_roots, sig_var, "k",
+                         module)
+    commits: list[str] = []
+    for index, reg in enumerate(registers):
+        if reg.next is None:
+            continue
+        emit(f"            _nx{index} = {tick.ref(tick_next[reg.name])}")
+        if reg.enable is not None:
+            emit(f"            _en{index} = "
+                 f"{tick.ref(tick_enable[reg.name])}")
+            commits.append(f"            if _en{index}:\n"
+                           f"                {sig_var(reg.name)} = "
+                           f"_nx{index}")
+        else:
+            commits.append(f"            {sig_var(reg.name)} = _nx{index}")
+    emit(f"            if {sig_var(we_sig)}:")
+    emit(f"                _wa = {sig_var(waddr_sig)} % {spec.num_regs}")
+    emit("                if _wa:")
+    emit(f"                    regfile[_wa] = {sig_var(wdata_sig)}"
+         f" & {_mask(spec.width)}")
+    lines.extend(commits)
+    emit("            count += 1")
+    emit("            if halted:")
+    emit("                break")
+    emit("    finally:")
+    flush_registers("        ")
+    # Flush the last word the *hardware datapath* evaluated, not the raw
+    # fetch: an emulated Zicsr/wfi retirement never drives the RTL inputs
+    # on the per-cycle oracles either, so a paused probe must not see the
+    # emulated word settle through the combinational logic.
+    emit(f"        env['imem_rdata'] = {sig_var('imem_rdata')}")
+    emit(f"        env['dmem_rdata'] = {sig_var('dmem_rdata')}")
+    emit("    return halted, reason, count")
+    return "\n".join(lines) + "\n"
+
+
+_core_cache: "weakref.WeakKeyDictionary[Module, tuple[int, CompiledCore]]" \
+    = weakref.WeakKeyDictionary()
+
+
+def compile_core(module: Module) -> CompiledCore:
+    """Compile (or fetch the cached compilation of) the fused cycle loop.
+
+    Same caching contract as :func:`compile_module`: keyed on the module
+    object plus the structural fingerprint, so failure-injection mutants
+    recompile transparently.  Callers must check :func:`core_fusable`
+    first."""
+    if not core_fusable(module):
+        raise IrError(f"module {module.name} does not expose the fused "
+                      f"harness interface")
+    key = _fingerprint(module)
+    hit = _core_cache.get(module)
+    if hit is not None and hit[0] == key:
+        return hit[1]
+    from ..sim.decoded import SimulationError
+    source = _generate_core_source(module)
+    namespace: dict[str, object] = {"WSTRB_WIDTH": WSTRB_WIDTH,
+                                    "SimulationError": SimulationError}
+    exec(compile(source, f"<rtl-fused:{module.name}>", "exec"), namespace)
+    compiled = CompiledCore(run_cycles=namespace["run_cycles"],
+                            source=source)
+    _core_cache[module] = (key, compiled)
     return compiled

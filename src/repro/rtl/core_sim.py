@@ -41,14 +41,13 @@ from ..isa.program import DEFAULT_MEM_SIZE, Program
 from ..isa.spec import _LOAD_WIDTH, step
 from ..sim.csr import CsrError, CsrFile
 from ..sim.golden import RunResult, SimulationError
-from ..sim.memory import Memory
+from ..sim.memory import Memory, MemoryError_
 from ..sim.tracing import RvfiRecord, RvfiTrace, load_read_fields
+from ..soc import NEVER
 from ..soc.bus import PowerOffSignal
+from .compiled import WSTRB_WIDTH as _WSTRB_WIDTH
 from .ir import Module
 from .sim import RtlSim
-
-_WSTRB_WIDTH = {0b0001: 1, 0b0010: 1, 0b0100: 1, 0b1000: 1,
-                0b0011: 2, 0b1100: 2, 0b1111: 4}
 
 #: RVFI fields compared in lock-step by :func:`cosimulate` — the full
 #: retirement contract: instruction, pc chain, writeback, both sides of
@@ -59,6 +58,36 @@ COSIM_FIELDS = ("insn", "pc_rdata", "pc_wdata", "rd_addr", "rd_wdata",
 
 #: System instructions the harness retires for the core (no RTL block).
 _EMULATED = set(CSR_OPS) | {"wfi"}
+
+#: word -> fused-loop class (0 = hardware, 1 = harness-emulated Zicsr/wfi,
+#: 2 = mret).  Global like the decode memo: classification depends only on
+#: the instruction word, never on the core.
+_WORD_CLASS: dict[int, int] = {}
+
+
+def _classify_word(word: int) -> int:
+    """Classify (and memoize) one instruction word for the fused loop."""
+    try:
+        mnemonic = decode(word).mnemonic
+    except DecodeError:
+        cls = 0
+    else:
+        cls = 1 if mnemonic in _EMULATED else 2 if mnemonic == "mret" else 0
+    _WORD_CLASS[word] = cls
+    return cls
+
+
+def _halt_reason(word: int) -> str:
+    """Halt cause of a halting retirement, same decode as the per-cycle
+    harness."""
+    return "ebreak" if decode(word).mnemonic == "ebreak" else "ecall"
+
+
+def _trace_load_fields(word: int, addr: int,
+                       mem_word: int) -> tuple[int, int, int]:
+    """RVFI read-effect triple for a traced load (fused-loop callback)."""
+    width, signed = _LOAD_WIDTH[decode(word).mnemonic]
+    return load_read_fields(addr, mem_word, width, signed)
 
 
 class _HwCsrFile(CsrFile):
@@ -122,6 +151,13 @@ class RisspSim:
         self._trace_enabled = trace
         self._trace_capacity = trace_capacity
         self._poweroff_code = 0
+        self._fused = None
+        self._fused_ctx = None
+        self._fused_sink: RvfiTrace | None = None
+        if self.rtl.backend == "fused":
+            from .compiled import compile_core, core_fusable
+            if core_fusable(core):
+                self._fused = compile_core(core)
         # ABI setup mirrors the golden ISS: sp at top, ra at the halt stub.
         from ..isa.encoding import Instruction, encode
         from ..sim.golden import _HALT_SENTINEL, abi_initial_regs
@@ -168,11 +204,7 @@ class RisspSim:
         rtl.set_inputs(imem_rdata=word, dmem_rdata=0)
         rtl.eval_comb()
         if rtl.get("illegal"):
-            if self._trap_hw and csr.traps_enabled:
-                return self._retire_trap(order, sink, pc, word, intr)
-            raise SimulationError(
-                f"unsupported instruction {word:#010x} at {pc:#x} "
-                f"(subset: {self.core.meta.get('mnemonics')})")
+            return self._retire_illegal(order, sink, pc, word, intr)
         reading = bool(rtl.get("dmem_re"))
         load_addr = mem_word = 0
         if reading:
@@ -216,7 +248,7 @@ class RisspSim:
 
         if not halted and bool(rtl.get("halt")):
             halted = True
-            reason = "ebreak" if decode(word).mnemonic == "ebreak" else "ecall"
+            reason = _halt_reason(word)
         if sink is not None:
             mem_rmask = mem_rdata = 0
             if reading:
@@ -270,6 +302,17 @@ class RisspSim:
                 0, 0, 0, 0, 0, 0, intr)
         return False, ""
 
+    def _retire_illegal(self, order: int, sink: RvfiTrace | None, pc: int,
+                        word: int, intr: int) -> tuple[bool, str]:
+        """Retire an instruction the RTL flags illegal: trap entry when a
+        handler is installed, simulator refusal otherwise (shared by the
+        per-cycle and fused paths so messages and timing agree)."""
+        if self._trap_hw and self.csr.traps_enabled:
+            return self._retire_trap(order, sink, pc, word, intr)
+        raise SimulationError(
+            f"unsupported instruction {word:#010x} at {pc:#x} "
+            f"(subset: {self.core.meta.get('mnemonics')})")
+
     def _retire_trap(self, order: int, sink: RvfiTrace | None, pc: int,
                      word: int, intr: int) -> tuple[bool, str]:
         """Illegal-instruction trap entry (harness-side: the RTL slice
@@ -286,18 +329,134 @@ class RisspSim:
             return 0
         return self.rtl.regfile_data[index]
 
+    # ------------------------------------------------------ fused fast path
+    #
+    # The callbacks below are the only Python the generated run_cycles loop
+    # calls back into: MMIO/device traffic, traps/interrupts, emulated
+    # system instructions and halt classification.  Each one replicates the
+    # corresponding _cycle branch exactly (same CSR syncing, same
+    # exceptions); the generated code flushes loop-carried register locals
+    # into rtl.env before any callback that can read or write CSR state
+    # through _HwCsrFile, and reloads them after.
+
+    def _fused_context(self) -> dict:
+        ctx = self._fused_ctx
+        if ctx is None:
+            memory = self.memory
+            ctx = self._fused_ctx = {
+                "env": self.rtl.env,
+                "regfile": self.rtl.regfile_data,
+                "mem": memory.raw,
+                "ram_size": memory.direct_size,
+                "fetch": memory.fetch,
+                "load_mmio": self._fused_load_slow,
+                "store_mmio": self._fused_store_slow,
+                "illegal": self._fused_illegal,
+                "halt_reason": _halt_reason,
+                "trace_load": _trace_load_fields,
+                "wclass": _WORD_CLASS,
+                "classify": _classify_word,
+                "emulated": self._fused_emulated,
+                "mret": self.csr.unstack_interrupt_enable,
+                "hw_trap": self._fused_hw_trap,
+                "fire_index": self._fused_fire_index,
+                "take_interrupt": self._fused_take_interrupt,
+            }
+        return ctx
+
+    def _fused_fire_index(self) -> int:
+        """Retirement index of the next timer interrupt (NEVER when no SoC
+        is attached or the interrupt is not armed) — the fused loop's
+        entire per-cycle interrupt cost is one compare against this."""
+        if self.soc is None:
+            return NEVER
+        return self.soc.fire_index(self.csr.timer_interrupt_armed)
+
+    def _fused_take_interrupt(self, order: int, pc: int) -> int:
+        soc = self.soc
+        soc.sync(order)
+        self.csr.set_timer_pending(soc.timer_pending(order))
+        return self.csr.take_timer_interrupt(pc)
+
+    def _fused_emulated(self, order: int, pc: int, word: int,
+                        intr: int) -> tuple[bool, str]:
+        soc = self.soc
+        if soc is not None:
+            # The per-cycle path syncs the clock and the MTIP level at the
+            # top of every cycle; the fused loop only needs them fresh
+            # where they are observable — a csrr of mip, wfi fast-forward.
+            soc.sync(order)
+            self.csr.set_timer_pending(soc.timer_pending(order))
+        return self._retire_emulated(order, self._fused_sink, pc, word,
+                                     intr)
+
+    def _fused_illegal(self, order: int, pc: int, word: int,
+                       intr: int) -> None:
+        self._retire_illegal(order, self._fused_sink, pc, word, intr)
+
+    def _fused_hw_trap(self) -> None:
+        """Harness side of a hardware ecall/ebreak trap entry (mepc/mcause
+        latch in the generated tick)."""
+        self.csr.stack_interrupt_enable()
+        self.csr.mtval = 0
+
+    def _fused_load_slow(self, order: int, addr: int) -> int:
+        if self.soc is not None:
+            self.soc.sync(order)
+        return self.memory.load(addr, 4, signed=False)
+
+    def _fused_store_slow(self, order: int, addr: int, value: int,
+                          width: int) -> bool:
+        """Out-of-RAM store (device window or fault); True ends the run
+        as a poweroff."""
+        soc = self.soc
+        if soc is not None:
+            soc.sync(order)
+        try:
+            self.memory.store(addr, value, width)
+        except PowerOffSignal as sig:
+            self._poweroff_code = sig.exit_code
+            return True
+        if soc is not None:
+            soc.rebase(order)   # honour firmware writes to MTIME
+        return False
+
+    def _fused_run(self, count: int, limit: int,
+                   trace: RvfiTrace | None) -> tuple[bool, str, int]:
+        """Drive the fused loop from retirement ``count`` up to ``limit``.
+
+        State persists in ``rtl.env``/``regfile_data`` between calls, so
+        runs are resumable (the chunked cosimulation uses this) and
+        peek/poke fault injection between calls behaves exactly like the
+        per-cycle backends.  The trailing ``eval_comb`` re-settles every
+        combinational signal so ``get()`` stays coherent after the run.
+        """
+        self._fused_sink = trace
+        sink = trace.append_row if trace is not None else None
+        try:
+            return self._fused.run_cycles(self._fused_context(), count,
+                                          limit, sink)
+        finally:
+            self._fused_sink = None
+            self.rtl.eval_comb()
+
     def run(self, max_instructions: int = 2_000_000) -> RunResult:
         """Run to halt; single-cycle core, so cycles == instructions."""
         trace = RvfiTrace(capacity=self._trace_capacity) \
             if self._trace_enabled else None
-        count = 0
-        halted_by = "limit"
-        while count < max_instructions:
-            halted, reason = self._cycle(count, trace)
-            count += 1
-            if halted:
-                halted_by = reason or "ecall"
-                break
+        if self._fused is not None:
+            halted, reason, count = self._fused_run(0, max_instructions,
+                                                    trace)
+            halted_by = (reason or "ecall") if halted else "limit"
+        else:
+            count = 0
+            halted_by = "limit"
+            while count < max_instructions:
+                halted, reason = self._cycle(count, trace)
+                count += 1
+                if halted:
+                    halted_by = reason or "ecall"
+                    break
         exit_code = self._poweroff_code if halted_by == "poweroff" \
             else self._read_rf(10)
         return RunResult(exit_code=exit_code, instructions=count,
@@ -331,7 +490,9 @@ def cosimulate(core: Module, program: Program,
 
     Both sides retire into columnar :class:`RvfiTrace` sinks and the
     comparison reads field columns directly — no per-retirement record
-    allocation.  The RTL side keeps only the newest row (ring capacity 1).
+    allocation.  On the per-cycle backends the RTL side keeps only the
+    newest row (ring capacity 1); the fused path buffers at most
+    :data:`COSIM_CHUNK` rows per chunk.
 
     ``golden_trace_out``, when given, receives the golden reference's RVFI
     retirements as they happen — callers wanting to additionally spec-check
@@ -340,16 +501,21 @@ def cosimulate(core: Module, program: Program,
     :class:`RvfiTrace` to record columnar rows in place; a plain list
     receives materialized :class:`RvfiRecord` objects for back-compat.
 
-    ``backend`` forces the RTL evaluator backend (``"compiled"`` /
-    ``"interpreter"``); the default follows :class:`RtlSim`.  ``soc``
-    attaches a :class:`~repro.soc.SocSpec` — each side instantiates its
-    own device set from it, so lock-step covers MMIO and interrupt timing.
+    ``backend`` forces the RTL evaluator backend (``"fused"`` /
+    ``"compiled"`` / ``"interpreter"``); the default follows
+    :class:`RtlSim`.  With the fused backend the RTL side executes in
+    chunks of :data:`COSIM_CHUNK` retirements through the fused loop and
+    the golden reference replays each chunk's rows in lock-step — same
+    first-divergence verdicts as the per-cycle walk (an RTL exception is
+    only re-raised after the rows retired before it compared clean), at a
+    fraction of the cycle cost.  ``soc`` attaches a
+    :class:`~repro.soc.SocSpec` — each side instantiates its own device
+    set from it, so lock-step covers MMIO and interrupt timing.
     """
     from ..sim.golden import GoldenSim
 
     rtl = RisspSim(core, program, trace=True, backend=backend, soc=soc)
     gold = GoldenSim(program, trace=True, soc=soc)
-    rtl_trace = RvfiTrace(capacity=1)
     if isinstance(golden_trace_out, RvfiTrace):
         gold_trace = golden_trace_out
         emit_records = None
@@ -359,22 +525,81 @@ def cosimulate(core: Module, program: Program,
         emit_records = golden_trace_out
     field_slots = [RvfiTrace.FIELDS.index(name) for name in COSIM_FIELDS]
     try:
+        if rtl._fused is not None:
+            return _cosimulate_fused(rtl, gold, gold_trace, field_slots,
+                                     max_instructions)
+        rtl_trace = RvfiTrace(capacity=1)
         for index in range(max_instructions):
             rtl_halt, _ = rtl._cycle(index, rtl_trace)
             gold_halt, _ = gold.retire_one(index, gold_trace)
-            rtl_row = rtl_trace.row(-1)
-            gold_row = gold_trace.row(-1)
-            if rtl_row != gold_row:
-                for slot, field_name in zip(field_slots, COSIM_FIELDS):
-                    if rtl_row[slot] != gold_row[slot]:
-                        return CosimMismatch(index, field_name,
-                                             rtl_row[slot], gold_row[slot])
-            if rtl_halt != gold_halt:
-                return CosimMismatch(index, "halt", int(rtl_halt),
-                                     int(gold_halt))
+            mismatch = _retirement_mismatch(index, rtl_trace.row(-1),
+                                            gold_trace.row(-1), rtl_halt,
+                                            gold_halt, field_slots)
+            if mismatch is not None:
+                return mismatch
             if rtl_halt:
                 return None
         return CosimMismatch(max_instructions, "limit", 0, 0)
     finally:
         if emit_records is not None:
             emit_records.extend(gold_trace)
+
+
+def _retirement_mismatch(order: int, rtl_row: tuple, gold_row: tuple,
+                         rtl_halt: bool, gold_halt: bool,
+                         field_slots: list[int]) -> CosimMismatch | None:
+    """First-divergence verdict for one retirement — the single compare
+    both the per-cycle walk and the chunked fused path go through, so
+    their verdicts cannot drift apart."""
+    if rtl_row != gold_row:
+        for slot, field_name in zip(field_slots, COSIM_FIELDS):
+            if rtl_row[slot] != gold_row[slot]:
+                return CosimMismatch(order, field_name, rtl_row[slot],
+                                     gold_row[slot])
+    if rtl_halt != gold_halt:
+        return CosimMismatch(order, "halt", int(rtl_halt), int(gold_halt))
+    return None
+
+
+#: Retirements per fused-cosimulation chunk: bounds the RTL-side trace
+#: buffer (and how far the RTL can run past a divergence before the
+#: chunk's rows are compared).
+COSIM_CHUNK = 4096
+
+
+def _cosimulate_fused(rtl: RisspSim, gold, gold_trace: RvfiTrace,
+                      field_slots: list[int],
+                      max_instructions: int) -> CosimMismatch | None:
+    """Chunked lock-step: fused RTL execution vs per-retirement golden.
+
+    Verdict-equivalent to the per-cycle walk: rows are compared in
+    retirement order, halt divergence is checked per row, and an RTL-side
+    refusal (SimulationError/MemoryError_) propagates only if every row
+    retired before it matched — exactly the information order the
+    cycle-by-cycle loop observes.
+    """
+    order = 0
+    while order < max_instructions:
+        chunk = RvfiTrace()
+        refusal = None
+        rtl_halted = False
+        try:
+            rtl_halted, _, _ = rtl._fused_run(
+                order, min(order + COSIM_CHUNK, max_instructions), chunk)
+        except (SimulationError, MemoryError_) as exc:
+            refusal = exc
+        rows = len(chunk)
+        for index in range(rows):
+            gold_halt, _ = gold.retire_one(order + index, gold_trace)
+            rtl_halt = rtl_halted and index == rows - 1
+            mismatch = _retirement_mismatch(order + index, chunk.row(index),
+                                            gold_trace.row(-1), rtl_halt,
+                                            gold_halt, field_slots)
+            if mismatch is not None:
+                return mismatch
+            if rtl_halt:
+                return None
+        if refusal is not None:
+            raise refusal
+        order += rows
+    return CosimMismatch(max_instructions, "limit", 0, 0)

@@ -428,6 +428,32 @@ def expr_signals(expr: Expr) -> set[str]:
     return out
 
 
+def map_children(expr: Expr, fn) -> Expr:
+    """Rebuild one node with each child expression mapped through ``fn``.
+
+    Leaves (:class:`Const`/:class:`Sig`) are returned unchanged.  The
+    single place that knows every node's shape — all expression rewriters
+    (:func:`substitute`, the compiled backend's memoized substitution and
+    its word-only subtree extraction) dispatch through it, so adding a
+    node type cannot silently leave one walker behind.
+    """
+    if isinstance(expr, (Const, Sig)):
+        return expr
+    if isinstance(expr, Not):
+        return Not(fn(expr.a))
+    if isinstance(expr, Binary):
+        return Binary(expr.op, fn(expr.a), fn(expr.b))
+    if isinstance(expr, Mux):
+        return Mux(fn(expr.sel), fn(expr.a), fn(expr.b))
+    if isinstance(expr, Cat):
+        return Cat(tuple(fn(part) for part in expr.parts))
+    if isinstance(expr, Slice):
+        return Slice(fn(expr.a), expr.hi, expr.lo)
+    if isinstance(expr, Ext):
+        return Ext(fn(expr.a), expr.out_width, expr.signed)
+    raise IrError(f"cannot rewrite {type(expr).__name__}")
+
+
 def substitute(expr: Expr, mapping: dict[str, Expr]) -> Expr:
     """Rewrite ``expr``, replacing each :class:`Sig` via ``mapping``.
 
@@ -436,24 +462,7 @@ def substitute(expr: Expr, mapping: dict[str, Expr]) -> Expr:
     """
     if isinstance(expr, Sig):
         return mapping.get(expr.name, expr)
-    if isinstance(expr, Const):
-        return expr
-    if isinstance(expr, Not):
-        return Not(substitute(expr.a, mapping))
-    if isinstance(expr, Binary):
-        return Binary(expr.op, substitute(expr.a, mapping),
-                      substitute(expr.b, mapping))
-    if isinstance(expr, Mux):
-        return Mux(substitute(expr.sel, mapping),
-                   substitute(expr.a, mapping),
-                   substitute(expr.b, mapping))
-    if isinstance(expr, Cat):
-        return Cat(tuple(substitute(p, mapping) for p in expr.parts))
-    if isinstance(expr, Slice):
-        return Slice(substitute(expr.a, mapping), expr.hi, expr.lo)
-    if isinstance(expr, Ext):
-        return Ext(substitute(expr.a, mapping), expr.out_width, expr.signed)
-    raise IrError(f"cannot substitute in {type(expr).__name__}")
+    return map_children(expr, lambda child: substitute(child, mapping))
 
 
 def inline(parent: Module, child: Module, prefix: str,

@@ -16,7 +16,7 @@ SystemVerilog, and :mod:`repro.synth` can lower it to gates.
 
 from __future__ import annotations
 
-from .ir import Expr, Module, RegFileSpec, cat, const, inline, mux
+from .ir import Expr, IrError, Module, RegFileSpec, cat, const, inline, mux
 from .library import IsaHardwareLibrary, default_library
 from .modularex import build_modularex
 
@@ -166,4 +166,13 @@ def build_rissp(mnemonics: list[str],
     core.meta["modularex"] = ex
     core.meta["trap_unit"] = trap_unit
     core.check()
+    # Every stitched RISSP must satisfy the fused-loop harness interface
+    # (storage-exposed RF, imem/dmem ports, the CORE_INTERFACE outputs) —
+    # assert the contract at build time so a stitching change that would
+    # silently demote RisspSim to the per-cycle path fails loudly instead.
+    from .compiled import core_fusable
+    if not core_fusable(core):
+        raise IrError(f"{name}: stitched core lost the fused harness "
+                      f"interface")
+    core.meta["fusable"] = True
     return core

@@ -1,26 +1,32 @@
 """Cycle-accurate evaluation of RTL IR modules.
 
-This is the repo's RTL simulator.  Two backends share the exact same
+This is the repo's RTL simulator.  Three backends share the exact same
 public interface and bit-identical semantics:
 
-* ``"compiled"`` (the default): each module's assign DAG and register
-  commit are lowered once to straight-line Python by
-  :mod:`repro.rtl.compiled` and executed as two ``exec``-compiled
-  functions — the RTL analog of the ISS decoded-op cache, an order of
-  magnitude faster per cycle (see
-  ``benchmarks/test_bench_rtl_throughput.py``).
+* ``"fused"`` (the default): the per-cycle entry points below are the
+  ``exec``-compiled pair from :mod:`repro.rtl.compiled`, and — for
+  RISSP-shaped cores driven through :class:`repro.rtl.core_sim.RisspSim`
+  — whole-program execution additionally rides the fused cycle loop
+  (:func:`repro.rtl.compiled.compile_core`), which keeps fetch, the
+  combinational settle, memory traffic and the register commit inside one
+  generated function (see ``benchmarks/test_bench_rtl_throughput.py``).
+* ``"compiled"``: the PR 2 per-cycle compiled backend — same two
+  ``exec``-compiled functions, but every cycle crosses the
+  Python/:class:`RtlSim` boundary (``set_inputs``/``eval_comb``/``get``/
+  ``tick``).  Kept as the mid-level oracle for the fused loop.
 * ``"interpreter"``: the original tree-walking evaluator built on
   :func:`eval_expr`, which walks every expression node each cycle.  It is
-  kept as the reference oracle; the differential harness in
-  ``tests/test_rtl_compiled_diff.py`` checks the compiled backend against
-  it on randomized DAGs and on whole-core lock-step runs.
+  the reference oracle; the differential harnesses in
+  ``tests/test_rtl_compiled_diff.py`` and ``tests/test_rtl_fused_diff.py``
+  check the fast backends against it on randomized DAGs, randomized
+  programs and whole-core lock-step runs.
 
 Force a backend per instance with ``RtlSim(module, backend="interpreter")``
 or process-wide with the ``REPRO_RTL_BACKEND`` environment variable (the
 constructor argument wins).  The RISCOF-analog compliance flow, RVFI
 cosimulation and the fmax/serv benchmark harnesses all run whole programs
-through :class:`RtlSim` and therefore ride the compiled backend by
-default.
+through :class:`RtlSim`/:class:`~repro.rtl.core_sim.RisspSim` and
+therefore ride the fused backend by default.
 """
 
 from __future__ import annotations
@@ -135,12 +141,12 @@ class RtlSim:
         module.check()
         self.module = module
         if backend is None:
-            backend = os.environ.get("REPRO_RTL_BACKEND", "compiled")
-        if backend not in ("compiled", "interpreter"):
+            backend = os.environ.get("REPRO_RTL_BACKEND", "fused")
+        if backend not in ("fused", "compiled", "interpreter"):
             raise IrError(f"unknown RTL backend {backend!r}")
         self.backend = backend
         self._compiled = None
-        if backend == "compiled":
+        if backend in ("fused", "compiled"):
             # topo_order already ran inside check(); the compiled code has
             # the evaluation order baked in, so _order is interpreter-only.
             self._order = None

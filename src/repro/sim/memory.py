@@ -34,6 +34,22 @@ class Memory:
             mem.write_blob(program.data_base, bytes(program.data_bytes))
         return mem
 
+    @property
+    def raw(self) -> bytearray:
+        """The backing byte store.
+
+        The fused RTL backend reads/writes this directly for accesses it
+        has already bounds- and alignment-checked; everything else goes
+        through :meth:`load`/:meth:`store`.
+        """
+        return self._bytes
+
+    @property
+    def direct_size(self) -> int:
+        """Bytes addressable through :attr:`raw` without device routing
+        (the whole space for flat RAM; the RAM window for an MMIO bus)."""
+        return self.size
+
     def _check(self, addr: int, width: int) -> int:
         addr = to_u32(addr)
         if addr + width > self.size:

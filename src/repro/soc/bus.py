@@ -76,6 +76,19 @@ class SocBus:
                 raise ValueError(f"device window {base:#x} overlaps another")
         self._windows.append((base, end, device))
 
+    @property
+    def raw(self) -> bytearray:
+        """RAM byte store for pre-checked direct access (below
+        :attr:`direct_size` only — device windows must go through
+        :meth:`load`/:meth:`store`)."""
+        return self.ram.raw
+
+    @property
+    def direct_size(self) -> int:
+        """Bytes addressable through :attr:`raw`: exactly the RAM window,
+        so every device access routes through the bus."""
+        return self.ram.size
+
     def is_mmio(self, addr: int) -> bool:
         return any(base <= addr < end for base, end, _ in self._windows)
 

@@ -160,6 +160,52 @@ def enumerate_rtl_mutations(module: Module, limit: int = 24,
     return [candidates[int(i * stride)] for i in range(limit)]
 
 
+def cosim_verdict(core: Module, program, backend: str | None = None,
+                  max_instructions: int = 2_000) -> str | None:
+    """Cosimulation outcome of one core as a comparable verdict.
+
+    ``None`` means the lock-step run matched the golden reference through
+    the halting instruction; any string is a kill — either the first
+    diverging RVFI field (``"mismatch:<field>"``) or a simulator refusal
+    (``"refused:<ExceptionName>"``).  Used to assert that every evaluator
+    backend reaches the *same* verdict on the same mutant.
+    """
+    from ..rtl.core_sim import cosimulate
+    from ..sim.decoded import SimulationError
+    from ..sim.memory import MemoryError_
+
+    try:
+        mismatch = cosimulate(core, program,
+                              max_instructions=max_instructions,
+                              backend=backend)
+    except (SimulationError, MemoryError_) as exc:
+        return f"refused:{type(exc).__name__}"
+    if mismatch is None:
+        return None
+    return f"mismatch:{mismatch.field}"
+
+
+def rtl_mutant_kill_matrix(core: Module, program, backends,
+                           limit: int = 24,
+                           max_instructions: int = 2_000
+                           ) -> dict[str, dict[str, str | None]]:
+    """Verdict of every enumerated RTL mutant under every backend.
+
+    Returns ``{mutant description: {backend: verdict}}`` over the same
+    deterministic mutant set :func:`enumerate_rtl_mutations` hands the
+    mutation tests, so a fast path that silently weakens (or accidentally
+    "improves") verification shows up as an unequal matrix row.
+    """
+    matrix: dict[str, dict[str, str | None]] = {}
+    for mutation in enumerate_rtl_mutations(core, limit=limit):
+        mutant = apply_rtl_mutation(core, mutation)
+        matrix[mutation.description] = {
+            backend: cosim_verdict(mutant, program, backend,
+                                   max_instructions)
+            for backend in backends}
+    return matrix
+
+
 def apply_rtl_mutation(module: Module, mutation: RtlMutation) -> Module:
     """A structurally fresh copy of ``module`` with one assign mutated.
 

@@ -1,0 +1,100 @@
+"""Schema check for the ``BENCH_*.json`` benchmark artifacts.
+
+CI uploads these documents on every run; before PR 4 a benchmark could
+write a NaN speedup or drop a field and the artifact would upload as
+garbage.  :mod:`repro.core.bench_schema` now validates at write time —
+these tests lock the validator itself down and re-validate whatever the
+benchmark session already wrote to disk (``benchmarks`` sorts before
+``tests``, so in a full tier-1 run the artifacts exist by the time this
+file executes).
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.core.bench_schema import (
+    bench_artifact_dir,
+    validate_artifact,
+    validate_artifact_file,
+    write_bench_artifact,
+)
+
+
+def _good_document():
+    return {
+        "bench": "rtl_throughput",
+        "host": {"python": "3.11.0", "machine": "x86_64",
+                 "system": "Linux"},
+        "metrics": {"fused_cycles_per_sec": 2.2e5,
+                    "fused_speedup_over_compiled": 6.5,
+                    "notes": "ok",
+                    "table": {"crc32": {"cpi": 1.0}}},
+    }
+
+
+def test_good_document_validates():
+    assert validate_artifact(_good_document()) == []
+
+
+@pytest.mark.parametrize("mutate, needle", [
+    (lambda d: d.pop("bench"), "missing required field 'bench'"),
+    (lambda d: d.pop("host"), "missing required field 'host'"),
+    (lambda d: d.pop("metrics"), "missing required field 'metrics'"),
+    (lambda d: d.update(bench=""), "bench must be"),
+    (lambda d: d.update(bench="../escape"), "bench must be"),
+    (lambda d: d["host"].pop("python"), "host.python"),
+    (lambda d: d.update(host="laptop"), "host must be an object"),
+    (lambda d: d.update(metrics={}), "non-empty object"),
+    (lambda d: d.update(extra=1), "unknown top-level"),
+    (lambda d: d["metrics"].update(bad=float("nan")), "non-finite"),
+    (lambda d: d["metrics"].update(bad=float("inf")), "non-finite"),
+    (lambda d: d["metrics"].update(bad=None), "unsupported leaf"),
+    (lambda d: d["metrics"].update(bad=[1, 2]), "unsupported leaf"),
+    (lambda d: d.update(metrics={"only_text": "no numbers"}),
+     "no numeric values"),
+])
+def test_malformed_documents_rejected(mutate, needle):
+    document = _good_document()
+    mutate(document)
+    errors = validate_artifact(document)
+    assert errors and any(needle in error for error in errors), \
+        (needle, errors)
+
+
+def test_writer_round_trips_and_validates(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+    path = write_bench_artifact("unit_test", {"speedup": 3.5})
+    assert path == tmp_path / "BENCH_unit_test.json"
+    assert validate_artifact_file(path) == []
+    document = json.loads(path.read_text())
+    assert document["metrics"]["speedup"] == 3.5
+    assert document["host"]["python"]
+
+
+def test_writer_refuses_malformed_payload(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+    with pytest.raises(ValueError, match="malformed benchmark artifact"):
+        write_bench_artifact("bad", {"speedup": math.nan})
+    with pytest.raises(ValueError, match="malformed benchmark artifact"):
+        write_bench_artifact("empty", {})
+    assert not list(tmp_path.glob("BENCH_*.json"))    # nothing uploaded
+
+
+def test_invalid_json_file_reported(tmp_path):
+    path = tmp_path / "BENCH_broken.json"
+    path.write_text("{not json")
+    errors = validate_artifact_file(path)
+    assert errors and "not valid JSON" in errors[0]
+
+
+def test_on_disk_artifacts_conform():
+    """Whatever the benchmark session wrote must pass the schema — this
+    is the gate that turns a malformed upload into a red CI run."""
+    artifacts = sorted(bench_artifact_dir().glob("BENCH_*.json"))
+    if not artifacts:
+        pytest.skip("no benchmark artifacts written in this session")
+    errors = [error for path in artifacts
+              for error in validate_artifact_file(path)]
+    assert not errors, errors

@@ -1,9 +1,10 @@
-"""Mutation smoke test for the compiled RTL backend.
+"""Mutation smoke test for the compiled and fused RTL backends.
 
-The point of the fast path is speed, not leniency: running verification on
-the compiled evaluator must kill exactly the faults the interpreter kills.
-This test injects the deterministic RTL mutant set from
-:mod:`repro.verify.mutation` into a RISSP core and asserts that
+The point of the fast paths is speed, not leniency: running verification
+on the compiled evaluator — per-cycle or through the fused whole-cycle
+loop — must kill exactly the faults the interpreter kills.  This test
+injects the deterministic RTL mutant set from :mod:`repro.verify.mutation`
+into a RISSP core and asserts that
 
 * every mutant trips cosimulation on the compiled backend (a mismatch, a
   "limit" pseudo-mismatch, or a simulator refusal all count as caught) —
@@ -11,9 +12,10 @@ This test injects the deterministic RTL mutant set from
   which is proven by lock-step-comparing the mutant RTL against the
   pristine RTL (the analog of the gate campaign's equivalence filter:
   cosimulation can only ever see architectural effects),
-* a sample of mutants produces the *same* verdict under both backends —
-  the compiled fast path neither weakens nor accidentally "improves"
-  verification,
+* the full mutant-kill matrix is *identical* across all three backends —
+  every mutant the oracle kills is killed through the fused loop with the
+  very same verdict, so the fast paths neither weaken nor accidentally
+  "improve" verification,
 * the pristine core still cosimulates cleanly, so the trips are the
   mutants' doing.
 """
@@ -21,10 +23,15 @@ This test injects the deterministic RTL mutant set from
 import pytest
 
 from repro.isa import assemble
-from repro.rtl import RisspSim, build_rissp, cosimulate
+from repro.rtl import RisspSim, build_rissp
 from repro.rtl.core_sim import COSIM_FIELDS
 from repro.sim import MemoryError_, SimulationError
-from repro.verify.mutation import apply_rtl_mutation, enumerate_rtl_mutations
+from repro.verify.mutation import (
+    apply_rtl_mutation,
+    cosim_verdict,
+    enumerate_rtl_mutations,
+    rtl_mutant_kill_matrix,
+)
 
 _SUBSET = ["add", "addi", "sub", "and", "or", "xor", "slt", "sll", "srl",
            "lui", "lw", "sw", "beq", "bne", "jal", "jalr", "ecall"]
@@ -78,14 +85,7 @@ def program():
 def _verdict(core, program, backend):
     """Cosimulation outcome for one core: None = clean, str = how it
     tripped."""
-    try:
-        mismatch = cosimulate(core, program, max_instructions=2_000,
-                              backend=backend)
-    except (SimulationError, MemoryError_) as exc:
-        return f"refused:{type(exc).__name__}"
-    if mismatch is None:
-        return None
-    return f"mismatch:{mismatch.field}"
+    return cosim_verdict(core, program, backend, max_instructions=2_000)
 
 
 def _architectural_trace(core, program):
@@ -124,12 +124,34 @@ def test_every_mutant_trips_compiled_cosimulation(core, program):
 
 
 def test_backends_agree_on_mutant_verdicts(core, program):
-    """The fast path must catch a mutant exactly when the oracle does."""
+    """The fast paths must catch a mutant exactly when the oracle does."""
     mutations = enumerate_rtl_mutations(core, limit=24)
     for mutation in mutations[::4]:
         mutant = apply_rtl_mutation(core, mutation)
+        fused = _verdict(mutant, program, "fused")
         compiled = _verdict(mutant, program, "compiled")
         interpreted = _verdict(mutant, program, "interpreter")
-        assert compiled == interpreted, (
-            f"{mutation.description}: compiled={compiled} "
+        assert fused == compiled == interpreted, (
+            f"{mutation.description}: fused={fused} compiled={compiled} "
             f"interpreter={interpreted}")
+
+
+def test_fused_kill_matrix_matches_oracle(core, program):
+    """Full matrix parity: every RTL mutant killed by the tree-walking
+    oracle is killed *through the fused loop* (and the per-cycle compiled
+    backend) with the same verdict — per-mutant, per-backend, asserted
+    equal row by row.  The interpreter column makes this independent of
+    the _Emitter codegen the two fast backends share; the cycle budget is
+    trimmed so the oracle's runaway-mutant legs stay affordable (a limit
+    kill is a limit kill at any budget)."""
+    matrix = rtl_mutant_kill_matrix(
+        core, program, backends=("fused", "compiled", "interpreter"),
+        limit=24, max_instructions=400)
+    assert len(matrix) == 24
+    unequal = {description: verdicts
+               for description, verdicts in matrix.items()
+               if len(set(verdicts.values())) != 1}
+    assert not unequal, f"kill matrices diverge: {unequal}"
+    kills = sum(1 for verdicts in matrix.values()
+                if verdicts["fused"] is not None)
+    assert kills >= 15, f"mutant set lost its teeth: {kills}/24 killed"

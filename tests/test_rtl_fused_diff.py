@@ -1,0 +1,295 @@
+"""Differential fuzz harness: fused cycle loop vs per-cycle backends.
+
+PR 4 fused the whole RTL cycle loop into one generated function
+(:func:`repro.rtl.compiled.compile_core`).  The speedup is only
+trustworthy if the fused fast path is observationally identical to the
+oracles, so this suite runs the same programs lock-step on all three
+backends — ``fused``, per-cycle ``compiled`` (PR 2) and the tree-walking
+``interpreter`` — and compares the complete columnar RVFI trace
+(including the ``trap``/``intr`` flags), the halt cause and the exit
+code, row by row:
+
+* **randomized programs** — a seeded generator mixes every ALU/shift/
+  compare op with memory round-trips and bounded loops;
+* **randomized trap firmware** — handler installs, Zicsr traffic,
+  ecall round-trips through the hardware trap unit;
+* **real workloads from every registry category** — a MicroC-compiled
+  embench kernel and extreme-edge app (bounded-prefix lock-step, so the
+  interpreter leg stays cheap) plus the event-driven SoC firmware images
+  with their MMIO platform and timer interrupts, run to halt;
+* **fault injection** — corrupted fused-side rows must surface as cosim
+  mismatches, proving the chunked fused compare path actually gates;
+* **backend selection** — ``REPRO_RTL_BACKEND`` must pick each backend,
+  and only ``fused`` may arm the fused loop.
+"""
+
+import random
+
+import pytest
+
+from repro.isa import INSTRUCTIONS, assemble
+from repro.rtl import build_rissp
+from repro.rtl.core_sim import RisspSim, cosimulate
+from repro.sim.tracing import RvfiTrace
+from repro.workloads import WORKLOADS
+
+BACKENDS = ("fused", "compiled", "interpreter")
+
+FULL_SUBSET = [d.mnemonic for d in INSTRUCTIONS]
+FULL_TRAP_SUBSET = FULL_SUBSET + ["mret"]
+
+
+@pytest.fixture(scope="module")
+def full_core():
+    return build_rissp(FULL_SUBSET)
+
+
+@pytest.fixture(scope="module")
+def trap_core():
+    return build_rissp(FULL_TRAP_SUBSET)
+
+
+def _rows(result):
+    trace = result.trace
+    return [trace.row(index) for index in range(len(trace))]
+
+
+def _assert_lockstep(core, program, max_instructions, soc=None,
+                     context=""):
+    """Run on every backend with full tracing; all rows must be equal."""
+    results = {}
+    for backend in BACKENDS:
+        sim = RisspSim(core, program, trace=True, backend=backend, soc=soc)
+        results[backend] = sim.run(max_instructions)
+    reference = results["interpreter"]
+    ref_rows = _rows(reference)
+    for backend in ("fused", "compiled"):
+        result = results[backend]
+        assert (result.exit_code, result.instructions, result.halted_by) \
+            == (reference.exit_code, reference.instructions,
+                reference.halted_by), f"{context}: {backend} outcome"
+        rows = _rows(result)
+        assert len(rows) == len(ref_rows), f"{context}: {backend} length"
+        for index, (got, want) in enumerate(zip(rows, ref_rows)):
+            if got != want:
+                fields = [(name, a, b) for name, a, b in
+                          zip(RvfiTrace.FIELDS, got, want) if a != b]
+                raise AssertionError(
+                    f"{context}: {backend} row {index} diverges: {fields}")
+    return reference
+
+
+# ---------------------------------------------------------------- fuzzing
+
+_OPS_RRR = ["add", "sub", "and", "or", "xor", "sll", "srl", "sra",
+            "slt", "sltu"]
+_OPS_RRI = ["addi", "andi", "ori", "xori", "slti", "sltiu"]
+_OPS_SHI = ["slli", "srli", "srai"]
+_LOADS = ["lw", "lh", "lhu", "lb", "lbu"]
+_STORES = {"sw": 4, "sh": 2, "sb": 1}
+_REGS = ["t0", "t1", "t2", "a2", "a3", "a4", "a5", "s0", "s1"]
+
+
+def _random_program(seed: int) -> str:
+    """A random halting program: ALU soup + memory round-trips + a
+    counted loop, accumulating a checksum into a0."""
+    rng = random.Random(seed)
+    lines = [".text", "main:", "    li a0, 0", "    li a1, 0",
+             "    li gp, 0x8000"]
+    for reg in _REGS:
+        lines.append(f"    li {reg}, {rng.randrange(-2048, 2048)}")
+    lines.append(f"    li tp, {rng.randrange(3, 7)}")   # loop counter
+    lines.append("loop:")
+    for index in range(rng.randrange(10, 25)):
+        roll = rng.randrange(10)
+        rd = rng.choice(_REGS)
+        rs1 = rng.choice(_REGS)
+        rs2 = rng.choice(_REGS)
+        if roll < 4:
+            lines.append(f"    {rng.choice(_OPS_RRR)} {rd}, {rs1}, {rs2}")
+        elif roll < 6:
+            lines.append(f"    {rng.choice(_OPS_RRI)} {rd}, {rs1}, "
+                         f"{rng.randrange(-2048, 2048)}")
+        elif roll < 7:
+            lines.append(f"    {rng.choice(_OPS_SHI)} {rd}, {rs1}, "
+                         f"{rng.randrange(32)}")
+        elif roll < 8:
+            offset = 4 * rng.randrange(8)
+            mnemonic = rng.choice(list(_STORES))
+            lines.append(f"    {mnemonic} {rs1}, {offset}(gp)")
+        else:
+            offset = 4 * rng.randrange(8)
+            lines.append(f"    {rng.choice(_LOADS)} {rd}, {offset}(gp)")
+        lines.append(f"    add a0, a0, {rd}")
+        if roll == 9 and index % 3 == 0:
+            lines.append(f"    beq {rs1}, {rs2}, skip{seed}_{index}")
+            lines.append("    addi a0, a0, 1")
+            lines.append(f"skip{seed}_{index}:")
+    lines += ["    addi tp, tp, -1", "    bne tp, zero, loop", "    ret"]
+    return "\n".join(lines) + "\n"
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_programs_lockstep_on_all_backends(seed, full_core):
+    program = assemble(_random_program(seed))
+    reference = _assert_lockstep(full_core, program, 20_000,
+                                 context=f"seed={seed}")
+    assert reference.halted_by == "ecall"
+    # The reference itself must match the golden ISS (fused chunked cosim).
+    assert cosimulate(full_core, program, max_instructions=20_000,
+                      backend="fused") is None
+
+
+def _random_trap_program(seed: int) -> str:
+    """Random compute burst wrapped in trap plumbing: install a handler,
+    bounce through ecall a few times, read CSRs back, then halt."""
+    rng = random.Random(seed)
+    body = []
+    for _ in range(rng.randrange(4, 10)):
+        body.append(f"    {rng.choice(_OPS_RRI)} "
+                    f"{rng.choice(_REGS)}, {rng.choice(_REGS)}, "
+                    f"{rng.randrange(-512, 512)}")
+    bounces = rng.randrange(2, 5)
+    return "\n".join([
+        ".text", "main:",
+        "    la t0, handler",
+        "    csrw mtvec, t0",
+        "    li a0, 0",
+        f"    li tp, {bounces}",
+        "again:"] + body + [
+        "    ecall",                      # hardware trap entry
+        "    csrr a2, mepc",
+        "    add a0, a0, a2",
+        "    csrr a3, mcause",
+        "    add a0, a0, a3",
+        "    addi tp, tp, -1",
+        "    bne tp, zero, again",
+        "    csrw mtvec, x0",             # restore halt convention
+        "    ret",
+        "handler:",
+        "    csrr a4, mepc",
+        "    addi a4, a4, 4",
+        "    csrw mepc, a4",
+        "    addi a0, a0, 100",
+        "    mret",
+    ]) + "\n"
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_random_trap_firmware_lockstep_on_all_backends(seed, trap_core):
+    program = assemble(_random_trap_program(seed))
+    reference = _assert_lockstep(trap_core, program, 20_000,
+                                 context=f"trap seed={seed}")
+    assert reference.halted_by == "ecall"
+    rows = _rows(reference)
+    assert any(row[RvfiTrace.FIELDS.index("trap")] for row in rows), \
+        "trap firmware never trapped"
+    assert cosimulate(trap_core, program, max_instructions=20_000,
+                      backend="fused") is None
+
+
+# ----------------------------------------------- workload categories
+
+@pytest.mark.parametrize("name", ["crc32", "armpit"])
+def test_compiled_workload_prefix_lockstep(name, full_core):
+    """One embench kernel and one extreme-edge app (MicroC-compiled):
+    bounded-prefix lock-step keeps the interpreter leg affordable."""
+    from repro.compiler import compile_to_program
+
+    workload = WORKLOADS[name]
+    program = compile_to_program(workload.source, "O2").program
+    _assert_lockstep(full_core, program, 1_200, context=name)
+
+
+@pytest.mark.parametrize("name", ["uart_selftest", "label_refresh"])
+def test_soc_firmware_lockstep_on_all_backends(name, trap_core):
+    """Event-driven SoC firmware (timer ISR, wfi, MMIO devices) run to
+    halt on all three backends — trap/intr columns included."""
+    workload = WORKLOADS[name]
+    program = assemble(workload.source)
+    reference = _assert_lockstep(trap_core, program, 6_000,
+                                 soc=workload.soc_spec, context=name)
+    assert reference.halted_by in ("ecall", "poweroff")
+
+
+def test_af_detect_irq_fused_matches_compiled(trap_core):
+    """The long interrupt-driven firmware: fused vs per-cycle compiled to
+    halt (the interpreter leg is covered by the shorter images above)."""
+    workload = WORKLOADS["af_detect_irq"]
+    program = assemble(workload.source)
+    results = {}
+    for backend in ("fused", "compiled"):
+        sim = RisspSim(trap_core, program, trace=True, backend=backend,
+                       soc=workload.soc_spec)
+        results[backend] = sim.run(200_000)
+    fused, compiled = results["fused"], results["compiled"]
+    assert (fused.exit_code, fused.instructions, fused.halted_by) == \
+        (compiled.exit_code, compiled.instructions, compiled.halted_by)
+    assert _rows(fused) == _rows(compiled)
+    intr_slot = RvfiTrace.FIELDS.index("intr")
+    assert any(row[intr_slot] for row in _rows(fused)), \
+        "firmware took no interrupts"
+
+
+# ------------------------------------------------- fused cosim gating
+
+def test_fused_cosim_detects_injected_row_corruption(full_core,
+                                                     monkeypatch):
+    """Mirror of the per-cycle read-effect injection tests: poke one
+    recorded field in the fused chunk and the chunked compare must report
+    exactly that field."""
+    original = RisspSim._fused_run
+
+    def corrupted(self, count, limit, trace):
+        halted, reason, new_count = original(self, count, limit, trace)
+        if trace is not None and len(trace):
+            trace.poke(0, "rd_wdata", trace.peek(0, "rd_wdata") ^ 4)
+        return halted, reason, new_count
+
+    monkeypatch.setattr(RisspSim, "_fused_run", corrupted)
+    program = assemble(_random_program(1))
+    mismatch = cosimulate(full_core, program, max_instructions=20_000,
+                          backend="fused")
+    assert mismatch is not None and mismatch.field == "rd_wdata"
+    assert mismatch.rtl_value == mismatch.golden_value ^ 4
+
+
+def test_fused_cosim_reports_limit_exhaustion(full_core):
+    program = assemble(".text\nmain:\n j main\n")
+    mismatch = cosimulate(full_core, program, max_instructions=100,
+                          backend="fused")
+    assert mismatch is not None and mismatch.field == "limit"
+    assert mismatch.index == 100
+
+
+# ------------------------------------------------- backend selection
+
+def test_env_var_selects_every_backend(full_core, monkeypatch):
+    program = assemble(_random_program(2))
+    outcomes = {}
+    for backend in BACKENDS:
+        monkeypatch.setenv("REPRO_RTL_BACKEND", backend)
+        sim = RisspSim(full_core, program)
+        assert sim.rtl.backend == backend
+        # Only the fused backend arms the whole-cycle loop; the per-cycle
+        # oracles must keep driving _cycle.
+        assert (sim._fused is not None) == (backend == "fused")
+        result = sim.run(20_000)
+        outcomes[backend] = (result.exit_code, result.instructions,
+                             result.halted_by)
+    assert outcomes["fused"] == outcomes["compiled"] == \
+        outcomes["interpreter"]
+
+
+def test_constructor_backend_beats_env_var(full_core, monkeypatch):
+    monkeypatch.setenv("REPRO_RTL_BACKEND", "interpreter")
+    sim = RisspSim(full_core, assemble(_random_program(3)),
+                   backend="fused")
+    assert sim.rtl.backend == "fused" and sim._fused is not None
+
+
+def test_rissp_cores_advertise_fused_interface(full_core, trap_core):
+    from repro.rtl import core_fusable
+
+    for core in (full_core, trap_core):
+        assert core.meta["fusable"] and core_fusable(core)

@@ -1,11 +1,20 @@
 """State-handling coverage for :class:`RtlSim`: the legacy read-port
-settle path and ``reset()`` — previously untested branches of ``sim.py`` —
-exercised on both evaluator backends.
+settle path, ``reset()`` — including mid-run against the fused loop —
+and peek/poke fault injection, exercised on every evaluator backend.
 
 Legacy style: a :class:`RegFileSpec` read port whose data signal is *not*
 combinationally assigned.  The evaluator injects the addressed register's
 value right after the address signal is computed, then runs one more full
-sweep so data fed to earlier-ordered signals settles.
+sweep so data fed to earlier-ordered signals settles.  (Legacy-port
+modules are exactly the shape the fused loop refuses, so the ``fused``
+parametrization also locks in that :class:`RtlSim` level behaviour stays
+identical to ``compiled`` there.)
+
+The fused-state tests at the bottom pin the PR 4 flush/refresh contract:
+the generated ``run_cycles`` loads register state from ``env`` on entry
+and flushes it back on exit, so pausing a run to poke ``env``/the
+register file (fault injection) or to ``reset()`` must behave exactly
+like the per-cycle oracles.
 """
 
 import pytest
@@ -15,7 +24,7 @@ from repro.rtl import RisspSim, build_rissp
 from repro.rtl.ir import Module, RegFileSpec, const
 from repro.rtl.sim import RtlSim
 
-BACKENDS = ("compiled", "interpreter")
+BACKENDS = ("fused", "compiled", "interpreter")
 
 
 def _legacy_module(num_regs=8):
@@ -120,12 +129,13 @@ def test_legacy_cse_does_not_cache_stale_injection_data():
         for sim in sims:
             sim.set_inputs(addr1_in=addr1)
             sim.eval_comb()
-        compiled, interp = sims
-        assert compiled.env == interp.env, (
-            f"addr1={addr1}: " + repr(sorted(
-                (k, compiled.env.get(k), interp.env.get(k))
-                for k in set(compiled.env) | set(interp.env)
-                if compiled.env.get(k) != interp.env.get(k))))
+        interp = sims[-1]
+        for compiled in sims[:-1]:
+            assert compiled.env == interp.env, (
+                f"addr1={addr1} backend={compiled.backend}: " + repr(sorted(
+                    (k, compiled.env.get(k), interp.env.get(k))
+                    for k in set(compiled.env) | set(interp.env)
+                    if compiled.env.get(k) != interp.env.get(k))))
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
@@ -175,3 +185,109 @@ main:
     second = sim.run(1_000)
     assert (first.exit_code, first.halted_by, first.instructions) == \
         (second.exit_code, second.halted_by, second.instructions)
+
+
+# ------------------------------------------------ fused state coherency
+
+_COUNTED = """.text
+main:
+    li a0, 0
+    li a1, 200
+loop:
+    addi a0, a0, 1
+    bne a0, a1, loop
+    ret
+"""
+
+
+def _paused_run(backend, poke):
+    """Run 20 instructions, apply ``poke(sim)``, run to halt; the final
+    architectural outcome must not depend on the backend."""
+    core = build_rissp([d.mnemonic for d in INSTRUCTIONS])
+    sim = RisspSim(core, assemble(_COUNTED), backend=backend)
+    first = sim.run(20)
+    assert first.halted_by == "limit" and first.instructions == 20
+    poke(sim)
+    return sim.run(5_000)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_poke_regfile_between_runs_matches_oracle(backend):
+    """Fault injection into the register file while paused: the fused
+    loop must pick the poked value up from the shared array exactly like
+    the per-cycle backends (its state is refreshed on entry)."""
+    def poke(sim):
+        sim.rtl.regfile_data[10] = 190          # a0: skip most iterations
+
+    result = _paused_run(backend, poke)
+    reference = _paused_run("interpreter", poke)
+    assert (result.exit_code, result.instructions, result.halted_by) == \
+        (reference.exit_code, reference.instructions, reference.halted_by)
+    assert result.instructions < 100            # the poke really applied
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_poke_pc_between_runs_matches_oracle(backend):
+    """Poking env['pc'] while paused redirects the next fused chunk —
+    registers are reloaded from env on every run_cycles entry."""
+    def poke(sim):
+        sim.rtl.env["pc"] = 0x10                # the ret site
+
+    result = _paused_run(backend, poke)
+    reference = _paused_run("interpreter", poke)
+    assert (result.exit_code, result.instructions, result.halted_by) == \
+        (reference.exit_code, reference.instructions, reference.halted_by)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_reset_mid_run_matches_oracle(backend):
+    """RtlSim.reset() between two run() calls: the second run must replay
+    the program from scratch on every backend (fused included — the loop
+    must not resurrect pre-reset register locals)."""
+    from repro.sim.golden import abi_initial_regs
+
+    core = build_rissp([d.mnemonic for d in INSTRUCTIONS])
+    prog = assemble(_COUNTED)
+
+    def run_with_reset(backend):
+        sim = RisspSim(core, prog, backend=backend)
+        sim.run(17)                              # stop mid-loop
+        sim.rtl.reset()
+        sim.rtl.env["pc"] = prog.entry
+        for index, value in abi_initial_regs(sim.memory.size).items():
+            sim.rtl.regfile_data[index] = value
+        return sim.run(5_000)
+
+    result = run_with_reset(backend)
+    reference = run_with_reset("interpreter")
+    assert result.halted_by == "ecall"
+    assert (result.exit_code, result.instructions, result.halted_by) == \
+        (reference.exit_code, reference.instructions, reference.halted_by)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_env_coherent_after_partial_run(backend):
+    """After any run() the register state visible through get()/env must
+    agree across backends, and a manual set_inputs/eval_comb probe on the
+    paused simulator must produce identical combinational signals — the
+    fused loop's exit flush + re-settle at work."""
+    core = build_rissp([d.mnemonic for d in INSTRUCTIONS])
+    sims = {b: RisspSim(core, assemble(_COUNTED), backend=b)
+            for b in BACKENDS}
+    for sim in sims.values():
+        sim.run(25)
+    pcs = {b: sim.rtl.get("pc") for b, sim in sims.items()}
+    assert len(set(pcs.values())) == 1, pcs
+    regs = {b: list(sim.rtl.regfile_data) for b, sim in sims.items()}
+    assert regs["fused"] == regs["compiled"] == regs["interpreter"]
+    # Drive one cycle by hand through the per-cycle API on all three.
+    word = sims["fused"].memory.fetch(pcs["fused"])
+    probes = {}
+    for backend, sim in sims.items():
+        sim.rtl.set_inputs(imem_rdata=word, dmem_rdata=0)
+        sim.rtl.eval_comb()
+        probes[backend] = {name: sim.rtl.get(name)
+                           for name in ("next_pc", "halt", "illegal",
+                                        "rf_we", "rf_waddr", "rf_wdata",
+                                        "dmem_re", "dmem_wstrb")}
+    assert probes["fused"] == probes["compiled"] == probes["interpreter"]

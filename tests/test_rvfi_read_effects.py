@@ -100,7 +100,11 @@ def test_cosim_detects_injected_read_corruption(full_core, monkeypatch):
         return halted, reason
 
     monkeypatch.setattr(RisspSim, "_cycle", corrupted)
-    mismatch = cosimulate(full_core, assemble(_SUBWORD_LOADS))
+    # backend="compiled" pins the per-cycle path the patched _cycle rides;
+    # the fused-loop compare path gets the same treatment in
+    # tests/test_rtl_fused_diff.py.
+    mismatch = cosimulate(full_core, assemble(_SUBWORD_LOADS),
+                          backend="compiled")
     assert mismatch is not None and mismatch.field == "mem_rdata"
     assert mismatch.rtl_value == mismatch.golden_value ^ 1
 
@@ -116,7 +120,8 @@ def test_cosim_detects_injected_read_mask_corruption(full_core, monkeypatch):
         return halted, reason
 
     monkeypatch.setattr(RisspSim, "_cycle", corrupted)
-    mismatch = cosimulate(full_core, assemble(_SUBWORD_LOADS))
+    mismatch = cosimulate(full_core, assemble(_SUBWORD_LOADS),
+                          backend="compiled")
     assert mismatch is not None and mismatch.field == "mem_rmask"
 
 

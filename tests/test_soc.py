@@ -455,7 +455,7 @@ def test_trap_free_cores_unchanged(trap_core):
     assert trap_core.meta["trap_unit"]
 
 
-@pytest.mark.parametrize("backend", ["compiled", "interpreter"])
+@pytest.mark.parametrize("backend", ["fused", "compiled", "interpreter"])
 def test_cosimulate_timer_interrupt_workload(trap_core, backend):
     prog = assemble(TIMER_LOOP)
     mismatch = cosimulate(trap_core, prog, soc=SocSpec(), backend=backend)

@@ -10,7 +10,6 @@ golden ISS numbers); Serv is the paper's bit-serial baseline at CPI ~32
 plus memory/redirect penalties — exactly the Figure 9 comparison axis.
 """
 
-from repro.compiler import compile_to_program
 from repro.sim import GoldenSim, ServSim
 from repro.workloads import SOC_NAMES, WORKLOADS
 
@@ -21,11 +20,9 @@ _LIMIT = 3_000_000
 
 
 def _program_and_spec(name):
+    from repro.workloads import build_program
     workload = WORKLOADS[name]
-    if workload.lang == "asm":
-        from repro.isa.assembler import assemble
-        return assemble(workload.source), workload.soc_spec
-    return compile_to_program(workload.source, "O2").program, None
+    return build_program(workload), workload.soc_spec
 
 
 def test_bench_workload_cpi(benchmark, bench_artifact):

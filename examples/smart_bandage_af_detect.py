@@ -4,11 +4,15 @@ detection (the paper's af_detect application, Table 1 "short-lived").
 PR 3 upgraded this from a run-to-completion kernel to the way the real
 device operates: a machine-timer ISR samples the ECG front-end
 (SensorPort) into a buffer while the core sleeps in ``wfi``, the
-MicroC-compiled APPT-style analysis stage classifies the window, the
-verdict goes out the UART, and the firmware powers the device down
-through the power gate.  The RISSP runs it cycle-by-cycle; the duty
-cycle (retired instructions vs. elapsed timer ticks) is what sizes the
-printed battery.
+APPT-style analysis stage classifies the window, the verdict goes out
+the UART, and the firmware powers the device down through the power
+gate.  Since PR 5 the *entire* firmware — ISR, trap setup and analysis —
+is one MicroC translation unit: the ``__interrupt`` qualifier and the
+``__csrw``/``__csrs``/``__csrc``/``__wfi`` intrinsics replaced the
+hand-written assembly runtime, so the paper's C toolflow really does
+carry the whole application.  The RISSP runs it cycle-by-cycle; the
+duty cycle (retired instructions vs. elapsed timer ticks) is what sizes
+the printed battery.
 """
 
 from repro import RisspFlow
@@ -18,8 +22,8 @@ from repro.rtl import RisspSim
 def main() -> None:
     flow = RisspFlow()
     result = flow.generate("af_detect_irq")
-    print(f"RISSP for af_detect_irq: {result.profile.num_distinct} "
-          f"compute instructions "
+    print(f"RISSP for af_detect_irq (all-C firmware, -{result.profile.opt_level}): "
+          f"{result.profile.num_distinct} compute instructions "
           f"(+ {len(result.profile.system_mnemonics)} machine-mode ops), "
           f"{result.synth.area_ge:.0f} GE, "
           f"fmax {result.synth.fmax_khz} kHz")

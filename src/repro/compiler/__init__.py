@@ -1,4 +1,44 @@
-"""MicroC compiler: the riscv32-gcc stand-in for the RISSP toolflow."""
+"""MicroC compiler: the riscv32-gcc stand-in for the RISSP toolflow.
+
+System intrinsics (PR 5)
+------------------------
+
+MicroC can express a complete machine-mode firmware image — trap setup,
+ISRs, CSR traffic and duty-cycled sleep — without a hand-written assembly
+runtime.  Five builtins lower straight to the Zicsr/``wfi`` encodings
+(the CSR id must be a compile-time constant expression; it is folded at
+parse time and emitted as the instruction's immediate):
+
+=======================  =================================================
+intrinsic                emitted instruction
+=======================  =================================================
+``__csrr(id)``           ``csrr rd, id`` — read, returns the CSR value
+``__csrw(id, v)``        ``csrw id, rs`` — write
+``__csrs(id, v)``        ``csrs id, rs`` — set the bits of ``v``
+``__csrc(id, v)``        ``csrc id, rs`` — clear the bits of ``v``
+``__wfi()``              ``wfi`` — sleep until an enabled interrupt
+                         source becomes pending
+=======================  =================================================
+
+A function declared with the ``__interrupt`` qualifier::
+
+    __interrupt void isr(void) { ... }
+
+becomes an interrupt service routine: codegen preserves every
+caller-saved register the handler can clobber — the full set (ra, gp,
+tp, t0-t2, a0-a5) when it calls out, just the registers it actually
+touches when it is a leaf — restores them in the epilogue, and returns
+with ``mret`` instead of ``ret``.  ISRs take no parameters, return
+``void`` and must not be called directly; install one by writing its
+address (a bare function name evaluates to its link-time address) to
+``mtvec``::
+
+    __csrw(0x305, isr);      /* mtvec = &isr */
+
+Memory-ordering note: ``__wfi()`` is a compiler barrier — locally
+value-numbered loads are invalidated across it, so ISR-written globals
+re-read after a wake-up observe fresh values.
+"""
 
 from .codegen import CodegenError
 from .driver import (

@@ -182,6 +182,9 @@ class Function:
     return_type: CType
     params: list[Param]
     body: Block
+    #: ``__interrupt``-qualified: emitted as an ISR (all caller-saved
+    #: registers preserved, returns with ``mret``).
+    interrupt: bool = False
 
 
 @dataclass

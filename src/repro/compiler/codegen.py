@@ -30,6 +30,15 @@ _STORE_ASM = {1: "sb", 2: "sh", 4: "sw"}
 _BUILTIN = {"mul": "__mulsi3", "div": "__divsi3", "udiv": "__udivsi3",
             "rem": "__modsi3", "urem": "__umodsi3"}
 
+#: Assembler pseudo-instruction per CSR IR op (rd-less write forms).
+_CSR_ASM = {"csrw": "csrw", "csrs": "csrs", "csrc": "csrc"}
+
+#: Registers an ISR must preserve besides the used callee-saved set:
+#: everything the ABI lets ordinary code clobber freely — the return
+#: address, both spill-scratch registers and all temporaries/arguments.
+_ISR_CLOBBERED = ("ra", "gp", "tp", "t0", "t1", "t2",
+                  "a0", "a1", "a2", "a3", "a4", "a5")
+
 
 class CodegenError(ValueError):
     pass
@@ -60,8 +69,25 @@ class FunctionEmitter:
             self.slot_offsets[slot.name] = offset
             offset += slot.size
         self.save_offsets: dict[str, int] = {}
-        for name in (["ra"] if self.has_call else []) \
-                + list(self.assign.used_callee_saved):
+        if self.fn.is_interrupt:
+            # ISR prologue: the interrupted code did not expect a call,
+            # so every caller-saved register the handler touches must be
+            # preserved across entry/mret.  A handler that calls out can
+            # clobber the full set through its callees; a leaf handler
+            # only clobbers the registers the allocator actually handed
+            # out (plus gp/tp, the spill scratch, when anything spills).
+            if self.has_call:
+                clobbered = set(_ISR_CLOBBERED)
+            else:
+                clobbered = set(self.assign.regs.values())
+                if self.assign.num_spill_slots:
+                    clobbered.update(SCRATCH)
+            saved = [name for name in _ISR_CLOBBERED if name in clobbered]
+            saved += list(self.assign.used_callee_saved)
+        else:
+            saved = (["ra"] if self.has_call else []) \
+                + list(self.assign.used_callee_saved)
+        for name in saved:
             self.save_offsets[name] = offset
             offset += 4
         self.frame_size = (offset + 15) & ~15
@@ -155,6 +181,15 @@ class FunctionEmitter:
 
     def run(self) -> list[str]:
         self.label(self.fn.name)
+        if self.fn.is_interrupt and self.frame_size > 2047:
+            # The large-frame paths spill through gp outside the
+            # save/restore window (li gp in the prologue before gp is
+            # saved, and in the epilogue after it is restored), which
+            # would corrupt the interrupted code's state across mret.
+            # 2047 is the bound because the epilogue's addi tops out
+            # there; refuse anything that would take the gp path.
+            raise CodegenError(f"{self.fn.name}: __interrupt frame of "
+                               f"{self.frame_size} bytes exceeds 2047")
         if self.frame_size:
             if self.frame_size <= 2048:
                 self.emit(f"addi sp, sp, -{self.frame_size}")
@@ -189,7 +224,7 @@ class FunctionEmitter:
             else:
                 self.emit(f"li gp, {self.frame_size}")
                 self.emit("add sp, sp, gp")
-        self.emit("ret")
+        self.emit("mret" if self.fn.is_interrupt else "ret")
         return self.lines
 
     def _bind_params(self) -> None:
@@ -301,6 +336,18 @@ class FunctionEmitter:
             return
         if op == "call":
             self._emit_call(instr.symbol, instr.args, instr.dest)
+            return
+        if op == "csrr":
+            name, slot = self.dst(instr.dest)
+            self.emit(f"csrr {name}, {instr.value:#x}")
+            self.store_back(name, slot)
+            return
+        if op in _CSR_ASM:
+            value = self.src(instr.a)
+            self.emit(f"{_CSR_ASM[op]} {instr.value:#x}, {value}")
+            return
+        if op == "wfi":
+            self.emit("wfi")
             return
         if op == "cbr":
             a = self.src(instr.a)

@@ -31,7 +31,10 @@ class IrInstr:
 
     op is one of: const, la, localaddr, mov, bin, bini, load, store, call,
     ret, br (conditional on a value), cbr (fused compare+branch), jmp,
-    label.
+    label — plus the PR 5 system ops csrr (dest <- CSR ``value``),
+    csrw/csrs/csrc (write/set/clear CSR ``value`` from ``a``) and wfi.
+    System ops are never folded, value-numbered or dead-code-eliminated
+    (they are not in the optimizer's pure-op set).
     """
 
     op: str
@@ -71,6 +74,9 @@ class IrFunction:
     slots: list[FrameSlot] = field(default_factory=list)
     next_vreg: int = 0
     returns_value: bool = True
+    #: ``__interrupt``-qualified: codegen emits the ISR prologue/epilogue
+    #: (all caller-saved registers preserved) and returns with ``mret``.
+    is_interrupt: bool = False
 
     def new_vreg(self) -> VReg:
         reg = VReg(self.next_vreg)

@@ -37,6 +37,7 @@ class IrGen:
         self.module = IrModule()
         self.globals: dict[str, _GlobalInfo] = {}
         self.func_types: dict[str, ast.CType] = {}
+        self.interrupt_functions: set[str] = set()
         self._label_count = 0
         #: -O2/-O3 loop-header copying: the condition is emitted twice
         #: (guard + latch), trading codesize for one jump per iteration.
@@ -59,6 +60,8 @@ class IrGen:
                 ast.CType("char", 1), True, ast.CType("char"))
         for func in self.unit.functions:
             self.func_types[func.name] = func.return_type
+            if func.interrupt:
+                self.interrupt_functions.add(func.name)
         for func in self.unit.functions:
             self.module.functions[func.name] = self._lower_function(func)
         return self.module
@@ -96,9 +99,17 @@ class IrGen:
     def _lower_function(self, func: ast.Function) -> IrFunction:
         self.fn = IrFunction(func.name, [],
                              returns_value=func.return_type.base != "void"
-                             or func.return_type.pointer > 0)
+                             or func.return_type.pointer > 0,
+                             is_interrupt=func.interrupt)
         self.scopes: list[dict[str, _Local]] = [{}]
         self.loop_stack: list[tuple[str, str]] = []   # (continue, break)
+        if func.interrupt:
+            if func.params:
+                raise SemaError(f"{func.name}: __interrupt functions take "
+                                f"no parameters")
+            if func.return_type.base != "void" or func.return_type.pointer:
+                raise SemaError(f"{func.name}: __interrupt functions must "
+                                f"return void")
         if len(func.params) > 6:
             raise SemaError(f"{func.name}: more than 6 parameters")
         for param in func.params:
@@ -357,6 +368,12 @@ class IrGen:
                                width=info.ctype.size,
                                signed=info.ctype.signed))
             return dest, info.ctype
+        if name in self.func_types:
+            # A bare function name evaluates to its link-time address —
+            # how firmware installs an __interrupt handler into mtvec.
+            dest = self.fn.new_vreg()
+            self._emit(IrInstr("la", dest=dest, symbol=name))
+            return dest, ast.UINT
         raise SemaError(f"undefined variable {name!r}")
 
     def _narrow(self, value: VReg, src: ast.CType,
@@ -535,9 +552,46 @@ class IrGen:
         self._emit(IrInstr("label", symbol=end_label))
         return result, vtype
 
+    #: System intrinsics (PR 5): name -> (IR op, takes a value operand).
+    _CSR_INTRINSICS = {"__csrr": ("csrr", False), "__csrw": ("csrw", True),
+                       "__csrs": ("csrs", True), "__csrc": ("csrc", True)}
+
+    def _csr_id(self, node: ast.Call) -> int:
+        """Fold the intrinsic's CSR-id argument to a 12-bit constant."""
+        from .parser import const_eval
+        value = const_eval(node.args[0]) if node.args else None
+        if value is None:
+            raise SemaError(f"{node.name}: CSR id must be a constant "
+                            f"expression")
+        if not 0 <= value < (1 << 12):
+            raise SemaError(f"{node.name}: CSR id {value:#x} out of range")
+        return value
+
     def _call(self, node: ast.Call) -> tuple[VReg, ast.CType]:
+        if node.name in self._CSR_INTRINSICS:
+            op, takes_value = self._CSR_INTRINSICS[node.name]
+            want_args = 2 if takes_value else 1
+            if len(node.args) != want_args:
+                raise SemaError(f"{node.name} takes {want_args} "
+                                f"argument(s)")
+            csr_id = self._csr_id(node)
+            if takes_value:
+                value, _ = self._rvalue(node.args[1])
+                self._emit(IrInstr(op, a=value, value=csr_id))
+                return self._const(0), ast.CType("void")
+            dest = self.fn.new_vreg()
+            self._emit(IrInstr(op, dest=dest, value=csr_id))
+            return dest, ast.UINT
+        if node.name == "__wfi":
+            if node.args:
+                raise SemaError("__wfi takes no arguments")
+            self._emit(IrInstr("wfi"))
+            return self._const(0), ast.CType("void")
         if len(node.args) > 6:
             raise SemaError(f"call to {node.name}: more than 6 arguments")
+        if node.name in self.interrupt_functions:
+            raise SemaError(f"{node.name} is an __interrupt handler; "
+                            f"install it via mtvec, do not call it")
         args = [self._rvalue(arg)[0] for arg in node.args]
         rtype = self.func_types.get(node.name, ast.INT)
         dest = self.fn.new_vreg()

@@ -7,6 +7,9 @@ from dataclasses import dataclass
 KEYWORDS = {
     "int", "unsigned", "char", "short", "void", "if", "else", "while",
     "for", "do", "return", "break", "continue", "const", "static",
+    # PR 5 system extension: qualifier marking a function as an ISR
+    # (codegen saves all caller-saved state and returns with mret).
+    "__interrupt",
 }
 
 _PUNCT = (

@@ -280,6 +280,12 @@ def cse_local(fn: IrFunction) -> None:
             loads.clear()
         if instr.op == "store":
             loads.clear()
+        if instr.op in ("wfi", "csrw", "csrs", "csrc"):
+            # Compiler barriers: a wfi sleeps through ISR activity, and a
+            # CSR write can enable interrupts (mstatus/mie), after which
+            # an ISR may mutate memory at any retirement — value-numbered
+            # loads of ISR-shared globals must not survive either.
+            loads.clear()
         replaced = False
         if instr.dest is not None and instr.dest not in multi_def:
             key = None

@@ -86,13 +86,18 @@ class Parser:
         return self.unit
 
     def parse_top_level(self) -> None:
+        interrupt = self.accept("__interrupt")
         ctype = self.parse_type()
         name = self.expect_ident()
         if self.peek().text == "(":
             func = self.parse_function(ctype, name)
             if func is not None:
+                func.interrupt = interrupt
                 self.unit.functions.append(func)
             return
+        if interrupt:
+            raise ParseError("__interrupt qualifies functions only",
+                             self.peek())
         # global variable(s)
         while True:
             array = None
@@ -154,7 +159,7 @@ class Parser:
 
     def parse_const_expr(self) -> int:
         expr = self.parse_ternary()
-        value = _const_eval(expr)
+        value = const_eval(expr)
         if value is None:
             raise ParseError("constant expression required", self.peek())
         return value
@@ -356,19 +361,22 @@ class Parser:
         raise ParseError("expected expression", token)
 
 
-def _const_eval(expr):
-    """Fold a constant AST expression to an int, or None."""
+def const_eval(expr):
+    """Fold a constant AST expression to an int, or None.
+
+    Public: the parser uses it for array bounds and initializers, and
+    irgen folds the CSR-id operands of the system intrinsics with it."""
     if isinstance(expr, ast.Num):
         return expr.value
     if isinstance(expr, ast.Unary):
-        inner = _const_eval(expr.operand)
+        inner = const_eval(expr.operand)
         if inner is None:
             return None
         return {"-": -inner, "~": ~inner,
                 "!": int(not inner)}.get(expr.op)
     if isinstance(expr, ast.Binary):
-        left = _const_eval(expr.left)
-        right = _const_eval(expr.right)
+        left = const_eval(expr.left)
+        right = const_eval(expr.right)
         if left is None or right is None:
             return None
         try:

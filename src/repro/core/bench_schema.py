@@ -13,6 +13,8 @@ on disk.
 Document shape::
 
     {
+      "schema":  <int revision, optional — absent documents are revision
+                  1; the writer stamps the current SCHEMA_VERSION>,
       "bench":   "<non-empty name, filesystem-safe>",
       "host":    {"python": str, "machine": str, "system": str},
       "metrics": {<non-empty; scalar leaves, or dict tables nested up to
@@ -22,6 +24,11 @@ Document shape::
 Metric leaves must be finite numbers, strings or booleans — ``None``,
 NaN and infinities are rejected (``json`` would happily serialize NaN,
 producing a document standard parsers refuse).
+
+Schema history: revision 2 (PR 5) added the ``schema`` stamp itself and
+extended the ``workload_cpi`` table with the SoC ``sensor_streaming``
+row (two-source interrupt firmware), so downstream trajectory tooling
+can key row availability off the revision instead of probing names.
 """
 
 from __future__ import annotations
@@ -35,6 +42,9 @@ import re
 
 _NAME = re.compile(r"^[A-Za-z0-9_.-]+$")
 _HOST_KEYS = ("python", "machine", "system")
+
+#: Current artifact schema revision, stamped by :func:`write_bench_artifact`.
+SCHEMA_VERSION = 2
 
 
 #: Dict tables may nest this deep below ``metrics`` (a per-workload
@@ -82,9 +92,15 @@ def validate_artifact(document: object) -> list[str]:
     for key in ("bench", "host", "metrics"):
         if key not in document:
             errors.append(f"missing required field {key!r}")
-    unknown = set(document) - {"bench", "host", "metrics"}
+    unknown = set(document) - {"schema", "bench", "host", "metrics"}
     if unknown:
         errors.append(f"unknown top-level fields {sorted(unknown)}")
+    schema = document.get("schema")
+    if schema is not None and (isinstance(schema, bool)
+                               or not isinstance(schema, int)
+                               or not 1 <= schema <= SCHEMA_VERSION):
+        errors.append(f"schema must be an int in [1, {SCHEMA_VERSION}], "
+                      f"got {schema!r}")
     bench = document.get("bench")
     if bench is not None and (not isinstance(bench, str)
                               or not _NAME.match(bench)):
@@ -144,6 +160,7 @@ def write_bench_artifact(name: str, payload: dict) -> pathlib.Path:
     a malformed artifact.
     """
     document = {
+        "schema": SCHEMA_VERSION,
         "bench": name,
         "host": {
             "python": platform.python_version(),

@@ -70,9 +70,9 @@ class RisspFlow:
         if source is None:
             source = WORKLOADS[name].source
         if workload is not None and workload.lang == "asm":
-            # SoC firmware ships as RV32E assembly (optionally with
-            # MicroC-compiled stages already linked into the text); the
-            # -O sweep does not apply.
+            # The legacy assembly firmware images bypass the -O sweep;
+            # the interrupt-driven SoC workloads are pure MicroC since
+            # PR 5 and take the ordinary compile path below.
             from ..isa.assembler import assemble
             program = assemble(source)
             opt_level = "-"

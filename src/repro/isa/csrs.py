@@ -1,4 +1,4 @@
-"""Machine-mode CSR addresses for the trap/interrupt subsystem (PR 3).
+"""Machine-mode CSR addresses for the trap/interrupt subsystem (PR 3/5).
 
 Only the M-mode subset the extreme-edge firmware model needs is named here:
 trap setup (``mstatus``/``mie``/``mtvec``), trap handling (``mscratch``/
@@ -6,6 +6,14 @@ trap setup (``mstatus``/``mie``/``mtvec``), trap handling (``mscratch``/
 source of truth for the assembler (symbolic CSR operands), the
 disassembler (canonical rendering) and the CSR file in
 :mod:`repro.sim.csr`.
+
+Interrupt fabric (PR 5): two level-sensitive sources share ``mip``/``mie``
+— the machine timer on the standard MTIP/MTIE position (bit 7) and the
+SensorPort data-ready line on platform-custom bit 16 (the privileged spec
+reserves interrupt codes >= 16 for platform use).  Fixed arbitration
+priority follows :data:`INTERRUPT_SOURCES` order: timer first, sensor
+second — the standard sources outrank platform-custom ones, matching how
+PicoRV32-class cores order their IRQ vector.
 """
 
 from __future__ import annotations
@@ -38,9 +46,12 @@ CSR_NAME_BY_ADDR: dict[int, str] = {v: k for k, v in CSR_BY_NAME.items()}
 MSTATUS_MIE = 1 << 3     # global machine interrupt enable
 MSTATUS_MPIE = 1 << 7    # previous MIE, stacked on trap entry
 
-# mie/mip bit positions.
+# mie/mip bit positions.  SDIP/SDIE is the SensorPort data-ready line on
+# platform-custom interrupt 16.
 MIP_MTIP = 1 << 7        # machine timer interrupt pending
 MIE_MTIE = 1 << 7        # machine timer interrupt enable
+MIP_SDIP = 1 << 16       # sensor data-ready interrupt pending
+MIE_SDIE = 1 << 16       # sensor data-ready interrupt enable
 
 # mcause values (exception codes; interrupts set bit 31).
 CAUSE_ILLEGAL_INSTRUCTION = 2
@@ -48,3 +59,20 @@ CAUSE_BREAKPOINT = 3
 CAUSE_ECALL_M = 11
 CAUSE_INTERRUPT = 1 << 31
 CAUSE_MACHINE_TIMER = CAUSE_INTERRUPT | 7
+CAUSE_SENSOR_DATA = CAUSE_INTERRUPT | 16
+
+#: ``(mip/mie bit, mcause value)`` in decreasing arbitration priority.
+#: Every consumer — the :class:`repro.sim.csr.CsrFile` arbiter, the RVFI
+#: checker's shadow model and the run loops' packed-pending-word fast
+#: paths — iterates this one table, so priority cannot drift between
+#: backends.
+INTERRUPT_SOURCES: tuple[tuple[int, int], ...] = (
+    (MIP_MTIP, CAUSE_MACHINE_TIMER),
+    (MIP_SDIP, CAUSE_SENSOR_DATA),
+)
+
+#: All interrupt bits any source can drive (the implemented mip bits).
+INTERRUPT_MASK = 0
+for _bit, _cause in INTERRUPT_SOURCES:
+    INTERRUPT_MASK |= _bit
+del _bit, _cause

@@ -774,9 +774,9 @@ def _generate_core_source(module: Module) -> str:
                        ("halt_reason", "halt_reason"),
                        ("trace_load", "trace_load")):
         emit(f"    {local} = ctx[{key!r}]")
+    emit("    wclass_get = ctx['wclass'].get")
+    emit("    classify = ctx['classify']")
     if trap_core:
-        emit("    wclass_get = ctx['wclass'].get")
-        emit("    classify = ctx['classify']")
         emit("    retire_emulated = ctx['emulated']")
         emit("    retire_mret = ctx['mret']")
         emit("    enter_hw_trap = ctx['hw_trap']")
@@ -810,14 +810,15 @@ def _generate_core_source(module: Module) -> str:
     emit("        while count < limit:")
     if trap_core:
         # Interrupt entry between retirements: one integer compare per
-        # cycle against the precomputed fire index (ISS fast-path idiom).
+        # cycle against the precomputed fire index over every enabled
+        # source (ISS fast-path idiom); the callback arbitrates and
+        # returns the handler pc plus the RVFI intr cause code.
         emit("            if count >= fire_at:")
         flush_registers("                ")
-        emit(f"                env['pc'] = take_interrupt(count, "
+        emit(f"                env['pc'], intr = take_interrupt(count, "
              f"{sig_var('pc')})")
         reload_registers("                ")
         emit("                fire_at = fire_index()")
-        emit("                intr = 1")
         emit("            else:")
         emit("                intr = 0")
     emit(f"            pc = {sig_var('pc')}")
@@ -825,10 +826,20 @@ def _generate_core_source(module: Module) -> str:
     emit("                w = fetch_slow(pc)")
     emit("            else:")
     emit("                w = int.from_bytes(mem[pc:pc + 4], 'little')")
+    emit("            cls = wclass_get(w)")
+    emit("            if cls is None:")
+    emit("                cls = classify(w)")
+    emit("            if cls == 3:")
+    # RV32E register-bound violation: trap/refuse harness-side before
+    # the datapath truncates the register field (PR 5 conformance fix).
+    flush_registers("                ")
+    emit(f"                retire_illegal(count, pc, w, {intr})")
+    reload_registers("                ")
     if trap_core:
-        emit("            cls = wclass_get(w)")
-        emit("            if cls is None:")
-        emit("                cls = classify(w)")
+        emit("                fire_at = fire_index()")
+    emit("                count += 1")
+    emit("                continue")
+    if trap_core:
         emit("            if cls == 1:")
         flush_registers("                ")
         emit("                halted, reason = retire_emulated(count, pc, "

@@ -16,17 +16,25 @@ Instruction words are decoded through the memoized
 :func:`repro.isa.encoding.decode`, so classifying loads and halt causes
 costs one dict probe per retirement.
 
-Machine-mode division of labour (PR 3): a trap-capable core (built with
-``mret`` in its subset, see :func:`repro.rtl.rissp.build_rissp`) performs
-``ecall``/``ebreak`` trap entry to ``mtvec`` and ``mret`` return *in
-hardware* — the mtvec/mepc/mcause CSR registers live in the RTL module and
-the compiled backend commits them like any other register.  The Zicsr
-register instructions and ``wfi`` have no hardware block; this harness
-retires them testbench-side through the same :func:`repro.isa.spec.step`
+Machine-mode division of labour (PR 3, multi-source in PR 5): a
+trap-capable core (built with ``mret`` in its subset, see
+:func:`repro.rtl.rissp.build_rissp`) performs ``ecall``/``ebreak`` trap
+entry to ``mtvec`` and ``mret`` return *in hardware* — the
+mtvec/mepc/mcause CSR registers live in the RTL module and the compiled
+backend commits them like any other register.  The Zicsr register
+instructions and ``wfi`` have no hardware block; this harness retires
+them testbench-side through the same :func:`repro.isa.spec.step`
 semantics the golden ISS uses (the CSR state *is* the hardware registers,
-via :class:`_HwCsrFile`), and injects timer interrupts between retirements
-with the identical :class:`~repro.sim.csr.CsrFile` gating — which is what
-keeps lock-step cosimulation of trap/interrupt timing exact.
+via :class:`_HwCsrFile`), and injects interrupts between retirements
+through the identical :meth:`~repro.sim.csr.CsrFile.pending_cause`
+arbiter over the SoC's packed pending word — which is what keeps
+lock-step cosimulation of multi-source trap/interrupt timing exact, down
+to the arbitrated cause code in the RVFI ``intr`` column.
+
+The harness also enforces the RV32E register bound (PR 5 conformance
+fix): a decodable word whose register fields reach x16+ traps as illegal
+(mtval = the word) instead of reaching a datapath that would silently
+truncate the 5-bit field to the 16-entry file.
 """
 
 from __future__ import annotations
@@ -59,20 +67,39 @@ COSIM_FIELDS = ("insn", "pc_rdata", "pc_wdata", "rd_addr", "rd_wdata",
 #: System instructions the harness retires for the core (no RTL block).
 _EMULATED = set(CSR_OPS) | {"wfi"}
 
+#: RV32E register-file size every generated RISSP shares.
+_RV32E_REGS = 16
+
 #: word -> fused-loop class (0 = hardware, 1 = harness-emulated Zicsr/wfi,
-#: 2 = mret).  Global like the decode memo: classification depends only on
-#: the instruction word, never on the core.
+#: 2 = mret, 3 = decodable word whose register fields violate the RV32E
+#: bound — the hardware would silently truncate the 5-bit field to the
+#: 4-bit file, so the harness must trap it before it reaches the
+#: datapath, exactly as the golden ISS does).  Global like the decode
+#: memo: classification depends only on the instruction word, never on
+#: the core.
 _WORD_CLASS: dict[int, int] = {}
 
 
 def _classify_word(word: int) -> int:
-    """Classify (and memoize) one instruction word for the fused loop."""
+    """Classify (and memoize) one instruction word for the cycle loops."""
     try:
-        mnemonic = decode(word).mnemonic
+        instr = decode(word)
     except DecodeError:
         cls = 0
     else:
-        cls = 1 if mnemonic in _EMULATED else 2 if mnemonic == "mret" else 0
+        # Same register-bound rule as repro.sim.decoded.DecodedImage: the
+        # Zicsr immediate forms carry a uimm in the rs1 field, exempt
+        # from the bound.
+        if instr.rd >= _RV32E_REGS or instr.rs2 >= _RV32E_REGS \
+                or (not instr.definition.csr_uimm
+                    and instr.rs1 >= _RV32E_REGS):
+            cls = 3
+        elif instr.mnemonic in _EMULATED:
+            cls = 1
+        elif instr.mnemonic == "mret":
+            cls = 2
+        else:
+            cls = 0
     _WORD_CLASS[word] = cls
     return cls
 
@@ -179,27 +206,28 @@ class RisspSim:
         intr = 0
         pc = rtl.get("pc")
         if soc is not None:
-            soc.sync(order)
-            csr.set_timer_pending(soc.timer_pending(order))
-            if self._trap_hw and csr.timer_interrupt_armed \
-                    and soc.timer_pending(order):
-                # Interrupt entry between retirements, identical to the
-                # golden ISS: redirect to the handler, latch mepc/mcause
-                # (the hardware CSR registers, via the shared CsrFile).
-                pc = csr.take_timer_interrupt(pc)
+            csr.set_pending(soc.irq_lines(order))
+            cause = csr.pending_cause()
+            if cause is not None:
+                # Arbitrated interrupt entry between retirements,
+                # identical to the golden ISS: redirect to the handler,
+                # latch mepc/mcause (the hardware CSR registers, via the
+                # shared CsrFile).  The intr column carries the
+                # arbitrated exception code.
+                pc = csr.take_interrupt(cause, pc)
                 rtl.env["pc"] = pc
-                intr = 1
+                intr = cause & 0x3F
         word = self.memory.fetch(pc)
 
-        if self._trap_hw:
-            try:
-                mnemonic = decode(word).mnemonic
-            except DecodeError:
-                mnemonic = None
-            if mnemonic in _EMULATED:
-                return self._retire_emulated(order, sink, pc, word, intr)
-        else:
-            mnemonic = None
+        cls = _WORD_CLASS.get(word)
+        if cls is None:
+            cls = _classify_word(word)
+        if cls == 3:
+            # RV32E register-bound violation: the datapath would truncate
+            # the register field, so trap/refuse harness-side (PR 5 fix).
+            return self._retire_illegal(order, sink, pc, word, intr)
+        if self._trap_hw and cls == 1:
+            return self._retire_emulated(order, sink, pc, word, intr)
 
         rtl.set_inputs(imem_rdata=word, dmem_rdata=0)
         rtl.eval_comb()
@@ -243,7 +271,7 @@ class RisspSim:
             csr.stack_interrupt_enable()
             csr.mtval = 0
             trapped = 1
-        elif mnemonic == "mret":
+        elif self._trap_hw and cls == 2:
             csr.unstack_interrupt_enable()
 
         if not halted and bool(rtl.get("halt")):
@@ -268,6 +296,15 @@ class RisspSim:
         rtl.tick()
         return halted, reason
 
+    def _wfi_resume(self, order: int) -> bool:
+        """Shared ``wfi`` wake rule (see ``GoldenSim._wfi_resume``):
+        fast-forward to the next *enabled* source edge regardless of
+        ``mstatus.MIE``; False = nothing armed, end the run cleanly."""
+        wake = self.csr.wfi_wake_mask()
+        if self.soc is None or not wake:
+            return False
+        return self.soc.skip_to_event(order + 1, wake)
+
     def _retire_emulated(self, order: int, sink: RvfiTrace | None, pc: int,
                          word: int, intr: int) -> tuple[bool, str]:
         """Testbench-side retirement of a Zicsr/wfi instruction: same
@@ -280,17 +317,17 @@ class RisspSim:
         rs1 = self._read_rf(instr.rs1) if rs1_is_reg else 0
         try:
             effects = step(instr, pc, rs1, 0, csr=self.csr.read)
+            if effects.csr_write is not None:
+                # Inside the try: a write to a read-only CSR traps as
+                # illegal with no architectural side effects.
+                self.csr.write(*effects.csr_write)
         except CsrError:
             if self.csr.traps_enabled:
                 return self._retire_trap(order, sink, pc, word, intr)
             raise SimulationError(
-                f"{instr.mnemonic} at {pc:#x}: unimplemented CSR "
-                f"{instr.imm:#x}") from None
-        if effects.csr_write is not None:
-            self.csr.write(*effects.csr_write)
-        if effects.is_wfi and self.soc is not None \
-                and self.csr.timer_interrupt_armed:
-            self.soc.skip_to_timer(order + 1)
+                f"{instr.mnemonic} at {pc:#x}: illegal CSR access "
+                f"(csr {instr.imm:#x})") from None
+        halted = effects.is_wfi and not self._wfi_resume(order)
         if effects.rd is not None and self.rtl.regfile_data is not None:
             self.rtl.regfile_data[effects.rd] = effects.rd_data
         self.rtl.env["pc"] = effects.next_pc
@@ -300,7 +337,7 @@ class RisspSim:
                 instr.rs1 if rs1_is_reg else 0, 0, rs1, 0,
                 effects.rd or 0, effects.rd_data if effects.rd else 0,
                 0, 0, 0, 0, 0, 0, intr)
-        return False, ""
+        return halted, "wfi" if halted else ""
 
     def _retire_illegal(self, order: int, sink: RvfiTrace | None, pc: int,
                         word: int, intr: int) -> tuple[bool, str]:
@@ -365,28 +402,28 @@ class RisspSim:
         return ctx
 
     def _fused_fire_index(self) -> int:
-        """Retirement index of the next timer interrupt (NEVER when no SoC
-        is attached or the interrupt is not armed) — the fused loop's
+        """Retirement index of the next arbitrated interrupt (NEVER when
+        no SoC is attached or no source can fire) — the fused loop's
         entire per-cycle interrupt cost is one compare against this."""
         if self.soc is None:
             return NEVER
-        return self.soc.fire_index(self.csr.timer_interrupt_armed)
+        return self.soc.fire_index(self.csr)
 
-    def _fused_take_interrupt(self, order: int, pc: int) -> int:
-        soc = self.soc
-        soc.sync(order)
-        self.csr.set_timer_pending(soc.timer_pending(order))
-        return self.csr.take_timer_interrupt(pc)
+    def _fused_take_interrupt(self, order: int, pc: int) -> tuple[int, int]:
+        """Arbitrated interrupt entry; returns ``(handler_pc, intr_code)``
+        — the generated loop stamps the code into the RVFI intr column."""
+        csr = self.csr
+        csr.set_pending(self.soc.irq_lines(order))
+        cause = csr.pending_cause()
+        return csr.take_interrupt(cause, pc), cause & 0x3F
 
     def _fused_emulated(self, order: int, pc: int, word: int,
                         intr: int) -> tuple[bool, str]:
-        soc = self.soc
-        if soc is not None:
-            # The per-cycle path syncs the clock and the MTIP level at the
+        if self.soc is not None:
+            # The per-cycle path syncs the clock and the mip levels at the
             # top of every cycle; the fused loop only needs them fresh
             # where they are observable — a csrr of mip, wfi fast-forward.
-            soc.sync(order)
-            self.csr.set_timer_pending(soc.timer_pending(order))
+            self.csr.set_pending(self.soc.irq_lines(order))
         return self._retire_emulated(order, self._fused_sink, pc, word,
                                      intr)
 

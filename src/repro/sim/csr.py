@@ -9,28 +9,45 @@ state exclusively through :meth:`trap_enter`/:meth:`do_mret`/
 single-source-of-truth discipline :mod:`repro.isa.spec` established for
 instruction semantics.
 
-Interrupt model: the only interrupt source is the machine timer
-(``mip.MTIP``), wired level-sensitively from the SoC's mtime/mtimecmp
-comparator by the simulators (see :mod:`repro.soc`).  ``mip`` is
-read-only through the Zicsr instructions, as MTIP is for real CLINTs.
+Interrupt model (PR 5): multiple level-sensitive sources share ``mip`` —
+the machine timer on MTIP and the SensorPort data-ready line on
+platform-custom bit 16 — each wired from its device comparator by the
+simulators (see :mod:`repro.soc`).  :meth:`pending_cause` is the fixed
+-priority arbiter: it returns the ``mcause`` value of the highest-priority
+enabled-and-pending source (timer outranks sensor, per
+:data:`repro.isa.csrs.INTERRUPT_SOURCES`), or ``None`` when no interrupt
+can be taken.  ``mip`` is read-only through the Zicsr instructions — all
+of its implemented bits are hardware-wired levels — and, per the Zicsr
+spec, an instruction that *writes* a read-only CSR raises an
+illegal-instruction exception while the pure-read forms (``csrrs``/
+``csrrc`` with ``rs1=x0``, ``csrrsi``/``csrrci`` with ``uimm=0``) do not.
+
+``wfi`` (PR 5 conformance fix): the wake-up condition is an *enabled*
+(``mie``) source becoming *pending* — ``mstatus.MIE`` and ``mtvec`` play
+no part, matching the privileged spec ("resume when an interrupt becomes
+pending, regardless of whether interrupts are globally enabled").
+:meth:`wfi_wake_mask` exposes the enabled-source mask the SoC clock uses
+to fast-forward; with no enabled source armed the simulators terminate
+the run deterministically (``halted_by == "wfi"``) instead of spinning.
 
 Legacy halt convention: with ``mtvec == 0`` (reset state) no handler is
 installed and ``ecall``/``ebreak`` halt the simulation exactly as the seed
 defined; installing a non-zero ``mtvec`` converts them (and illegal
-instructions, and timer interrupts) into trap entries.
+instructions, and interrupts) into trap entries.
 """
 
 from __future__ import annotations
 
 from ..isa.bits import to_u32
 from ..isa.csrs import (
-    CAUSE_MACHINE_TIMER,
+    INTERRUPT_MASK,
+    INTERRUPT_SOURCES,
     MCAUSE,
     MEPC,
     MIE,
     MIE_MTIE,
+    MIE_SDIE,
     MIP,
-    MIP_MTIP,
     MSCRATCH,
     MSTATUS,
     MSTATUS_MIE,
@@ -41,14 +58,15 @@ from ..isa.csrs import (
 
 
 class CsrError(Exception):
-    """Access to an unimplemented CSR (simulators trap it as illegal)."""
+    """Access to an unimplemented CSR, or a write to a read-only one
+    (simulators trap both as illegal instructions)."""
 
 
 #: Writable-bit masks (WARL): unimplemented bits read as zero and ignore
-#: writes.  ``mip`` is fully read-only — MTIP is wired from the timer.
+#: writes.  ``mie`` implements one enable bit per interrupt source.
 _WRITE_MASKS = {
     MSTATUS: MSTATUS_MIE | MSTATUS_MPIE,
-    MIE: MIE_MTIE,
+    MIE: MIE_MTIE | MIE_SDIE,
     MTVEC: 0xFFFFFFFC,        # direct mode only; low bits forced to 0
     MSCRATCH: 0xFFFFFFFF,
     MEPC: 0xFFFFFFFC,
@@ -56,6 +74,11 @@ _WRITE_MASKS = {
     MTVAL: 0xFFFFFFFF,
     MIP: 0,
 }
+
+#: CSRs whose every implemented bit is hardware-wired: Zicsr *writes* to
+#: them raise an illegal-instruction exception (the Zicsr rule for
+#: read-only CSRs); pure reads are always legal.
+READ_ONLY_CSRS = frozenset({MIP})
 
 
 def warl_mask(addr: int) -> int:
@@ -98,11 +121,20 @@ class CsrFile:
             raise CsrError(f"unimplemented CSR {addr:#x}") from None
 
     def write(self, addr: int, value: int) -> None:
-        """Zicsr write with WARL masking (read-only bits are preserved)."""
+        """Zicsr write with WARL masking (read-only bits are preserved).
+
+        Writes to fully read-only CSRs (``mip``) raise :class:`CsrError`
+        so the simulators trap them as illegal instructions — the Zicsr
+        conformance rule the PR 5 audit fixed.  Note the pure-read Zicsr
+        forms never reach here: :func:`repro.isa.spec.step` returns
+        ``csr_write=None`` for ``csrrs``/``csrrc`` with ``rs1=x0``.
+        """
         try:
             field = self._FIELDS[addr]
         except KeyError:
             raise CsrError(f"unimplemented CSR {addr:#x}") from None
+        if addr in READ_ONLY_CSRS:
+            raise CsrError(f"write to read-only CSR {addr:#x}")
         mask = _WRITE_MASKS[addr]
         old = getattr(self, field)
         setattr(self, field, (old & ~mask) | (to_u32(value) & mask))
@@ -146,19 +178,48 @@ class CsrFile:
 
     # ----------------------------------------------------- interrupt gating
 
-    def set_timer_pending(self, pending: bool) -> None:
-        """Wire the mtime >= mtimecmp comparator level into ``mip.MTIP``."""
-        if pending:
-            self.mip |= MIP_MTIP
-        else:
-            self.mip &= ~MIP_MTIP
+    def set_pending(self, levels: int) -> None:
+        """Wire the packed device comparator levels into ``mip``.
+
+        ``levels`` is the packed pending word the SoC assembles from its
+        device comparators (:meth:`repro.soc.Soc.irq_lines`) — one mip bit
+        per source, level-sensitive.
+        """
+        self.mip = levels
 
     @property
-    def timer_interrupt_armed(self) -> bool:
-        """True when a timer interrupt *would* be taken once MTIP rises."""
-        return bool(self.mstatus & MSTATUS_MIE and self.mie & MIE_MTIE
-                    and self.traps_enabled)
+    def interrupts_possible(self) -> bool:
+        """True when *some* interrupt would be taken once its level rises:
+        global MIE set, a handler installed, and at least one source
+        enabled."""
+        return bool(self.mstatus & MSTATUS_MIE and self.traps_enabled
+                    and self.mie)
 
-    def take_timer_interrupt(self, epc: int) -> int:
-        """Interrupt entry for the machine timer; returns the handler pc."""
-        return self.trap_enter(CAUSE_MACHINE_TIMER, epc)
+    def pending_cause(self) -> int | None:
+        """Fixed-priority arbitration: the ``mcause`` value of the
+        highest-priority enabled-and-pending source, or ``None``.
+
+        Priority order is :data:`repro.isa.csrs.INTERRUPT_SOURCES` —
+        machine timer above sensor data-ready.  Requires global MIE and an
+        installed handler, exactly the gate trap entry applies.
+        """
+        if not (self.mstatus & MSTATUS_MIE) or not self.traps_enabled:
+            return None
+        ready = self.mip & self.mie
+        if not ready:
+            return None
+        for bit, cause in INTERRUPT_SOURCES:
+            if ready & bit:
+                return cause
+        return None
+
+    def wfi_wake_mask(self) -> int:
+        """``mip`` bits whose rise resumes a ``wfi``: the *enabled*
+        sources.  Per the privileged spec this ignores ``mstatus.MIE``
+        and ``mtvec`` — wfi wakes on pending, not on trap entry."""
+        return self.mie & INTERRUPT_MASK
+
+    def take_interrupt(self, cause: int, epc: int) -> int:
+        """Arbitrated interrupt entry; returns the handler pc (``mtval``
+        is zeroed, as on every interrupt entry)."""
+        return self.trap_enter(cause, epc)

@@ -76,7 +76,9 @@ class RunResult:
                               # value stored to the SoC power gate
     instructions: int         # dynamic instruction count
     cycles: int               # core cycles (single-cycle core: == instructions)
-    halted_by: str            # "ecall" | "ebreak" | "poweroff" | "limit"
+    halted_by: str            # "ecall" | "ebreak" | "poweroff" | "wfi"
+                              # | "limit" ("wfi" = slept with no enabled
+                              # interrupt source that could ever wake it)
     trace: "RvfiTrace | list[RvfiRecord]" = field(default_factory=list)
 
     @property
@@ -128,23 +130,25 @@ class GoldenSim:
 
         When ``sink`` is given the retirement's RVFI fields are appended to
         it as one columnar row — no per-retirement record allocation.
-        Interrupt entry happens *between* retirements: when the timer fires
-        the pc redirects to the handler and the handler's first instruction
-        retires with ``intr=1``; a trapping instruction (ecall/ebreak/
-        illegal with a handler installed) retires with ``trap=1``, no
-        architectural side effects and ``pc_wdata`` = the handler address.
+        Interrupt entry happens *between* retirements: when an enabled
+        source's level is high the arbiter redirects the pc to the handler
+        and the handler's first instruction retires with ``intr`` set to
+        the arbitrated exception code (7 = timer, 16 = sensor); a trapping
+        instruction (ecall/ebreak/illegal with a handler installed)
+        retires with ``trap=1``, no architectural side effects and
+        ``pc_wdata`` = the handler address.
         """
         csr = self.csr
         soc = self.soc
         intr = 0
         pc = self.pc
         if soc is not None:
-            soc.sync(order)
-            csr.set_timer_pending(soc.timer_pending(order))
-            if csr.timer_interrupt_armed and soc.timer_pending(order):
-                pc = csr.take_timer_interrupt(pc)
+            csr.set_pending(soc.irq_lines(order))
+            cause = csr.pending_cause()
+            if cause is not None:
+                pc = csr.take_interrupt(cause, pc)
                 self.pc = pc
-                intr = 1
+                intr = cause & 0x3F   # arbitrated exception code
 
         try:
             op = self.image.get(pc)
@@ -169,11 +173,15 @@ class GoldenSim:
 
         try:
             effects = step(instr, pc, rs1, rs2, load, csr.read)
+            if effects.csr_write is not None:
+                # Committed inside the try: a write to a read-only CSR
+                # traps as illegal with no architectural side effects.
+                csr.write(*effects.csr_write)
         except CsrError:
             if not csr.traps_enabled:
                 raise SimulationError(
-                    f"{instr.mnemonic} at {pc:#x}: unimplemented CSR "
-                    f"{instr.imm:#x}") from None
+                    f"{instr.mnemonic} at {pc:#x}: illegal CSR access "
+                    f"(csr {instr.imm:#x})") from None
             return self._retire_trap(order, sink, pc, op.word,
                                      CAUSE_ILLEGAL_INSTRUCTION, intr)
         if effects.halt and csr.traps_enabled:
@@ -195,12 +203,10 @@ class GoldenSim:
             mem_addr = mw.addr
             mem_wmask = (1 << mw.width) - 1
             mem_wdata = mw.data
-        if effects.csr_write is not None:
-            csr.write(*effects.csr_write)
         if effects.is_mret:
             csr.do_mret()
-        if effects.is_wfi and soc is not None and csr.timer_interrupt_armed:
-            soc.skip_to_timer(order + 1)
+        if effects.is_wfi and not self._wfi_resume(order):
+            halted, reason = True, "wfi"
         if effects.rd is not None:
             self.write_reg(effects.rd, effects.rd_data)
         self.pc = effects.next_pc
@@ -237,34 +243,45 @@ class GoldenSim:
 
     # ----------------------------------------------------------- fast path
 
-    def _exec_system(self, pc: int, order: int) -> int:
+    def _wfi_resume(self, order: int) -> bool:
+        """Shared ``wfi`` semantics (PR 5 conformance fix): fast-forward
+        the clock to the next *enabled* (``mie``) source edge regardless
+        of ``mstatus.MIE`` — the privileged-spec wake rule — and return
+        True.  Returns False when no enabled source can ever become
+        pending (nothing armed, or no SoC at all): the run then ends
+        deterministically with ``halted_by == "wfi"`` instead of
+        spinning."""
+        wake = self.csr.wfi_wake_mask()
+        if self.soc is None or not wake:
+            return False
+        return self.soc.skip_to_event(order + 1, wake)
+
+    def _exec_system(self, pc: int, order: int) -> tuple[int, bool]:
         """Slow-path retirement of one deferred system instruction
-        (csrr*/mret/wfi); returns the next pc.  Rare by construction —
-        trap setup and handler entry/exit only."""
+        (csrr*/mret/wfi); returns ``(next_pc, wfi_halt)``.  Rare by
+        construction — trap setup and handler entry/exit only."""
         if self.soc is not None:
-            self.csr.set_timer_pending(self.soc.timer_pending(order))
+            self.csr.set_pending(self.soc.irq_lines(order))
         op = self.image.get(pc)
         instr = op.instr
         rs1 = 0 if instr.definition.csr_uimm else self.read_reg(instr.rs1)
         try:
             effects = step(instr, pc, rs1, 0, csr=self.csr.read)
+            if effects.csr_write is not None:
+                self.csr.write(*effects.csr_write)
         except CsrError:
             if not self.csr.traps_enabled:
                 raise SimulationError(
-                    f"{instr.mnemonic} at {pc:#x}: unimplemented CSR "
-                    f"{instr.imm:#x}") from None
+                    f"{instr.mnemonic} at {pc:#x}: illegal CSR access "
+                    f"(csr {instr.imm:#x})") from None
             return self.csr.trap_enter(CAUSE_ILLEGAL_INSTRUCTION, pc,
-                                       op.word)
-        if effects.csr_write is not None:
-            self.csr.write(*effects.csr_write)
+                                       op.word), False
         if effects.is_mret:
             self.csr.do_mret()
-        if effects.is_wfi and self.soc is not None \
-                and self.csr.timer_interrupt_armed:
-            self.soc.skip_to_timer(order + 1)
+        halted = effects.is_wfi and not self._wfi_resume(order)
         if effects.rd is not None:
             self.write_reg(effects.rd, effects.rd_data)
-        return effects.next_pc
+        return effects.next_pc, halted
 
     def run(self, max_instructions: int = 20_000_000) -> RunResult:
         """Run to halt (or instruction limit).
@@ -304,7 +321,10 @@ class GoldenSim:
                     pc = next_pc
                 else:
                     if next_pc == DEFER_SYSTEM:
-                        pc = self._exec_system(pc, count - 1)
+                        pc, wfi_halt = self._exec_system(pc, count - 1)
+                        if wfi_halt:
+                            halted_by = "wfi"
+                            break
                         continue
                     if csr.traps_enabled:
                         pc = csr.trap_enter(
@@ -323,11 +343,14 @@ class GoldenSim:
         """Fast path with the SoC attached.
 
         Identical inner loop plus exactly one integer comparison per
-        retirement (``count >= fire_at``, the precomputed timer fire
-        index).  ``fire_at`` is refreshed only at the points where machine
-        state can legally move it: deferred MMIO retirements (mtimecmp/
-        mtime writes), deferred system instructions (mstatus/mie writes,
-        mret, wfi) and trap entries.
+        retirement (``count >= fire_at``, the precomputed earliest fire
+        index over every enabled interrupt source — the packed pending
+        word collapses to one integer).  ``fire_at`` is refreshed only at
+        the points where machine state can legally move it: deferred MMIO
+        retirements (mtimecmp/mtime/sensor-ACK writes), deferred system
+        instructions (mstatus/mie writes, mret, wfi), trap entries and
+        interrupt entries.  At fire time the full pending word is
+        assembled and :meth:`CsrFile.pending_cause` arbitrates.
         """
         csr = self.csr
         soc = self.soc
@@ -340,13 +363,14 @@ class GoldenSim:
         count = 0
         halted_by = "limit"
         exit_code = None
-        fire_at = soc.fire_index(csr.timer_interrupt_armed)
+        fire_at = soc.fire_index(csr)
         bus.deferred = True
         try:
             while count < max_instructions:
                 if count >= fire_at:
-                    pc = csr.take_timer_interrupt(pc)
-                    fire_at = soc.fire_index(csr.timer_interrupt_armed)
+                    csr.set_pending(soc.irq_lines(count))
+                    pc = csr.take_interrupt(csr.pending_cause(), pc)
+                    fire_at = soc.fire_index(csr)
                     continue    # interrupt entry retires nothing
                 execute = ex_get(pc)
                 if execute is None:
@@ -357,7 +381,7 @@ class GoldenSim:
                             raise
                         pc = csr.trap_enter(CAUSE_ILLEGAL_INSTRUCTION, pc,
                                             memory.fetch(pc))
-                        fire_at = soc.fire_index(csr.timer_interrupt_armed)
+                        fire_at = soc.fire_index(csr)
                         count += 1
                         continue
                 try:
@@ -378,22 +402,24 @@ class GoldenSim:
                         bus.deferred = True
                     count += 1
                     pc = next_pc
-                    fire_at = soc.fire_index(csr.timer_interrupt_armed)
+                    fire_at = soc.fire_index(csr)
                     continue
                 count += 1
                 if next_pc >= 0:
                     pc = next_pc
                     continue
                 if next_pc == DEFER_SYSTEM:
-                    soc.sync(count - 1)
-                    pc = self._exec_system(pc, count - 1)
-                    fire_at = soc.fire_index(csr.timer_interrupt_armed)
+                    pc, wfi_halt = self._exec_system(pc, count - 1)
+                    fire_at = soc.fire_index(csr)
+                    if wfi_halt:
+                        halted_by = "wfi"
+                        break
                     continue
                 if csr.traps_enabled:
                     pc = csr.trap_enter(
                         CAUSE_BREAKPOINT if next_pc == HALT_EBREAK
                         else CAUSE_ECALL_M, pc)
-                    fire_at = soc.fire_index(csr.timer_interrupt_armed)
+                    fire_at = soc.fire_index(csr)
                     continue
                 pc = (pc + 4) & _M32
                 halted_by = "ebreak" if next_pc == HALT_EBREAK else "ecall"

@@ -119,7 +119,10 @@ class ServSim:
                 else:
                     cycles += op_cycles(op, False)
                     if next_pc == DEFER_SYSTEM:
-                        pc = golden._exec_system(pc, count - 1)
+                        pc, wfi_halt = golden._exec_system(pc, count - 1)
+                        if wfi_halt:
+                            halted_by = "wfi"
+                            break
                         continue
                     if csr.traps_enabled:
                         pc = csr.trap_enter(

@@ -11,14 +11,23 @@ Platform memory map (above the 128 KB RAM, so RAM traffic is untouched)::
     0x0004_0000  PowerGate    POWEROFF
     0x0004_0100  MachineTimer MTIME_LO/HI, MTIMECMP_LO/HI
     0x0004_0200  UartTx       TXDATA, STATUS
-    0x0004_0300  SensorPort   DATA, INDEX, COUNT
+    0x0004_0300  SensorPort   DATA, INDEX, COUNT, ACK
 
 Time base: ``mtime`` counts *retired instructions* on every backend
 (single-cycle RISSP: cycles == instructions), which keeps the golden ISS,
 the Serv model and the RTL harness on one deterministic clock and makes
 lock-step cosimulation of interrupt timing exact.  ``wfi`` fast-forwards
-this clock to the next timer event instead of burning host time in an
-idle loop.
+this clock to the next *enabled-source* event (timer compare or sensor
+data-ready) instead of burning host time in an idle loop; with nothing
+armed the run ends deterministically (``halted_by == "wfi"``).
+
+Interrupt fabric (PR 5): two level-sensitive lines share ``mip`` — the
+timer comparator on MTIP and the SensorPort data-ready comparator
+(sample at index ``ACK`` already available) on bit 16.
+:meth:`Soc.irq_lines` packs every device level into one pending word and
+:meth:`Soc.fire_index` collapses the enabled sources to the single
+earliest fire index the run loops compare against, so multi-source
+support still costs the fast paths one integer compare per retirement.
 
 Each simulator owns a private :class:`Soc` instance built from a shared
 :class:`SocSpec`, so cosimulating two backends from the same spec gives
@@ -29,6 +38,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..isa.csrs import MIP_MTIP, MIP_SDIP
 from ..sim.memory import Memory
 from .bus import Device, MmioDeferred, PowerOffSignal, SocBus
 from .devices import MachineTimer, PowerGate, SensorPort, UartTx
@@ -92,28 +102,64 @@ class Soc:
         """Adopt a firmware write to MTIME as the new clock offset."""
         self.mtime_base = self.timer.mtime - retired
 
-    def fire_index(self, armed: bool) -> int:
-        """Retirement index at which MTIP rises (``NEVER`` if unarmed).
+    def irq_lines(self, retired: int) -> int:
+        """Packed pending word of every device interrupt line at
+        ``retired`` (syncs the clock, then reads the level comparators)."""
+        self.sync(retired)
+        return self.bus.irq_lines()
 
-        ``armed`` is the CSR-side gate
-        (:attr:`repro.sim.csr.CsrFile.timer_interrupt_armed`); the loop
-        compares its retirement counter against this single integer — the
-        entire per-retirement cost of interrupt support on the fast path.
+    def _event_times(self, mask: int) -> list[int]:
+        """``mtime`` values at which the sources selected by the ``mip``
+        -bit ``mask`` next drive their level high.  Event times at or
+        beyond :data:`NEVER` (e.g. the timer's far-future reset value)
+        are treated as "never fires"."""
+        events = []
+        if mask & MIP_MTIP and self.timer.mtimecmp < NEVER:
+            events.append(self.timer.mtimecmp)
+        if mask & MIP_SDIP:
+            ready = self.sensor.ready_time()
+            if ready is not None and ready < NEVER:
+                events.append(ready)
+        return events
+
+    def fire_index(self, csr) -> int:
+        """Retirement index at which the earliest enabled interrupt line
+        rises (``NEVER`` when no interrupt can be taken).
+
+        ``csr`` is the simulator's :class:`~repro.sim.csr.CsrFile`; the
+        gate is exactly the arbiter's (global MIE + handler + per-source
+        enable), so when the loop's retirement counter reaches this index
+        :meth:`~repro.sim.csr.CsrFile.pending_cause` is guaranteed
+        non-None.  The loop compares its counter against this single
+        integer — the entire per-retirement cost of multi-source
+        interrupt support on the fast path.
         """
-        if not armed:
+        if not csr.interrupts_possible:
             return NEVER
-        return max(self.timer.mtimecmp - self.mtime_base, 0)
+        events = self._event_times(csr.mie)
+        if not events:
+            return NEVER
+        return max(min(events) - self.mtime_base, 0)
 
-    def skip_to_timer(self, retired: int) -> None:
-        """``wfi``: fast-forward the clock to the pending-timer edge."""
-        target = self.timer.mtimecmp
+    def skip_to_event(self, retired: int, wake_mask: int) -> bool:
+        """``wfi``: fast-forward the clock to the next enabled-source
+        level edge.
+
+        ``wake_mask`` is :meth:`~repro.sim.csr.CsrFile.wfi_wake_mask` —
+        the sources enabled in ``mie``, regardless of ``mstatus.MIE``
+        (the privileged-spec wake rule).  Returns False when no enabled
+        source can ever become pending; the simulators then end the run
+        deterministically (``halted_by == "wfi"``) instead of spinning.
+        A source already pending fast-forwards by zero.
+        """
+        events = self._event_times(wake_mask)
+        if not events:
+            return False
+        target = min(events)
         now = self.mtime_base + retired
         if target > now:
             self.mtime_base += target - now
-
-    def timer_pending(self, retired: int) -> bool:
-        """Level of the mtime >= mtimecmp comparator at ``retired``."""
-        return self.mtime_base + retired >= self.timer.mtimecmp
+        return True
 
 
 def attach_soc(soc: "SocSpec | None", ram: Memory) -> "Soc | None":

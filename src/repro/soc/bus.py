@@ -41,7 +41,20 @@ class PowerOffSignal(Exception):
 
 
 class Device:
-    """Base MMIO device: word-register load/store at window offsets."""
+    """Base MMIO device: word-register load/store at window offsets.
+
+    A device that can interrupt sets :attr:`irq_bit` to its ``mip``
+    position and exposes a level-sensitive ``irq_pending`` property; the
+    bus packs every attached device's level into the pending word
+    :meth:`SocBus.irq_lines` returns.
+    """
+
+    #: ``mip`` bit this device drives (0 = the device never interrupts).
+    irq_bit = 0
+
+    @property
+    def irq_pending(self) -> bool:  # pragma: no cover - irq devices override
+        return False
 
     def load(self, offset: int, width: int) -> int:  # pragma: no cover
         raise MemoryError_(f"{type(self).__name__}: read at +{offset:#x} "
@@ -59,6 +72,7 @@ class SocBus:
         self.ram = ram
         self.size = ram.size
         self._windows: list[tuple[int, int, Device]] = []
+        self._irq_devices: list[Device] = []
         #: When True, MMIO accesses raise :class:`MmioDeferred` with no
         #: side effects (set by the ISS fast path, see module docstring).
         self.deferred = False
@@ -75,6 +89,21 @@ class SocBus:
             if base < other_end and other_base < end:
                 raise ValueError(f"device window {base:#x} overlaps another")
         self._windows.append((base, end, device))
+        if device.irq_bit:
+            self._irq_devices.append(device)
+
+    def irq_lines(self) -> int:
+        """The unified packed pending word: every attached device's
+        level-sensitive interrupt line OR-ed into its ``mip`` position.
+
+        Callers must sync the SoC clock first (``Soc.sync``) — the levels
+        are pure functions of device state and ``mtime``.
+        """
+        word = 0
+        for device in self._irq_devices:
+            if device.irq_pending:
+                word |= device.irq_bit
+        return word
 
     @property
     def raw(self) -> bytearray:

@@ -1,9 +1,16 @@
-"""The standard extreme-edge peripheral set (PR 3 tentpole).
+"""The standard extreme-edge peripheral set (PR 3 tentpole, PR 5 IRQs).
 
 All devices are deterministic pure functions of bus traffic and the SoC
 clock (``mtime`` = retired-instruction count), so two simulators given the
 same program and the same :class:`~repro.soc.SocSpec` produce bit-identical
 device behaviour — the property lock-step cosimulation rests on.
+
+Interrupt lines (PR 5): a device that can interrupt carries a non-zero
+:attr:`~repro.soc.bus.Device.irq_bit` (its ``mip`` position) and a
+level-sensitive ``irq_pending`` property computed purely from device state
+and ``mtime``.  :meth:`repro.soc.bus.SocBus.irq_lines` packs the levels of
+every attached device into one pending word; the run loops wire that word
+into ``mip``.
 
 Register maps (word registers, offsets within the device window):
 
@@ -19,11 +26,14 @@ UartTx         0x0     TXDATA (wo): low byte appended to the output
 SensorPort     0x0     DATA (ro): current waveform sample
                0x4     INDEX (ro): current sample index
                0x8     COUNT (ro): number of samples in the waveform
+               0xC     ACK (rw): samples consumed; data-ready IRQ level is
+                       "a sample at index >= ACK is available"
 =============  ======  ====================================================
 """
 
 from __future__ import annotations
 
+from ..isa.csrs import MIP_MTIP, MIP_SDIP
 from ..sim.memory import MemoryError_
 from .bus import Device, PowerOffSignal
 
@@ -53,13 +63,15 @@ class MachineTimer(Device):
 
     MTIME_LO, MTIME_HI, MTIMECMP_LO, MTIMECMP_HI = 0x0, 0x4, 0x8, 0xC
 
+    irq_bit = MIP_MTIP
+
     def __init__(self):
         self.mtime = 0
         #: Reset to the far future so an unarmed timer never fires.
         self.mtimecmp = _M64
 
     @property
-    def pending(self) -> bool:
+    def irq_pending(self) -> bool:
         return self.mtime >= self.mtimecmp
 
     def load(self, offset: int, width: int) -> int:
@@ -114,9 +126,19 @@ class SensorPort(Device):
     ``ticks_per_sample`` retirements, clamped at the last sample), so the
     device is read-idempotent — re-reads within one retirement window see
     the same value on every backend.
+
+    Data-ready interrupt (PR 5): the ``ACK`` register holds the number of
+    samples firmware has consumed; the IRQ level is the comparator
+    "the sample at index ``ACK`` is already available", i.e.
+    ``mtime >= ACK * ticks_per_sample`` while ``ACK < COUNT`` — wired
+    level-sensitively into ``mip`` bit 16 exactly like
+    :attr:`MachineTimer.irq_pending` into MTIP.  An ISR clears the level by
+    storing the new consumed count (typically ``INDEX + 1``) to ``ACK``.
     """
 
-    DATA, INDEX, COUNT = 0x0, 0x4, 0x8
+    DATA, INDEX, COUNT, ACK = 0x0, 0x4, 0x8, 0xC
+
+    irq_bit = MIP_SDIP
 
     def __init__(self, timer: MachineTimer, samples: tuple[int, ...],
                  ticks_per_sample: int):
@@ -125,12 +147,26 @@ class SensorPort(Device):
         self._timer = timer
         self.samples = tuple(int(s) & _M32 for s in samples)
         self.ticks_per_sample = ticks_per_sample
+        #: Samples consumed (the data-ready ACK pointer).
+        self.acked = 0
 
     def _index(self) -> int:
         if not self.samples:
             return 0
         return min(self._timer.mtime // self.ticks_per_sample,
                    len(self.samples) - 1)
+
+    @property
+    def irq_pending(self) -> bool:
+        return (self.acked < len(self.samples)
+                and self._timer.mtime >= self.acked * self.ticks_per_sample)
+
+    def ready_time(self) -> int:
+        """``mtime`` at which the data-ready level next rises, or ``None``
+        when every sample has been acknowledged (level stays low)."""
+        if self.acked >= len(self.samples):
+            return None
+        return self.acked * self.ticks_per_sample
 
     def load(self, offset: int, width: int) -> int:
         if offset == self.DATA:
@@ -139,4 +175,12 @@ class SensorPort(Device):
             return self._index() & _M32
         if offset == self.COUNT:
             return len(self.samples)
+        if offset == self.ACK:
+            return self.acked & _M32
         raise MemoryError_(f"SensorPort: read at +{offset:#x}")
+
+    def store(self, offset: int, value: int, width: int) -> None:
+        if offset == self.ACK:
+            self.acked = value & _M32
+            return
+        raise MemoryError_(f"SensorPort: write at +{offset:#x}")

@@ -13,16 +13,20 @@ by either simulator:
   * **pc checks** — ``pc_rdata`` of instruction *n+1* must equal
     ``pc_wdata`` of instruction *n*, and ``order`` must be gapless.
 
-Machine-mode extension (PR 3): the checker follows the riscv-formal
-``rvfi_trap``/``rvfi_intr`` conventions — a trapping instruction retires
-with no architectural side effects and ``pc_wdata`` pointing at the
-handler; the first instruction of an interrupt handler carries ``intr``
-and is exempt from the pc chain.  CSR state is verified through a *shadow
-CSR file* that mirrors the shadow register file: values it has observed
-(via Zicsr writes or trap entries) are checked exactly, values it has not
-yet observed are learned from the trace — so a corrupted ``mepc``/
-``mtvec``/Zicsr data path is caught as soon as the state flows back
-through an ``mret``, a trap entry or a CSR read.
+Machine-mode extension (PR 3, multi-source in PR 5): the checker follows
+the riscv-formal ``rvfi_trap``/``rvfi_intr`` conventions — a trapping
+instruction retires with no architectural side effects and ``pc_wdata``
+pointing at the handler; the first instruction of an interrupt handler
+carries ``intr``, holding the *arbitrated exception code* of the source
+that won (7 = machine timer, 16 = sensor data-ready), and is exempt from
+the pc chain.  CSR state is verified through a *shadow CSR file* that
+mirrors the shadow register file: values it has observed (via Zicsr
+writes or trap entries) are checked exactly, values it has not yet
+observed are learned from the trace — so a corrupted ``mepc``/``mtvec``/
+Zicsr data path is caught as soon as the state flows back through an
+``mret``, a trap entry or a CSR read.  The Zicsr read-only rule is
+pinned too: a row where a write to a read-only CSR (``mip``) retired
+without trapping is rejected.
 """
 
 from __future__ import annotations
@@ -35,7 +39,8 @@ from ..isa.csrs import (
     CAUSE_BREAKPOINT,
     CAUSE_ECALL_M,
     CAUSE_ILLEGAL_INSTRUCTION,
-    CAUSE_MACHINE_TIMER,
+    CAUSE_INTERRUPT,
+    INTERRUPT_SOURCES,
     MCAUSE,
     MEPC,
     MIP,
@@ -48,8 +53,12 @@ from ..isa.csrs import (
 from ..isa.encoding import DecodeError, decode
 from ..isa.instructions import CSR_OPS
 from ..isa.spec import SpecError, step
-from ..sim.csr import CsrError, warl_mask
+from ..sim.csr import CsrError, READ_ONLY_CSRS, warl_mask
 from ..sim.tracing import RvfiRecord
+
+#: Exception codes an interrupt row's ``intr`` column may legally carry
+#: (the arbitrated cause, see :data:`repro.isa.csrs.INTERRUPT_SOURCES`).
+_INTR_CODES = frozenset(cause & 0x3F for _, cause in INTERRUPT_SOURCES)
 
 _CSR_MNEMONICS = set(CSR_OPS)
 _SYSTEM_MNEMONICS = _CSR_MNEMONICS | {"mret", "wfi"}
@@ -144,7 +153,12 @@ def check_trace(trace: Sequence[RvfiRecord],
         if record.intr:
             # Interrupt entry redirected the pc between retirements; the
             # handler address replaces the chain, and the interrupted pc
-            # became mepc.
+            # became mepc.  The intr column carries the arbitrated
+            # exception code (mcause low bits) of the source that won.
+            if record.intr not in _INTR_CODES:
+                report.errors.append(
+                    f"{where}: intr carries unknown interrupt code "
+                    f"{record.intr}")
             if csrs.known(MTVEC) \
                     and record.pc_rdata != csrs.values[MTVEC] & ~0x3:
                 report.errors.append(
@@ -152,7 +166,8 @@ def check_trace(trace: Sequence[RvfiRecord],
                     f"mtvec is {csrs.values[MTVEC]:#x}")
             if prev_pc_wdata is not None:
                 # Full trap-entry model: stacks MIE and resets MTVAL too.
-                csrs.trap_entry(prev_pc_wdata, CAUSE_MACHINE_TIMER, 0)
+                csrs.trap_entry(prev_pc_wdata,
+                                CAUSE_INTERRUPT | record.intr, 0)
         elif prev_pc_wdata is not None and record.pc_rdata != prev_pc_wdata:
             report.errors.append(
                 f"{where}: pc_rdata != previous pc_wdata "
@@ -272,6 +287,14 @@ def check_trace(trace: Sequence[RvfiRecord],
 
         if expected.csr_write is not None:
             write_addr, write_value = expected.csr_write
+            if write_addr in READ_ONLY_CSRS:
+                # Zicsr rule the PR 5 audit pinned: a *write* to a
+                # read-only CSR must raise illegal instruction — it can
+                # never appear as a plain retirement.  (Pure-read forms
+                # produce no csr_write and are exempt.)
+                report.errors.append(
+                    f"{where}: {instr.mnemonic} wrote read-only CSR "
+                    f"{write_addr:#x} without trapping")
             # The written value is only trustworthy when the old value was
             # observable: shadow-known, read out through rd, or irrelevant
             # (csrrw/csrrwi overwrite unconditionally).  A blind

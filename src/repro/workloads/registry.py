@@ -1,10 +1,14 @@
 """Workload registry: the 22 Embench-analog kernels + 3 extreme-edge apps
-+ 3 event-driven SoC firmware images (PR 3).
++ 4 event-driven SoC firmware images (PR 3, extended in PR 5).
 
 The names match the paper's Figure 5 / Table 3 rows so the benchmark
-harness can print the same tables.  SoC workloads are assembly firmware
-(``lang="asm"``) targeting the trap/interrupt subsystem and the MMIO
-platform; each carries the :class:`~repro.soc.SocSpec` it runs against.
+harness can print the same tables.  SoC workloads target the
+trap/interrupt subsystem and the MMIO platform and each carries the
+:class:`~repro.soc.SocSpec` it runs against; since PR 5 gave MicroC CSR/
+wfi intrinsics and the ``__interrupt`` qualifier, the interrupt-driven
+images are pure C (``lang="c"``) while two legacy images stay assembly.
+Use :func:`build_program` to turn any workload into a linked binary
+without caring which toolflow it needs.
 """
 
 from __future__ import annotations
@@ -61,8 +65,12 @@ _EXTREME_EDGE = (
 
 _SOC = (
     ("af_detect_irq",
-     "interrupt-driven AF detect: timer-ISR ECG sampling + wfi sleep + "
-     "MicroC analysis stage (smart bandage, event-driven)"),
+     "interrupt-driven AF detect, pure MicroC: timer-ISR ECG sampling + "
+     "wfi sleep + APPT analysis (smart bandage, event-driven)"),
+    ("sensor_streaming",
+     "two-source interrupt fabric, pure MicroC: sensor data-ready stream "
+     "racing a co-prime timer heartbeat through one mcause-dispatching "
+     "ISR (fixed-priority arbitration)"),
     ("label_refresh",
      "timer-paced e-label refresh with sensor fold-in and UART telemetry "
      "(warehouse smart label)"),
@@ -77,7 +85,7 @@ for _name, _src, _desc in _EXTREME_EDGE:
     WORKLOADS[_name] = Workload(_name, _src, "extreme-edge", _desc)
 for _name, _desc in _SOC:
     WORKLOADS[_name] = Workload(_name, soc_apps.source(_name), "soc",
-                                _desc, lang="asm",
+                                _desc, lang=soc_apps.lang(_name),
                                 soc_spec=soc_apps.SOC_SPECS[_name])
 
 EMBENCH_NAMES = tuple(name for name, _, _ in _EMBENCH)
@@ -94,3 +102,15 @@ def get(name: str) -> Workload:
     except KeyError:
         raise KeyError(f"unknown workload {name!r}; known: "
                        f"{', '.join(ALL_NAMES)}") from None
+
+
+def build_program(workload: "Workload | str", opt_level: str = "O2"):
+    """Linked binary for a workload, whichever toolflow it needs —
+    MicroC compilation for ``lang="c"``, direct assembly otherwise."""
+    if isinstance(workload, str):
+        workload = WORKLOADS[workload]
+    if workload.lang == "asm":
+        from ..isa.assembler import assemble
+        return assemble(workload.source)
+    from ..compiler import compile_to_program
+    return compile_to_program(workload.source, opt_level).program

@@ -1,29 +1,39 @@
-"""Event-driven SoC firmware workloads (PR 3).
+"""Event-driven SoC firmware workloads (PR 3, all-C + two-source in PR 5).
 
 The paper's extreme-edge devices are duty-cycled, interrupt-driven
-firmware, not run-to-completion kernels.  These three workloads exercise
-the machine-mode trap/interrupt subsystem and the MMIO peripherals end to
-end on every simulator backend:
+firmware, not run-to-completion kernels.  These workloads exercise the
+machine-mode trap/interrupt subsystem and the MMIO peripherals end to end
+on every simulator backend:
 
 * ``af_detect_irq`` — the smart-bandage AF detector restructured the way
   the real device works: a timer ISR samples the ECG front-end
   (:class:`~repro.soc.SensorPort` replaying a synthetic trace) into a
-  buffer while the main loop sleeps in ``wfi``; the APPT-style analysis
-  stage is *MicroC-compiled C* linked under the hand-written interrupt
-  runtime — the paper's toolflow and the trap subsystem in one binary.
-* ``label_refresh`` — the warehouse smart label: a timer paces display
-  refreshes; each wake samples the temperature sensor, folds it into the
-  display checksum and pushes one telemetry byte out the UART.
-* ``uart_selftest`` — power-on self test: Zicsr read-back patterns
-  (csrrw/csrrs/csrrc + immediate forms), an ecall trap/mret round trip,
-  and a UART-logged verdict.
+  buffer while the main loop sleeps in ``wfi``; an APPT-style analysis
+  stage classifies the window.  Since PR 5 the *entire* image — ISR,
+  runtime and analysis — is MicroC, using the ``__csrr``/``__csrw``/
+  ``__csrs``/``__csrc``/``__wfi`` intrinsics and the ``__interrupt``
+  function qualifier; no hand-written assembly remains.
+* ``sensor_streaming`` (PR 5) — two-source interrupt fabric exercise,
+  also pure MicroC: the SensorPort data-ready line (mip bit 16) streams
+  samples through one ISR while the machine timer (MTIP) paces heartbeat
+  ticks on a co-prime period, so both levels periodically rise inside
+  the same retirement window and the fixed-priority arbiter (timer
+  first) decides the entry order.  The ISR dispatches on ``mcause``.
+* ``label_refresh`` — the warehouse smart label (RV32E assembly): a
+  timer paces display refreshes; each wake samples the temperature
+  sensor, folds it into the display checksum and pushes one telemetry
+  byte out the UART.
+* ``uart_selftest`` — power-on self test (RV32E assembly): Zicsr
+  read-back patterns (csrrw/csrrs/csrrc + immediate forms), an ecall
+  trap/mret round trip, and a UART-logged verdict.
 
-All three terminate through the power gate (store the exit code to
+All four terminate through the power gate (store the exit code to
 ``PWR``) because ``ecall``/``ebreak`` trap rather than halt once a
 handler is installed.
 
-Firmware is assembled for RV32E; the matching platform description per
-workload lives in :data:`SOC_SPECS`.
+The matching platform description per workload lives in
+:data:`SOC_SPECS`; C firmware compiles with the standard ``-O`` sweep,
+assembly images bypass it.
 """
 
 from __future__ import annotations
@@ -75,103 +85,142 @@ def temperature_waveform(n: int = 64) -> tuple[int, ...]:
     return tuple(out)
 
 
-#: APPT-style analysis stage, compiled by the MicroC toolflow and linked
-#: under the interrupt runtime below.  Mirrors stages 2-3 of the batch
+def stream_waveform(n: int = 96) -> tuple[int, ...]:
+    """Pseudo-random 8-bit stream for the two-source streaming workload."""
+    out = []
+    value = 0x5A
+    for _ in range(n):
+        value = (value * 75 + 74) % 257     # BBS-style mixing, 8-bit-ish
+        out.append(value & 0xFF)
+    return tuple(out)
+
+
+#: Samples per capture window (one lw each ISR entry).
+AF_NSAMP = 256
+#: Timer ticks between ECG samples — much longer than the ISR+wakeup
+#: path, so the core genuinely duty-cycles in ``wfi`` between samples
+#: (the real device samples at a few hundred Hz from a kHz core).
+AF_PERIOD = 120
+
+#: The whole smart-bandage image in MicroC (PR 5): trap setup, timer ISR,
+#: wfi duty-cycling and the APPT-style analysis stage — one translation
+#: unit, zero assembly.  The analysis mirrors stages 2-3 of the batch
 #: ``af_detect`` workload over the ISR-captured buffer.
-AF_ANALYZE_KERNEL_C = r"""
+AF_DETECT_IRQ_C = rf"""
+/* MMIO map: PWR 0x40000, MTIMECMP 0x40108/0x4010C, UART 0x40200,
+   SENSOR 0x40300.  CSRs: mstatus 0x300, mie 0x304, mtvec 0x305. */
+
+int ecg_buf[{AF_NSAMP}];
+int nsamp;
 int peaks[32];
 
-int analyze(int *ecg, int n) {
+__interrupt void sample_isr(void) {{
+    /* One ECG sample per timer interrupt, re-armed on the exact grid. */
+    ecg_buf[nsamp] = (int)*(unsigned *)0x40300;
+    nsamp = nsamp + 1;
+    unsigned due = *(unsigned *)0x40108;
+    *(unsigned *)0x40108 = due + {AF_PERIOD};
+}}
+
+int analyze(int *ecg, int n) {{
     int num_peaks = 0;
     int hold = 0;
     int i;
-    for (i = 1; i < n - 1; i++) {
-        if (hold > 0) {
+    for (i = 1; i < n - 1; i++) {{
+        if (hold > 0) {{
             hold = hold - 1;
-        } else if (ecg[i] > 60 && ecg[i] >= ecg[i - 1]
-                   && ecg[i] >= ecg[i + 1]) {
-            if (num_peaks < 32) {
+        }} else if (ecg[i] > 60 && ecg[i] >= ecg[i - 1]
+                   && ecg[i] >= ecg[i + 1]) {{
+            if (num_peaks < 32) {{
                 peaks[num_peaks] = i;
                 num_peaks = num_peaks + 1;
-            }
+            }}
             hold = 8;
-        }
-    }
+        }}
+    }}
     int irregular = 0;
     int prev_rr = 0;
-    for (i = 1; i < num_peaks; i++) {
+    for (i = 1; i < num_peaks; i++) {{
         int rr = peaks[i] - peaks[i - 1];
         int drr = rr - prev_rr;
         if (drr < 0) drr = 0 - drr;
         if (i > 1 && drr > 2) irregular = irregular + 1;
         prev_rr = rr;
-    }
+    }}
     int af = (irregular * 2 >= num_peaks) ? 1 : 0;
     return af * 4096 + num_peaks * 64 + irregular;
-}
+}}
+
+int main(void) {{
+    nsamp = 0;
+    __csrw(0x305, sample_isr);          /* mtvec = &sample_isr */
+    *(unsigned *)0x40108 = {AF_PERIOD}; /* first sample one period out */
+    *(unsigned *)0x4010C = 0;
+    __csrw(0x304, 128);                 /* mie.MTIE */
+    __csrs(0x300, 8);                   /* global MIE: sampling starts */
+    while (nsamp < {AF_NSAMP}) __wfi();
+    __csrc(0x300, 8);                   /* window full: mask, analyze */
+    int verdict = analyze(ecg_buf, {AF_NSAMP});
+    *(unsigned *)0x40200 = (verdict >> 12) ? 'A' : 'N';
+    *(unsigned *)0x40000 = verdict;     /* power off with the verdict */
+    while (1) {{}}
+    return 0;
+}}
 """
 
-#: Samples per capture window (one lw each ISR entry).
-AF_NSAMP = 256
-#: Timer ticks between ECG samples — much longer than the ~17-instruction
-#: ISR+wakeup path, so the core genuinely duty-cycles in ``wfi`` between
-#: samples (the real device samples at a few hundred Hz from a kHz core).
-AF_PERIOD = 120
+#: Stream length / pacing of the two-source workload.  The sensor delivers
+#: one sample every STREAM_TPS ticks; the timer beats every STREAM_BEAT
+#: ticks.  lcm(40, 90) = 360, so every 360 ticks both levels rise in the
+#: same retirement window and arbitration priority becomes observable.
+STREAM_NSAMP = 96
+STREAM_TPS = 40
+STREAM_BEAT = 90
 
-_AF_RUNTIME = _HEADER + f"""
-.equ PERIOD,    {AF_PERIOD}
-.equ NSAMP,     {AF_NSAMP}
+#: Two-source interrupt fabric exercise in pure MicroC: one handler
+#: dispatching on mcause, sensor data-ready (cause 16) below the machine
+#: timer (cause 7) in arbitration priority.
+SENSOR_STREAMING_C = rf"""
+/* SENSOR regs: DATA 0x40300, INDEX 0x40304, COUNT 0x40308, ACK 0x4030C.
+   mie bits: MTIE = 1<<7, SDIE = 1<<16. */
 
-.data
-ecg_buf:
-    .space {4 * AF_NSAMP}
+unsigned checksum;
+int nticks;
+int ndata;
 
-.text
-main:
-    la t0, isr
-    csrw mtvec, t0
-    li s0, 0                 # samples captured (ISR-owned)
-    la s1, ecg_buf
-    li t0, MTIMECMP          # first sample due one period out
-    li t1, PERIOD
-    sw t1, 0(t0)
-    sw x0, 4(t0)
-    li t0, MTIE
-    csrw mie, t0
-    csrsi mstatus, 8         # global MIE: sampling starts
-capture:
-    wfi
-    li t0, NSAMP
-    blt s0, t0, capture
-    csrci mstatus, 8         # window full: mask interrupts, analyze
-    la a0, ecg_buf
-    li a1, NSAMP
-    call analyze
-    mv s0, a0
-    srli t0, a0, 12          # AF flag -> one telemetry byte
-    li t1, UART_TX
-    li a2, 'N'
-    beqz t0, tx
-    li a2, 'A'
-tx:
-    sw a2, 0(t1)
-    li t0, PWR
-    sw s0, 0(t0)             # power off with the packed verdict
-hang:
-    j hang
+__interrupt void fabric_isr(void) {{
+    unsigned cause = __csrr(0x342);
+    if (cause == 0x80000007u) {{
+        /* Machine timer: heartbeat, re-armed on a co-prime period. */
+        nticks = nticks + 1;
+        unsigned due = *(unsigned *)0x40108;
+        *(unsigned *)0x40108 = due + {STREAM_BEAT};
+    }} else {{
+        /* Sensor data-ready: drain and acknowledge the stream. */
+        unsigned idx = *(unsigned *)0x40304;
+        unsigned v = *(unsigned *)0x40300;
+        checksum = checksum * 31 + v + idx;
+        ndata = ndata + 1;
+        *(unsigned *)0x4030C = idx + 1;   /* ACK drops the level */
+    }}
+}}
 
-isr:
-    li t0, SENSOR            # one ECG sample per timer interrupt
-    lw t1, 0(t0)
-    slli t2, s0, 2
-    add t2, t2, s1
-    sw t1, 0(t2)
-    addi s0, s0, 1
-    li t0, MTIMECMP          # re-arm on the exact sample grid
-    lw t1, 0(t0)
-    addi t1, t1, PERIOD
-    sw t1, 0(t0)
-    mret
+int main(void) {{
+    checksum = 0;
+    nticks = 0;
+    ndata = 0;
+    __csrw(0x305, fabric_isr);
+    *(unsigned *)0x40108 = {STREAM_BEAT};
+    *(unsigned *)0x4010C = 0;
+    __csrw(0x304, 65664);               /* MTIE | SDIE */
+    __csrs(0x300, 8);
+    while (*(unsigned *)0x4030C < {STREAM_NSAMP}) __wfi();
+    __csrc(0x300, 8);
+    *(unsigned *)0x40200 = checksum & 63;     /* one telemetry byte */
+    *(unsigned *)0x40000 =
+        (nticks << 24) | (ndata << 16) | (checksum & 0xFFFF);
+    while (1) {{}}
+    return 0;
+}}
 """
 
 #: Ticks between smart-label display refreshes.
@@ -314,28 +363,27 @@ handler:
 """
 
 
-def _af_detect_irq_source() -> str:
-    """Interrupt runtime + MicroC-compiled analysis stage, one unit."""
-    from ..compiler import compile_to_assembly
-    return _AF_RUNTIME + "\n" + compile_to_assembly(AF_ANALYZE_KERNEL_C,
-                                                    "O2")
-
-
-#: name -> assembled-from source text (lazily built once per process).
-_SOURCES: dict[str, str] = {}
+#: name -> (source text, language).
+_IMAGES: dict[str, tuple[str, str]] = {
+    "af_detect_irq": (AF_DETECT_IRQ_C, "c"),
+    "sensor_streaming": (SENSOR_STREAMING_C, "c"),
+    "label_refresh": (LABEL_REFRESH, "asm"),
+    "uart_selftest": (UART_SELFTEST, "asm"),
+}
 
 
 def source(name: str) -> str:
-    if name not in _SOURCES:
-        if name == "af_detect_irq":
-            _SOURCES[name] = _af_detect_irq_source()
-        elif name == "label_refresh":
-            _SOURCES[name] = LABEL_REFRESH
-        elif name == "uart_selftest":
-            _SOURCES[name] = UART_SELFTEST
-        else:
-            raise KeyError(f"unknown soc workload {name!r}")
-    return _SOURCES[name]
+    try:
+        return _IMAGES[name][0]
+    except KeyError:
+        raise KeyError(f"unknown soc workload {name!r}") from None
+
+
+def lang(name: str) -> str:
+    try:
+        return _IMAGES[name][1]
+    except KeyError:
+        raise KeyError(f"unknown soc workload {name!r}") from None
 
 
 #: Matching platform description per workload — share one spec between
@@ -343,6 +391,8 @@ def source(name: str) -> str:
 SOC_SPECS: dict[str, SocSpec] = {
     "af_detect_irq": SocSpec(sensor_samples=ecg_waveform(),
                              sensor_ticks_per_sample=AF_PERIOD),
+    "sensor_streaming": SocSpec(sensor_samples=stream_waveform(STREAM_NSAMP),
+                                sensor_ticks_per_sample=STREAM_TPS),
     "label_refresh": SocSpec(sensor_samples=temperature_waveform(),
                              sensor_ticks_per_sample=LABEL_PERIOD),
     "uart_selftest": SocSpec(),

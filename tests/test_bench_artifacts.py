@@ -98,3 +98,28 @@ def test_on_disk_artifacts_conform():
     errors = [error for path in artifacts
               for error in validate_artifact_file(path)]
     assert not errors, errors
+
+
+def test_schema_version_stamped_and_validated():
+    from repro.core.bench_schema import SCHEMA_VERSION
+
+    document = _good_document()
+    assert validate_artifact(document) == []          # v1: stamp optional
+    document["schema"] = SCHEMA_VERSION
+    assert validate_artifact(document) == []
+    document["schema"] = 0
+    assert any("schema" in e for e in validate_artifact(document))
+    document["schema"] = SCHEMA_VERSION + 1           # from the future
+    assert any("schema" in e for e in validate_artifact(document))
+    document["schema"] = True                         # bool is not an int
+    assert any("schema" in e for e in validate_artifact(document))
+
+
+def test_writer_stamps_current_schema_version(tmp_path, monkeypatch):
+    import json
+
+    from repro.core.bench_schema import SCHEMA_VERSION
+
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+    path = write_bench_artifact("schema_probe", {"value": 1.0})
+    assert json.loads(path.read_text())["schema"] == SCHEMA_VERSION

@@ -31,7 +31,7 @@ from repro.isa import INSTRUCTIONS, assemble
 from repro.rtl import build_rissp
 from repro.rtl.core_sim import RisspSim, cosimulate
 from repro.sim.tracing import RvfiTrace
-from repro.workloads import WORKLOADS
+from repro.workloads import WORKLOADS, build_program
 
 BACKENDS = ("fused", "compiled", "interpreter")
 
@@ -201,22 +201,34 @@ def test_compiled_workload_prefix_lockstep(name, full_core):
     _assert_lockstep(full_core, program, 1_200, context=name)
 
 
-@pytest.mark.parametrize("name", ["uart_selftest", "label_refresh"])
-def test_soc_firmware_lockstep_on_all_backends(name, trap_core):
-    """Event-driven SoC firmware (timer ISR, wfi, MMIO devices) run to
-    halt on all three backends — trap/intr columns included."""
+@pytest.mark.parametrize("name, limit", [("uart_selftest", 8_000),
+                                         ("label_refresh", 8_000),
+                                         ("sensor_streaming", 1_600)])
+def test_soc_firmware_lockstep_on_all_backends(name, limit, trap_core):
+    """Event-driven SoC firmware (timer ISR, wfi, MMIO devices — and the
+    two-source all-C streaming image) on all three backends — trap/intr
+    columns included.  The asm images run to halt; the streaming image
+    runs a bounded prefix so the interpreter leg stays affordable (its
+    full run is fused-cosimulated in test_soc)."""
     workload = WORKLOADS[name]
-    program = assemble(workload.source)
-    reference = _assert_lockstep(trap_core, program, 6_000,
+    program = build_program(workload)
+    reference = _assert_lockstep(trap_core, program, limit,
                                  soc=workload.soc_spec, context=name)
-    assert reference.halted_by in ("ecall", "poweroff")
+    if name == "sensor_streaming":
+        intr_slot = RvfiTrace.FIELDS.index("intr")
+        codes = {row[intr_slot] for row in _rows(reference)
+                 if row[intr_slot]}
+        assert codes == {7, 16}, codes      # both sources inside the prefix
+    else:
+        assert reference.halted_by in ("ecall", "poweroff")
 
 
 def test_af_detect_irq_fused_matches_compiled(trap_core):
-    """The long interrupt-driven firmware: fused vs per-cycle compiled to
-    halt (the interpreter leg is covered by the shorter images above)."""
+    """The long interrupt-driven firmware (all-MicroC since PR 5): fused
+    vs per-cycle compiled to halt (the interpreter leg is covered by the
+    shorter images above)."""
     workload = WORKLOADS["af_detect_irq"]
-    program = assemble(workload.source)
+    program = build_program(workload)
     results = {}
     for backend in ("fused", "compiled"):
         sim = RisspSim(trap_core, program, trace=True, backend=backend,
@@ -229,6 +241,97 @@ def test_af_detect_irq_fused_matches_compiled(trap_core):
     intr_slot = RvfiTrace.FIELDS.index("intr")
     assert any(row[intr_slot] for row in _rows(fused)), \
         "firmware took no interrupts"
+
+
+# ---------------------------------------------- two-source arbitration
+
+#: Both sources armed; the sensor delivers every 50 ticks and the timer
+#: fires every 100, so at t=100, 200, ... both levels are high inside the
+#: same retirement window and the arbiter's fixed priority (timer above
+#: sensor) decides the entry order.
+TWO_SOURCE_RACE = """
+.equ PWR,      0x40000
+.equ MTIMECMP, 0x40108
+.equ SENSOR,   0x40300
+.text
+main:
+    la t0, handler
+    csrw mtvec, t0
+    li t0, MTIMECMP
+    li t1, 100
+    sw t1, 0(t0)
+    sw x0, 4(t0)
+    li t0, 0x10080           # mie = SDIE | MTIE
+    csrw mie, t0
+    csrsi mstatus, 8
+    li s0, 0                 # timer entries
+    li s1, 0                 # sensor entries
+loop:
+    wfi
+    li t1, 4
+    blt s0, t1, loop
+done:
+    csrci mstatus, 8
+    slli t1, s0, 8
+    or t1, t1, s1
+    li t0, PWR
+    sw t1, 0(t0)
+hang:
+    j hang
+handler:
+    csrr t0, mcause
+    bgez t0, back            # (exceptions: just return)
+    slli t0, t0, 1           # drop the interrupt bit
+    srli t0, t0, 1
+    li t1, 7
+    beq t0, t1, timer
+sensor:
+    li t0, SENSOR
+    lw t1, 4(t0)             # INDEX
+    addi t1, t1, 1
+    sw t1, 12(t0)            # ACK = INDEX + 1: drop the level
+    addi s1, s1, 1
+    j back
+timer:
+    li t0, MTIMECMP
+    lw t1, 0(t0)
+    addi t1, t1, 100
+    sw t1, 0(t0)
+    addi s0, s0, 1
+back:
+    mret
+"""
+
+#: Sensor waveform for the race image: a sample every 50 ticks.
+RACE_SPEC_KWARGS = dict(sensor_samples=tuple(range(1, 40)),
+                        sensor_ticks_per_sample=50)
+
+
+def test_two_source_race_lockstep_on_all_backends(trap_core):
+    """Timer and sensor pending in the same retirement window: all three
+    RTL backends and the golden ISS must take the two entries in the
+    same (fixed-priority) order, visible in the intr cause codes."""
+    from repro.soc import SocSpec
+
+    program = assemble(TWO_SOURCE_RACE)
+    spec = SocSpec(**RACE_SPEC_KWARGS)
+    reference = _assert_lockstep(trap_core, program, 8_000, soc=spec,
+                                 context="two-source-race")
+    assert reference.halted_by == "poweroff"
+    intr_slot = RvfiTrace.FIELDS.index("intr")
+    codes = [row[intr_slot] for row in _rows(reference)
+             if row[intr_slot]]
+    assert 7 in codes and 16 in codes, codes
+    # Races (both levels high at the same retirement): the timer must
+    # win, with the sensor entry immediately after the handler's mret —
+    # at t=100k the sensor sample (every 50) and the timer (every 100)
+    # are both due, so every timer entry is a race here.
+    first_race = codes.index(7)
+    assert codes[first_race + 1] == 16, codes
+    # And the golden reference agrees retirement-by-retirement.
+    assert cosimulate(trap_core, program, max_instructions=8_000,
+                      soc=SocSpec(**RACE_SPEC_KWARGS),
+                      backend="fused") is None
 
 
 # ------------------------------------------------- fused cosim gating

@@ -82,15 +82,40 @@ handler:
 
 
 def test_csr_warl_masks():
+    from repro.isa.csrs import MIE, MIE_MTIE, MIE_SDIE
+    from repro.sim.csr import CsrError
+
     csr = CsrFile()
     csr.write(MSTATUS, 0xFFFFFFFF)
     assert csr.mstatus == 0x88          # only MIE|MPIE implemented
     csr.write(MTVEC, 0x1003)
     assert csr.mtvec == 0x1000          # direct mode, low bits forced 0
-    csr.write(MIP, 0xFFFFFFFF)
-    assert csr.mip == 0                 # read-only: MTIP wired from timer
+    csr.write(MIE, 0xFFFFFFFF)
+    assert csr.mie == MIE_MTIE | MIE_SDIE   # per-source enable bits
+    with pytest.raises(CsrError):
+        csr.write(MIP, 0xFFFFFFFF)      # read-only: levels are wired
+    assert csr.mip == 0
     csr.write(MEPC, 0x123)
     assert csr.mepc == 0x120
+
+
+def test_pending_cause_arbitrates_by_fixed_priority():
+    from repro.isa.csrs import (CAUSE_SENSOR_DATA, MIE, MIE_MTIE, MIE_SDIE,
+                                MIP_MTIP, MIP_SDIP)
+
+    csr = CsrFile()
+    csr.write(MTVEC, 0x400)
+    csr.write(MIE, MIE_MTIE | MIE_SDIE)
+    csr.mstatus = MSTATUS_MIE
+    assert csr.pending_cause() is None          # nothing pending
+    csr.set_pending(MIP_SDIP)
+    assert csr.pending_cause() == CAUSE_SENSOR_DATA
+    csr.set_pending(MIP_SDIP | MIP_MTIP)        # race: both levels high
+    assert csr.pending_cause() == CAUSE_MACHINE_TIMER   # timer outranks
+    csr.write(MIE, MIE_SDIE)                    # mask the timer source
+    assert csr.pending_cause() == CAUSE_SENSOR_DATA
+    csr.mstatus = 0                             # global MIE off: no entry
+    assert csr.pending_cause() is None
 
 
 def test_trap_enter_stacks_and_mret_unstacks_mie():
@@ -566,3 +591,358 @@ def test_mcause_has_interrupt_bit_after_timer_entry():
     sim = GoldenSim(prog, soc=SocSpec())
     sim.run()
     assert sim.csr.mcause == CAUSE_MACHINE_TIMER
+
+
+# ----------------------------------- multi-source interrupt fabric (PR 5)
+
+
+def _run_everywhere(trap_core, src, soc=None, n=50_000):
+    """One program on golden, Serv and all three RTL backends; all five
+    outcomes (halt cause, exit code, instruction count) must agree."""
+    prog = assemble(src)
+    outcomes = {}
+    gold = GoldenSim(prog, soc=soc)
+    result = gold.run(n)
+    outcomes["golden"] = (result.halted_by, result.exit_code,
+                          result.instructions)
+    serv = ServSim(prog, soc=soc).run(n)
+    outcomes["serv"] = (serv.halted_by, serv.exit_code, serv.instructions)
+    for backend in ("fused", "compiled", "interpreter"):
+        r = RisspSim(trap_core, prog, backend=backend, soc=soc).run(n)
+        outcomes[f"rtl-{backend}"] = (r.halted_by, r.exit_code,
+                                      r.instructions)
+    assert len(set(outcomes.values())) == 1, outcomes
+    return gold, outcomes["golden"]
+
+
+def test_sensor_port_data_ready_level_and_ack():
+    from repro.sim.memory import Memory
+
+    spec = SocSpec(sensor_samples=(5, 6, 7), sensor_ticks_per_sample=10)
+    soc = Soc(spec, Memory())
+    soc.sync(0)
+    assert soc.sensor.irq_pending          # sample 0 ready at t=0
+    soc.sensor.store(soc.sensor.ACK, 1, 4)
+    assert not soc.sensor.irq_pending      # next sample due at t=10
+    soc.sync(10)
+    assert soc.sensor.irq_pending
+    soc.sensor.store(soc.sensor.ACK, 3, 4)
+    soc.sync(10_000)
+    assert not soc.sensor.irq_pending      # stream exhausted: level low
+    assert soc.sensor.ready_time() is None
+
+
+def test_bus_irq_lines_packs_device_levels():
+    from repro.isa.csrs import MIP_MTIP, MIP_SDIP
+    from repro.sim.memory import Memory
+
+    spec = SocSpec(sensor_samples=(1,), sensor_ticks_per_sample=5)
+    soc = Soc(spec, Memory())
+    soc.timer.mtimecmp = 20
+    assert soc.irq_lines(0) == MIP_SDIP            # sensor ready at t=0
+    soc.sensor.store(soc.sensor.ACK, 1, 4)
+    assert soc.irq_lines(0) == 0
+    assert soc.irq_lines(25) == MIP_MTIP           # timer level at t>=20
+
+
+def test_fire_index_is_min_over_enabled_sources():
+    from repro.isa.csrs import MIE, MIE_MTIE, MIE_SDIE, MTVEC as _MTVEC
+    from repro.sim.memory import Memory
+
+    spec = SocSpec(sensor_samples=(1, 2), sensor_ticks_per_sample=30)
+    soc = Soc(spec, Memory())
+    soc.timer.mtimecmp = 100
+    soc.sensor.store(soc.sensor.ACK, 1, 4)   # next sensor edge at t=30
+    csr = CsrFile()
+    csr.write(_MTVEC, 0x400)
+    csr.mstatus = MSTATUS_MIE
+    csr.write(MIE, MIE_MTIE)
+    assert soc.fire_index(csr) == 100        # timer only
+    csr.write(MIE, MIE_MTIE | MIE_SDIE)
+    assert soc.fire_index(csr) == 30         # sensor edge is earlier
+    csr.mstatus = 0
+    from repro.soc import NEVER
+    assert soc.fire_index(csr) == NEVER      # global MIE gates everything
+
+
+def test_two_source_priority_on_golden_trace(trap_core):
+    """Both levels high in one retirement window: timer entry (intr=7)
+    first, sensor entry (intr=16) right after the handler's mret."""
+    src = """
+.equ PWR,      0x40000
+.equ MTIMECMP, 0x40108
+.equ SENSOR,   0x40300
+.text
+main:
+    la t0, handler
+    csrw mtvec, t0
+    li t0, MTIMECMP
+    li t1, 60
+    sw t1, 0(t0)
+    sw x0, 4(t0)
+    li t0, 0x10080           # mie = SDIE | MTIE
+    csrw mie, t0
+    csrsi mstatus, 8
+    li s0, 0
+loop:
+    wfi
+    li t1, 2
+    blt s0, t1, loop
+    csrci mstatus, 8
+    li t0, PWR
+    sw s0, 0(t0)
+hang:
+    j hang
+handler:
+    csrr t0, mcause
+    bgez t0, back
+    slli t0, t0, 1
+    srli t0, t0, 1
+    li t1, 7
+    bne t0, t1, sensor
+    li t0, MTIMECMP
+    lw t1, 0(t0)
+    addi t1, t1, 60
+    sw t1, 0(t0)
+    addi s0, s0, 1
+    j back
+sensor:
+    li t0, SENSOR
+    lw t1, 4(t0)
+    addi t1, t1, 1
+    sw t1, 12(t0)            # ACK
+back:
+    mret
+"""
+    spec = SocSpec(sensor_samples=tuple(range(8)),
+                   sensor_ticks_per_sample=60)   # same grid: always racing
+    prog = assemble(src)
+    result = GoldenSim(prog, soc=spec, trace=True).run(20_000)
+    assert result.halted_by == "poweroff"
+    codes = [r.intr for r in result.trace if r.intr]
+    assert codes, "no interrupts taken"
+    # Every window with both sources due must enter timer-first.
+    timer_positions = [i for i, c in enumerate(codes) if c == 7]
+    assert timer_positions and all(
+        codes[i + 1] == 16 for i in timer_positions if i + 1 < len(codes))
+    mismatch = cosimulate(trap_core, prog, soc=spec)
+    assert mismatch is None, mismatch
+
+
+def test_interrupt_rows_carry_arbitrated_cause_and_pass_checker():
+    from repro.workloads import WORKLOADS, build_program
+
+    workload = WORKLOADS["sensor_streaming"]
+    result = GoldenSim(build_program(workload), soc=workload.soc_spec,
+                       trace=True).run(500_000)
+    assert result.halted_by == "poweroff"
+    codes = {r.intr for r in result.trace if r.intr}
+    assert codes == {7, 16}
+    report = check_trace(result.trace, initial_regs=abi_initial_regs())
+    assert report.passed, report.errors
+
+
+def test_rvfi_checker_rejects_unknown_intr_code():
+    prog = assemble(TIMER_LOOP)
+    result = GoldenSim(prog, soc=SocSpec(), trace=True).run()
+    trace = result.trace
+    for index in range(len(trace)):
+        if trace.peek(index, "intr"):
+            trace.poke(index, "intr", 33)      # no such source
+            break
+    report = check_trace(trace, initial_regs=abi_initial_regs())
+    assert not report.passed
+
+
+# ------------------------- PR 5 bugfix regressions (fail on pre-PR code)
+
+
+def test_write_to_read_only_csr_traps_on_all_backends(trap_core):
+    """Zicsr conformance: a write to read-only ``mip`` must raise illegal
+    instruction (pre-PR it was silently WARL-ignored), with mcause=2 and
+    mtval holding the faulting opcode word."""
+    src = """
+.text
+main:
+    la t0, handler
+    csrw mtvec, t0
+    li t1, 0x80
+    csrw mip, t1             # write to read-only CSR: illegal
+    li a0, 1                 # must never be reached
+    csrw mtvec, x0
+    ecall
+handler:
+    csrr a0, mtval           # exit code = faulting opcode word
+    csrw mtvec, x0
+    ecall
+"""
+    gold, (halted_by, exit_code, _) = _run_everywhere(trap_core, src)
+    assert halted_by == "ecall"
+    assert gold.csr.mcause == CAUSE_ILLEGAL_INSTRUCTION
+    # mtval holds the csrw-mip opcode (csrrw x0, mip, t1) on every side.
+    from repro.isa.encoding import Instruction, encode
+    word = encode(Instruction("csrrw", rd=0, rs1=6, imm=MIP))
+    assert exit_code == word and gold.csr.mtval == word
+    prog = assemble(src)
+    assert cosimulate(trap_core, prog) is None
+
+
+def test_pure_read_forms_of_read_only_csr_do_not_trap(trap_core):
+    """csrrs/csrrc with rs1=x0 and csrrsi/csrrci with uimm=0 are reads:
+    no write side effect, no illegal trap — even on read-only mip."""
+    src = """
+.text
+main:
+    csrr a0, mip             # csrrs rs1=x0: pure read, no trap
+    csrrs a1, mip, x0
+    csrrsi a2, mip, 0
+    csrrci a3, mip, 0
+    add a0, a0, a1
+    add a0, a0, a2
+    add a0, a0, a3
+    ecall
+"""
+    _, (halted_by, exit_code, _) = _run_everywhere(trap_core, src)
+    assert halted_by == "ecall" and exit_code == 0
+
+
+def test_rvfi_checker_flags_untrapped_read_only_write():
+    """The shadow model also pins the rule: a trace row where csrw-mip
+    retired *without* trapping must be rejected."""
+    prog = assemble("""
+.text
+main:
+    li t1, 0x80
+    csrw mscratch, t1
+    li a0, 0
+    ecall
+""")
+    result = GoldenSim(prog, trace=True).run()
+    trace = result.trace
+    # Forge the mscratch write into a mip write (same operands).
+    from repro.isa.encoding import Instruction, encode
+    forged = encode(Instruction("csrrw", rd=0, rs1=6, imm=MIP))
+    for index in range(len(trace)):
+        word = trace.peek(index, "insn")
+        try:
+            from repro.isa.encoding import decode
+            if decode(word).mnemonic == "csrrw":
+                trace.poke(index, "insn", forged)
+                break
+        except Exception:
+            continue
+    report = check_trace(trace, initial_regs=abi_initial_regs())
+    assert any("read-only" in error for error in report.errors)
+
+
+def test_wfi_wakes_on_pending_with_global_mie_masked(trap_core):
+    """Privileged-spec rule: wfi resumes when an *enabled* interrupt
+    becomes pending, regardless of mstatus.MIE (pre-PR the sleep was
+    skipped entirely and mip read back 0)."""
+    src = """
+.equ PWR,      0x40000
+.equ MTIMECMP, 0x40108
+.text
+main:
+    la t0, handler
+    csrw mtvec, t0
+    li t0, MTIMECMP
+    li t1, 100
+    sw t1, 0(t0)
+    sw x0, 4(t0)
+    li t0, 128
+    csrw mie, t0             # MTIE enabled, mstatus.MIE stays 0
+    wfi                      # must sleep until MTIP rises at t=100
+    csrr a0, mip
+    li t0, PWR
+    sw a0, 0(t0)
+hang:
+    j hang
+handler:
+    mret
+"""
+    gold, (halted_by, exit_code, _) = _run_everywhere(
+        trap_core, src, soc=SocSpec())
+    assert halted_by == "poweroff"
+    assert exit_code & 0x80                    # MTIP pending at wake-up
+    assert gold.soc.timer.mtime >= 100         # clock really advanced
+
+
+def test_wfi_with_nothing_armed_halts_cleanly(trap_core):
+    """With no enabled source that could ever become pending, wfi must
+    terminate the run deterministically (pre-PR it fell through as a nop
+    and the idle loop spun to the instruction limit)."""
+    src = """
+.text
+main:
+    li a0, 7
+idle:
+    wfi                      # mie = 0: nothing can ever wake us
+    j idle
+"""
+    _, (halted_by, exit_code, count) = _run_everywhere(
+        trap_core, src, soc=SocSpec(), n=10_000)
+    assert halted_by == "wfi" and exit_code == 7
+    assert count < 100                         # no spin to the limit
+    # Identical without any SoC attached.
+    prog = assemble(src)
+    bare = GoldenSim(prog).run(10_000)
+    assert bare.halted_by == "wfi" and bare.instructions < 100
+
+
+def test_wfi_exhausted_sensor_stream_halts_cleanly():
+    """Sensor-only wake source: once every sample is acknowledged the
+    level can never rise again, so a further wfi ends the run."""
+    src = """
+.equ SENSOR, 0x40300
+.text
+main:
+    li t0, 0x10000           # mie = SDIE only
+    csrw mie, t0
+    li t0, SENSOR
+    lw a0, 0(t0)             # consume the only sample...
+    li t1, 1
+    sw t1, 12(t0)            # ...and ACK it: stream exhausted
+sleep:
+    wfi
+    j sleep
+"""
+    prog = assemble(src)
+    spec = SocSpec(sensor_samples=(42,), sensor_ticks_per_sample=10)
+    result = GoldenSim(prog, soc=spec).run(10_000)
+    assert result.halted_by == "wfi" and result.exit_code == 42
+
+
+def test_rv32e_register_bound_word_traps_with_mtval(trap_core):
+    """A decodable word using x16+ must trap as illegal with mtval
+    holding the opcode — pre-PR the RTL backends silently executed it
+    with the register field truncated to the 16-entry file."""
+    word = (1 << 20) | (1 << 15) | (20 << 7) | 0b0110011   # add x20,x1,x1
+    src = f"""
+.text
+main:
+    la t0, handler
+    csrw mtvec, t0
+    .word {word:#x}
+    li a0, 111               # must never be reached
+    csrw mtvec, x0
+    ecall
+handler:
+    csrr a0, mtval
+    csrw mtvec, x0
+    ecall
+"""
+    _, (halted_by, exit_code, _) = _run_everywhere(trap_core, src)
+    assert halted_by == "ecall" and exit_code == word
+    assert cosimulate(trap_core, assemble(src)) is None
+
+
+def test_rv32e_register_bound_word_refused_without_handler(trap_core):
+    word = (1 << 20) | (1 << 15) | (20 << 7) | 0b0110011
+    src = f".text\nmain:\n    .word {word:#x}\n"
+    prog = assemble(src)
+    with pytest.raises(SimulationError):
+        GoldenSim(prog).run()
+    for backend in ("fused", "compiled", "interpreter"):
+        with pytest.raises(SimulationError):
+            RisspSim(trap_core, prog, backend=backend).run()

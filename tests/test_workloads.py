@@ -3,7 +3,6 @@
 import pytest
 
 from repro.compiler import compile_to_program
-from repro.isa.assembler import assemble
 from repro.sim import run_program
 from repro.workloads import ALL_NAMES, EMBENCH_NAMES, SOC_NAMES, WORKLOADS
 
@@ -20,8 +19,13 @@ def results():
 def test_registry_complete():
     assert len(EMBENCH_NAMES) == 22
     assert len(ALL_NAMES) == 25
-    assert len(SOC_NAMES) == 3
-    assert all(WORKLOADS[n].lang == "asm" for n in SOC_NAMES)
+    assert len(SOC_NAMES) == 4
+    # PR 5: the interrupt-driven images are pure MicroC (CSR/wfi
+    # intrinsics + __interrupt ISRs); the legacy pair stays assembly.
+    assert WORKLOADS["af_detect_irq"].lang == "c"
+    assert WORKLOADS["sensor_streaming"].lang == "c"
+    assert WORKLOADS["label_refresh"].lang == "asm"
+    assert WORKLOADS["uart_selftest"].lang == "asm"
     assert all(WORKLOADS[n].soc_spec is not None for n in SOC_NAMES)
 
 
@@ -98,11 +102,12 @@ def test_o0_matches_o2(name, results):
 
 @pytest.fixture(scope="module")
 def soc_results():
+    from repro.workloads import build_program
     out = {}
     for name in SOC_NAMES:
         workload = WORKLOADS[name]
-        program = assemble(workload.source)
-        out[name] = run_program(program, max_instructions=3_000_000,
+        out[name] = run_program(build_program(workload),
+                                max_instructions=3_000_000,
                                 soc=workload.soc_spec)
     return out
 
@@ -116,6 +121,21 @@ def test_af_detect_irq_flags_the_irregular_rhythm(soc_results):
     code = soc_results["af_detect_irq"].exit_code
     af, peaks, irregular = code >> 12, (code >> 6) & 63, code & 63
     assert af == 1 and peaks >= 8 and irregular >= peaks // 2
+
+
+def test_af_detect_irq_source_is_pure_c():
+    # The PR 5 acceptance bar: no hand-written assembly runtime left in
+    # the interrupt-driven firmware — intrinsics all the way down.
+    source = WORKLOADS["af_detect_irq"].source
+    assert "__interrupt" in source and "__wfi" in source
+    assert ".text" not in source and "mret" not in source
+
+
+def test_sensor_streaming_consumes_the_stream(soc_results):
+    from repro.workloads.soc_apps import STREAM_NSAMP
+    code = soc_results["sensor_streaming"].exit_code
+    nticks, ndata = code >> 24, (code >> 16) & 0xFF
+    assert nticks > 0 and 0 < ndata <= STREAM_NSAMP
 
 
 def test_label_refresh_reports_all_refreshes(soc_results):

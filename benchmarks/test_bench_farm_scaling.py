@@ -1,0 +1,42 @@
+"""Simulation-farm scaling: mutant-kill-matrix wall-clock vs worker count.
+
+PR 6 tentpole measurement.  The farm shards the embarrassingly parallel
+campaigns (every mutant costs a fresh structural mutation + backend
+compile + cosim run), so wall-clock should scale with worker count — and
+the merged matrix must stay bit-identical while it does, which
+:func:`repro.farm.farm_scaling_metrics` asserts before reporting any
+timing.
+
+The >=2x speedup gate only fires on hosts with >=4 CPUs (the CI runners);
+on smaller hosts the pool cannot beat the serial loop, so the benchmark
+still records the artifact — absolute ratios are only meaningful within
+one host fingerprint — but does not gate.
+"""
+
+import os
+
+from repro.farm import farm_scaling_metrics
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def test_bench_farm_scaling(benchmark, bench_artifact):
+    metrics = benchmark.pedantic(
+        lambda: farm_scaling_metrics(worker_counts=WORKER_COUNTS),
+        rounds=1, iterations=1)
+    print("\n=== simulation farm scaling "
+          f"(mutant kill matrix, {metrics['mutants']} mutants, "
+          f"{metrics['cpu_count']} CPUs) ===")
+    serial = metrics["wallclock_sec"]["workers_1"]
+    for workers in WORKER_COUNTS:
+        seconds = metrics["wallclock_sec"][f"workers_{workers}"]
+        print(f"workers={workers}: {seconds:6.2f}s "
+              f"({serial / seconds:4.2f}x)")
+    bench_artifact("farm_scaling", metrics)
+    assert metrics["mutants"] > 0
+    for workers in WORKER_COUNTS[1:]:
+        assert metrics[f"speedup_workers_{workers}"] > 0
+    if (os.cpu_count() or 1) >= 4:
+        assert metrics["speedup_workers_4"] >= 2.0, (
+            f"farm speedup regressed on a {os.cpu_count()}-CPU host: "
+            f"{metrics['speedup_workers_4']:.2f}x < 2x at 4 workers")

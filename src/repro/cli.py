@@ -1,0 +1,263 @@
+"""The single ``repro`` entrypoint: ``python -m repro [stages] [options]``.
+
+One CLI drives the verification campaigns the repository accumulated —
+cosimulation, the RTL mutant kill matrix, riscof-analog compliance, and
+the farm scaling benchmark — through the multi-process simulation farm
+(:mod:`repro.farm`).
+
+Configuration is **declarative**: :class:`FarmConfig` is a plain
+dataclass whose fields *are* the command line (in the style of
+simple_parsing / EasyArgs — the parser is generated from the dataclass,
+never written twice).  Field names map to ``--kebab-case`` options,
+tuple-typed fields take multiple values, helps live in field metadata,
+and ``parse_config`` returns a populated ``FarmConfig``; programmatic
+callers can skip argv entirely and hand :func:`run` a config instance.
+
+Semantics guaranteed by the farm layer: ``--workers 1`` is the exact
+serial path, and results are bit-identical for any worker count — only
+wall-clock changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import typing
+from dataclasses import dataclass, field
+
+from .verify.fuzz import FUZZ_BASE_SEED
+
+#: Stage names, in the order a multi-stage invocation runs them.
+STAGES = ("cosim", "mutation", "compliance", "bench")
+
+
+def _cfg(default, help_text: str, **extra):
+    """A config field: default + help (+ argparse extras) in one place."""
+    metadata = {"help": help_text, **extra}
+    if isinstance(default, (tuple, list, dict)):
+        return field(default_factory=lambda: default, metadata=metadata)
+    return field(default=default, metadata=metadata)
+
+
+@dataclass
+class FarmConfig:
+    """Declarative farm configuration — every field is a CLI option."""
+
+    stages: tuple[str, ...] = _cfg(
+        ("cosim",), "campaign stages to run, in order", choices=STAGES,
+        positional=True)
+    workloads: tuple[str, ...] = _cfg(
+        ("uart_selftest", "crc32"),
+        "workload names the cosim stage verifies (each on its own "
+        "generated core; pass none to run fuzz chunks only)")
+    backends: tuple[str, ...] = _cfg(
+        ("fused",),
+        "RTL evaluator backends (fused / compiled / interpreter); cosim "
+        "runs each, mutation requires them to agree per mutant")
+    workers: int = _cfg(
+        1, "process-pool size; 1 = the exact serial path")
+    shards: int = _cfg(
+        0, "compliance task groups (0 = one group per worker)")
+    fuzz_chunks: int = _cfg(
+        0, "seeded random-program cosim chunks added to the cosim stage")
+    fuzz_seed: int = _cfg(
+        FUZZ_BASE_SEED,
+        "base seed; chunk i fuzzes derive_seed(base, i) (hex accepted)")
+    max_instructions: int = _cfg(
+        2_000_000, "retirement budget per workload cosim")
+    fuzz_max_instructions: int = _cfg(
+        20_000, "retirement budget per fuzz chunk")
+    mutation_limit: int = _cfg(
+        24, "mutants enumerated by the mutation stage")
+    mutation_budget: int = _cfg(
+        2_000, "retirement budget per mutant cosim")
+    bench_workers: tuple[int, ...] = _cfg(
+        (1, 2, 4), "worker counts the bench stage times")
+    json_out: str = _cfg(
+        "", "write stage results as JSON to this path")
+
+
+def _option_name(field_name: str) -> str:
+    return "--" + field_name.replace("_", "-")
+
+
+def _int(text: str) -> int:
+    """Int converter accepting 0x/0o/0b prefixes (seeds read as hex)."""
+    return int(text, 0)
+
+
+def build_parser(config_cls=FarmConfig) -> argparse.ArgumentParser:
+    """Generate the argparse surface from the config dataclass."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(config_cls.__doc__ or "").strip(),
+        epilog="example: python -m repro cosim mutation --workers 4 "
+               "--fuzz-chunks 8 --backends fused compiled")
+    hints = typing.get_type_hints(config_cls)
+    for spec in dataclasses.fields(config_cls):
+        metadata = dict(spec.metadata)
+        help_text = metadata.pop("help", None)
+        positional = metadata.pop("positional", False)
+        default = spec.default if spec.default is not dataclasses.MISSING \
+            else spec.default_factory()
+        hint = hints[spec.name]
+        kwargs: dict = {"help": help_text, "default": default, **metadata}
+        if typing.get_origin(hint) is tuple:
+            element = typing.get_args(hint)[0]
+            kwargs["nargs"] = "*"
+            kwargs["type"] = _int if element is int else element
+        elif hint is int:
+            kwargs["type"] = _int
+        else:
+            kwargs["type"] = hint
+        if positional:
+            # argparse validates a nargs="*" positional's default (and the
+            # empty list) against choices as one value; show the choices in
+            # the metavar, parse unvalidated with default=None, and let
+            # parse_config validate and substitute the dataclass default.
+            choice_list = kwargs.pop("choices", None)
+            if choice_list:
+                kwargs["metavar"] = "{" + ",".join(choice_list) + "}"
+            kwargs["default"] = None
+            parser.add_argument(spec.name, **kwargs)
+        else:
+            parser.add_argument(_option_name(spec.name),
+                                dest=spec.name, **kwargs)
+    return parser
+
+
+def parse_config(argv=None, config_cls=FarmConfig) -> FarmConfig:
+    parser = build_parser(config_cls)
+    namespace = parser.parse_args(argv)
+    values = {spec.name: getattr(namespace, spec.name)
+              for spec in dataclasses.fields(config_cls)}
+    for spec in dataclasses.fields(config_cls):
+        allowed = spec.metadata.get("choices")
+        if spec.metadata.get("positional") and allowed:
+            for item in values[spec.name] or ():
+                if item not in allowed:
+                    parser.error(
+                        f"argument {spec.name}: invalid choice: {item!r} "
+                        f"(choose from {', '.join(allowed)})")
+    positionals = {spec.name for spec in dataclasses.fields(config_cls)
+                   if spec.metadata.get("positional")}
+    for name, value in list(values.items()):
+        if value is None or (value == [] and name in positionals):
+            del values[name]  # dataclass default applies
+        elif isinstance(value, list):
+            values[name] = tuple(value)
+    return config_cls(**values)
+
+
+# ---------------------------------------------------------------- stages
+
+def _stage_cosim(config: FarmConfig) -> tuple[bool, dict]:
+    from .farm import cosim_campaign
+
+    verdicts: dict[str, str | None] = {}
+    for backend in config.backends:
+        prefix = f"{backend}:" if len(config.backends) > 1 else ""
+        results = cosim_campaign(
+            workloads=tuple(config.workloads),
+            fuzz_chunks=config.fuzz_chunks, fuzz_seed=config.fuzz_seed,
+            backend=backend, max_instructions=config.max_instructions,
+            fuzz_max_instructions=config.fuzz_max_instructions,
+            workers=config.workers)
+        for task_id, verdict in results.items():
+            verdicts[prefix + task_id] = verdict
+    for task_id, verdict in verdicts.items():
+        print(f"  {task_id:<48} {verdict or 'PASS'}")
+    clean = sum(1 for verdict in verdicts.values() if verdict is None)
+    print(f"cosim: {clean}/{len(verdicts)} clean")
+    return clean == len(verdicts), {"verdicts": verdicts}
+
+
+def _stage_mutation(config: FarmConfig) -> tuple[bool, dict]:
+    from .farm import mutation_exercise_target
+    from .verify.mutation import rtl_mutant_kill_matrix
+
+    core, program = mutation_exercise_target()
+    matrix = rtl_mutant_kill_matrix(
+        core, program, backends=tuple(config.backends),
+        limit=config.mutation_limit,
+        max_instructions=config.mutation_budget, workers=config.workers)
+    unequal = {description: row for description, row in matrix.items()
+               if len(set(row.values())) != 1}
+    kills = sum(1 for row in matrix.values()
+                if next(iter(row.values())) is not None)
+    for description, row in unequal.items():
+        print(f"  BACKENDS DISAGREE {description}: {row}")
+    print(f"mutation: {kills}/{len(matrix)} mutants killed, "
+          f"{len(unequal)} backend disagreements "
+          f"(backends={','.join(config.backends)})")
+    return not unequal, {"mutants": len(matrix), "killed": kills,
+                         "disagreements": list(unequal)}
+
+
+def _stage_compliance(config: FarmConfig) -> tuple[bool, dict]:
+    from .isa.instructions import INSTRUCTIONS
+    from .rtl.rissp import build_rissp
+    from .verify.riscof import run_compliance
+
+    core = build_rissp([d.mnemonic for d in INSTRUCTIONS])
+    report = run_compliance(core, workers=config.workers,
+                            shards=config.shards)
+    for mismatch in report.mismatches:
+        print(f"  MISMATCH {mismatch}")
+    print(f"compliance: {report.tests_run} programs, "
+          f"{len(report.mismatches)} mismatches "
+          f"-> {'PASS' if report.compliant else 'FAIL'}")
+    return report.compliant, {"tests_run": report.tests_run,
+                              "mismatches": report.mismatches}
+
+
+def _stage_bench(config: FarmConfig) -> tuple[bool, dict]:
+    from .core.bench_schema import write_bench_artifact
+    from .farm import farm_scaling_metrics
+
+    metrics = farm_scaling_metrics(
+        worker_counts=tuple(config.bench_workers),
+        backends=tuple(config.backends))
+    for key, seconds in metrics["wallclock_sec"].items():
+        print(f"  {key:<12} {seconds:7.2f}s")
+    for workers in config.bench_workers[1:]:
+        print(f"  speedup at {workers} workers: "
+              f"{metrics[f'speedup_workers_{workers}']:.2f}x")
+    path = write_bench_artifact("farm_scaling", metrics)
+    print(f"bench: wrote {path}")
+    return True, {"metrics": metrics, "artifact": str(path)}
+
+
+_STAGE_RUNNERS = {"cosim": _stage_cosim, "mutation": _stage_mutation,
+                  "compliance": _stage_compliance, "bench": _stage_bench}
+
+
+def run(config: FarmConfig) -> int:
+    """Run the configured stages; returns the process exit code."""
+    results: dict[str, dict] = {}
+    failures = []
+    for stage in config.stages:
+        print(f"== {stage} (workers={config.workers}) ==")
+        ok, payload = _STAGE_RUNNERS[stage](config)
+        results[stage] = {"ok": ok, **payload}
+        if not ok:
+            failures.append(stage)
+    if config.json_out:
+        with open(config.json_out, "w") as handle:
+            json.dump(results, handle, indent=2)
+        print(f"results written to {config.json_out}")
+    if failures:
+        print(f"FAILED stages: {', '.join(failures)}")
+        return 1
+    print(f"all stages passed: {', '.join(config.stages)}")
+    return 0
+
+
+def main(argv=None) -> int:
+    return run(parse_config(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m
+    sys.exit(main())

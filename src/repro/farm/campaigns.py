@@ -1,0 +1,241 @@
+"""Sharded campaign front-ends: enumerate tasks, run, merge deterministically.
+
+Each campaign here follows one shape:
+
+1. **enumerate** the work as picklable task descriptions
+   (:mod:`repro.farm.tasks`) in a deterministic order,
+2. **run** them through :func:`repro.farm.runner.run_tasks` (serial at
+   ``workers=1``, process pool otherwise),
+3. **merge** the results *in task order* into exactly the structure the
+   serial code path produces — so every campaign is bit-identical for any
+   worker count, which the farm tests assert by diffing merged results.
+
+The kill-matrix and compliance campaigns are the farm backends of
+:func:`repro.verify.mutation.rtl_mutant_kill_matrix` and
+:func:`repro.verify.riscof.run_compliance`; the cosim campaign is the
+``repro`` CLI's cosim stage (real workloads on their own generated cores,
+plus seeded fuzz chunks).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from ..isa.program import Program
+from ..rtl.ir import Module
+from ..verify.fuzz import FUZZ_BASE_SEED, derive_seed
+from .runner import run_tasks
+from .tasks import ComplianceTask, CoreSpec, CosimTask, FuzzCosimTask, MutantTask
+
+# ------------------------------------------------------------- mutation
+
+def sharded_mutant_kill_matrix(core: Module, program: Program, backends,
+                               limit: int = 24,
+                               max_instructions: int = 2_000,
+                               workers: int = 1
+                               ) -> dict[str, dict[str, str | None]]:
+    """Farm path of :func:`repro.verify.mutation.rtl_mutant_kill_matrix`:
+    one task per mutant, merged in enumeration order."""
+    from ..verify.mutation import enumerate_rtl_mutations
+
+    spec = CoreSpec.of(core)
+    count = len(enumerate_rtl_mutations(core, limit=limit))
+    tasks = [MutantTask(task_id=f"mutant[{index:03d}]", core=spec,
+                        program=program, index=index, limit=limit,
+                        backends=tuple(backends),
+                        max_instructions=max_instructions)
+             for index in range(count)]
+    return dict(run_tasks(tasks, workers=workers))
+
+
+# ----------------------------------------------------------- compliance
+
+def sharded_compliance_mismatches(core: Module, targets, workers: int = 1,
+                                  shards: int = 0) -> list[str]:
+    """Farm path of :func:`repro.verify.riscof.run_compliance`: the
+    target list split into ``shards`` contiguous groups (0 = one group
+    per worker), mismatches concatenated in target order."""
+    spec = CoreSpec.of(core)
+    targets = list(targets)
+    shards = shards or workers
+    shards = max(1, min(shards, len(targets)))
+    groups: list[list[str]] = [[] for _ in range(shards)]
+    for index, mnemonic in enumerate(targets):
+        groups[index % shards].append(mnemonic)
+    tasks = [ComplianceTask(task_id=f"compliance[{index:02d}]", core=spec,
+                            mnemonics=tuple(group))
+             for index, group in enumerate(groups) if group]
+    results = run_tasks(tasks, workers=workers)
+    # Round-robin sharding + per-shard target order means re-interleaving
+    # by original target position restores the serial mismatch order.
+    by_mnemonic: dict[str, list[str]] = {}
+    for task, mismatches in zip(tasks, results):
+        remaining = list(mismatches)
+        for mnemonic in task.mnemonics:
+            mine = [m for m in remaining if m.startswith(f"{mnemonic}:")]
+            by_mnemonic[mnemonic] = mine
+            remaining = [m for m in remaining if m not in mine]
+    merged: list[str] = []
+    for mnemonic in targets:
+        merged.extend(by_mnemonic.get(mnemonic, []))
+    return merged
+
+
+# ---------------------------------------------------------------- cosim
+
+def workload_target(name: str) -> tuple[Module, Program, object]:
+    """Build one workload's (core, program, soc_spec) the same way the
+    end-to-end flow does — compile, profile the binary, stitch the RISSP
+    for its subset — minus synthesis, which cosimulation never needs."""
+    from ..core.subset_analysis import profile_program
+    from ..rtl.rissp import build_rissp
+    from ..workloads import WORKLOADS, build_program
+
+    workload = WORKLOADS[name]
+    program = build_program(workload)
+    profile = profile_program(name, program,
+                              "-" if workload.lang == "asm" else "O2")
+    core = build_rissp(profile.core_subset(), name=f"rissp_{name}",
+                       reset_pc=program.entry)
+    return core, program, workload.soc_spec
+
+
+def cosim_campaign(workloads=(), fuzz_chunks: int = 0,
+                   fuzz_seed: int = FUZZ_BASE_SEED,
+                   backend: str | None = "fused",
+                   max_instructions: int = 2_000_000,
+                   fuzz_max_instructions: int = 20_000,
+                   workers: int = 1) -> dict[str, str | None]:
+    """Cosimulation verdicts for named workloads plus seeded fuzz chunks.
+
+    Returns ``{task id: verdict}`` in task order — workloads first (each
+    on its own generated core, with its SoC platform when it has one),
+    then fuzz chunk ``i`` with seed ``derive_seed(fuzz_seed, i)`` on the
+    full-ISA core.  ``None`` verdicts are clean lock-step matches through
+    halt; the task ids of fuzz chunks embed their seeds, so any failure
+    is reported as a replayable ``(task-id, seed)`` pair.
+    """
+    tasks: list = []
+    for name in workloads:
+        core, program, soc_spec = workload_target(name)
+        tasks.append(CosimTask(task_id=f"cosim:{name}",
+                               core=CoreSpec.of(core), program=program,
+                               backend=backend,
+                               max_instructions=max_instructions,
+                               soc=soc_spec))
+    if fuzz_chunks:
+        from ..isa.instructions import INSTRUCTIONS
+        from ..rtl.rissp import build_rissp
+
+        full = build_rissp([d.mnemonic for d in INSTRUCTIONS])
+        full_spec = CoreSpec.of(full)
+        for index in range(fuzz_chunks):
+            seed = derive_seed(fuzz_seed, index)
+            tasks.append(FuzzCosimTask(
+                task_id=f"fuzz[{index:03d}]:seed={seed:#018x}",
+                core=full_spec, seed=seed, backend=backend,
+                max_instructions=fuzz_max_instructions))
+    results = run_tasks(tasks, workers=workers)
+    return {task.task_id: verdict
+            for task, verdict in zip(tasks, results)}
+
+
+# -------------------------------------------------- scaling measurement
+
+#: Compact subset + exercise program for the mutation scaling campaign —
+#: the proven pairing from the mutation tests: every mutated datapath
+#: (ALU, shifts, compares, upper-imm, memory, branches, jumps) is
+#: exercised, so most mutants are distinguishable and no verdict is a
+#: trivial early-out.
+MUTATION_EXERCISE_SUBSET = (
+    "add", "addi", "sub", "and", "or", "xor", "slt", "sll", "srl",
+    "lui", "lw", "sw", "beq", "bne", "jal", "jalr", "ecall")
+
+MUTATION_EXERCISE_PROGRAM = """.text
+main:
+    li a1, 21
+    li a2, 2
+    li tp, 40
+outer:
+    add a0, a1, a2
+    sub a3, a1, a2
+    and a4, a1, a2
+    or a5, a1, a2
+    xor t0, a1, a2
+    slt t1, a2, a1
+    sll t2, a1, a2
+    srl s0, a1, a2
+    lui gp, 0x12345
+    add a0, a0, t0
+    add a0, a0, t1
+    add a0, a0, t2
+    add a0, a0, s0
+    sw a0, -32(sp)
+    lw s1, -32(sp)
+    beq a0, s1, good
+    li a0, 0x0BAD
+good:
+    bne a0, zero, next
+    li a0, 0x0BAD
+next:
+    jal s1, leaf
+    add a0, a0, a3
+    addi tp, tp, -1
+    bne tp, zero, outer
+    ret
+leaf:
+    addi a0, a0, 1
+    jalr zero, s1, 0
+"""
+
+
+def mutation_exercise_target() -> tuple[Module, Program]:
+    """The (core, program) pair the CLI mutation stage and the farm
+    scaling benchmark shard."""
+    from ..isa.assembler import assemble
+    from ..rtl.rissp import build_rissp
+
+    return (build_rissp(list(MUTATION_EXERCISE_SUBSET)),
+            assemble(MUTATION_EXERCISE_PROGRAM))
+
+
+def farm_scaling_metrics(worker_counts=(1, 2, 4), limit: int = 32,
+                         backends=("fused",),
+                         max_instructions: int = 4_000) -> dict:
+    """Campaign wall-clock vs worker count, for ``BENCH_farm_scaling``.
+
+    Runs the mutant-kill-matrix campaign once per worker count (the
+    embarrassingly parallel shape the farm exists for: every mutant costs
+    a fresh compile plus a cosim run) and asserts the merged matrices are
+    bit-identical before reporting any timing — a speedup over a wrong
+    answer is not a speedup.
+    """
+    from ..verify.mutation import rtl_mutant_kill_matrix
+
+    core, program = mutation_exercise_target()
+    wallclock: dict[str, float] = {}
+    matrices = []
+    for workers in worker_counts:
+        started = time.perf_counter()
+        matrix = rtl_mutant_kill_matrix(
+            core, program, backends=tuple(backends), limit=limit,
+            max_instructions=max_instructions, workers=workers)
+        wallclock[f"workers_{workers}"] = time.perf_counter() - started
+        matrices.append(matrix)
+    reference = matrices[0]
+    for workers, matrix in zip(worker_counts, matrices):
+        assert list(matrix.items()) == list(reference.items()), (
+            f"kill matrix at workers={workers} diverged from serial")
+    serial = wallclock[f"workers_{worker_counts[0]}"]
+    metrics: dict = {
+        "campaign": "rtl_mutant_kill_matrix",
+        "mutants": len(reference),
+        "backend": ",".join(backends),
+        "cpu_count": os.cpu_count() or 1,
+        "wallclock_sec": wallclock,
+    }
+    for workers in worker_counts[1:]:
+        metrics[f"speedup_workers_{workers}"] = \
+            serial / wallclock[f"workers_{workers}"]
+    return metrics

@@ -1,0 +1,75 @@
+"""The work-queue runner: shard picklable tasks across a process pool.
+
+``run_tasks`` is deliberately tiny and completely deterministic from the
+caller's point of view:
+
+* ``workers=1`` executes the tasks in order, in-process — the *exact*
+  serial path, no pool, no pickling;
+* ``workers>1`` submits every task to a
+  :class:`concurrent.futures.ProcessPoolExecutor` and collects results
+  **in submission order**, not completion order — so the merged output of
+  a campaign is bit-identical for any worker count (every ``task.run()``
+  is a pure function of the task description);
+* a task that raises is re-raised in the caller as
+  :class:`FarmTaskError` carrying the task's id and description — the
+  pool is shut down cleanly rather than left hanging, and the error tells
+  you *which* shard to replay (for fuzz chunks, including its seed).
+
+Worker processes rebuild compiled-core and decoded-image caches lazily
+from the task descriptions (see :mod:`repro.farm.tasks`); nothing
+exec-compiled ever crosses the process boundary.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+class FarmTaskError(RuntimeError):
+    """A farm task failed; carries the task identity for replay.
+
+    Raised in the worker and re-raised in the parent (the message — task
+    id, task description, original exception — survives pickling; the
+    original traceback object does not, which is why the description is
+    embedded rather than chained).
+    """
+
+    def __init__(self, message: str, task_id: str = "",
+                 description: str = ""):
+        super().__init__(message)
+        self.task_id = task_id
+        self.description = description
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.task_id, self.description))
+
+
+def execute_task(task):
+    """Run one task, wrapping any failure with its description.
+
+    Top-level so it is picklable as the pool's callable; also used
+    verbatim by the serial path so both paths raise identical errors.
+    """
+    try:
+        return task.run()
+    except FarmTaskError:
+        raise
+    except Exception as exc:
+        raise FarmTaskError(
+            f"farm task {task.task_id!r} failed with "
+            f"{type(exc).__name__}: {exc} [{task.describe()}]",
+            task.task_id, task.describe()) from exc
+
+
+def run_tasks(tasks, workers: int = 1) -> list:
+    """Execute tasks; returns their results in task order.
+
+    ``workers`` caps the process count (never more processes than tasks);
+    ``workers <= 1`` is the serial in-process path.
+    """
+    tasks = list(tasks)
+    if workers <= 1 or len(tasks) <= 1:
+        return [execute_task(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+        futures = [pool.submit(execute_task, task) for task in tasks]
+        return [future.result() for future in futures]

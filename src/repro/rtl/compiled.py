@@ -483,6 +483,35 @@ def _fingerprint(module: Module) -> int:
                  tuple(sorted(module.wires.items()))))
 
 
+def stable_fingerprint(module: Module) -> str:
+    """Process-independent structural hash of a module (hex digest).
+
+    :func:`_fingerprint` keys the in-process compile caches with Python's
+    built-in ``hash`` — salted per interpreter, so it can never cross a
+    process boundary.  The simulation farm instead ships this sha256 over
+    the canonical ``repr`` of the same structures (every IR node is a
+    frozen dataclass with a deterministic repr), and each worker asserts
+    that the core it rebuilt from a task's subset description has the
+    fingerprint the task was enumerated against.
+    """
+    import hashlib
+
+    regs = tuple((r.name, r.width, repr(r.next), repr(r.enable),
+                  r.reset_value) for r in module.registers.values())
+    spec = module.regfile
+    rf = None
+    if spec is not None:
+        rf = (spec.num_regs, spec.width, tuple(spec.read_ports),
+              spec.write_port, tuple(spec.storage_signals))
+    ports = tuple(sorted((p.name, p.width, p.direction)
+                         for p in module.ports.values()))
+    assigns = tuple((name, repr(module.assigns[name]))
+                    for name in sorted(module.assigns))
+    payload = repr((assigns, regs, rf, ports,
+                    tuple(sorted(module.wires.items()))))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
 _cache: "weakref.WeakKeyDictionary[Module, tuple[int, CompiledModule]]" = \
     weakref.WeakKeyDictionary()
 

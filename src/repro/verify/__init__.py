@@ -3,21 +3,41 @@ RISCOF-style compliance, RVFI trace checking."""
 
 from .arch_tests import CORNER_VALUES, TestVector, all_vectors, vectors_for
 from .formal import FormalReport, check_block, check_library
+from .fuzz import (
+    FUZZ_BASE_SEED,
+    derive_seed,
+    fuzz_chunk_seeds,
+    random_program,
+    random_trap_program,
+)
 from .mutation import (
     Mutation,
     MutationReport,
+    cosim_verdict,
     enumerate_mutations,
+    mutant_verdict_row,
+    rtl_mutant_kill_matrix,
     run_mutation_campaign,
 )
-from .riscof import ComplianceReport, SIGNATURE_WORDS, compliance_program, run_compliance
+from .riscof import (
+    ComplianceReport,
+    SIGNATURE_WORDS,
+    check_compliance_mnemonic,
+    compliance_program,
+    compliance_targets,
+    run_compliance,
+)
 from .rvfi import RvfiCheckReport, check_trace
 from .testbench import TestbenchResult, block_verifier, run_testbench
 
 __all__ = [
-    "CORNER_VALUES", "ComplianceReport", "FormalReport", "Mutation",
-    "MutationReport", "RvfiCheckReport", "SIGNATURE_WORDS", "TestVector",
-    "TestbenchResult", "all_vectors", "block_verifier", "check_block",
-    "check_library", "check_trace", "compliance_program",
-    "enumerate_mutations", "run_compliance", "run_mutation_campaign",
-    "run_testbench", "vectors_for",
+    "CORNER_VALUES", "ComplianceReport", "FUZZ_BASE_SEED", "FormalReport",
+    "Mutation", "MutationReport", "RvfiCheckReport", "SIGNATURE_WORDS",
+    "TestVector", "TestbenchResult", "all_vectors", "block_verifier",
+    "check_block", "check_compliance_mnemonic", "check_library",
+    "check_trace", "compliance_program", "compliance_targets",
+    "cosim_verdict", "derive_seed", "enumerate_mutations",
+    "fuzz_chunk_seeds", "mutant_verdict_row", "random_program",
+    "random_trap_program", "rtl_mutant_kill_matrix", "run_compliance",
+    "run_mutation_campaign", "run_testbench", "vectors_for",
 ]

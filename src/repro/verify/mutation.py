@@ -161,14 +161,18 @@ def enumerate_rtl_mutations(module: Module, limit: int = 24,
 
 
 def cosim_verdict(core: Module, program, backend: str | None = None,
-                  max_instructions: int = 2_000) -> str | None:
+                  max_instructions: int = 2_000,
+                  soc: "object | None" = None) -> str | None:
     """Cosimulation outcome of one core as a comparable verdict.
 
     ``None`` means the lock-step run matched the golden reference through
     the halting instruction; any string is a kill — either the first
     diverging RVFI field (``"mismatch:<field>"``) or a simulator refusal
     (``"refused:<ExceptionName>"``).  Used to assert that every evaluator
-    backend reaches the *same* verdict on the same mutant.
+    backend reaches the *same* verdict on the same mutant, and by the
+    simulation farm as the comparable (picklable) result of one cosim
+    task.  ``soc`` attaches a :class:`~repro.soc.SocSpec` platform, as in
+    :func:`~repro.rtl.core_sim.cosimulate`.
     """
     from ..rtl.core_sim import cosimulate
     from ..sim.decoded import SimulationError
@@ -177,7 +181,7 @@ def cosim_verdict(core: Module, program, backend: str | None = None,
     try:
         mismatch = cosimulate(core, program,
                               max_instructions=max_instructions,
-                              backend=backend)
+                              backend=backend, soc=soc)
     except (SimulationError, MemoryError_) as exc:
         return f"refused:{type(exc).__name__}"
     if mismatch is None:
@@ -185,9 +189,29 @@ def cosim_verdict(core: Module, program, backend: str | None = None,
     return f"mismatch:{mismatch.field}"
 
 
+def mutant_verdict_row(core: Module, program, index: int, limit: int,
+                       backends, max_instructions: int = 2_000
+                       ) -> tuple[str, dict[str, str | None]]:
+    """One kill-matrix row: mutant ``index`` of the deterministic
+    enumeration, judged under every backend.
+
+    The mutant is addressed by *position* in
+    :func:`enumerate_rtl_mutations`\\ ``(core, limit)`` — a pure function
+    of the core's structure — so a farm worker that rebuilt the core from
+    its subset description computes exactly the row the serial loop
+    would.  Returns ``(description, {backend: verdict})``.
+    """
+    mutation = enumerate_rtl_mutations(core, limit=limit)[index]
+    mutant = apply_rtl_mutation(core, mutation)
+    return mutation.description, {
+        backend: cosim_verdict(mutant, program, backend, max_instructions)
+        for backend in backends}
+
+
 def rtl_mutant_kill_matrix(core: Module, program, backends,
                            limit: int = 24,
-                           max_instructions: int = 2_000
+                           max_instructions: int = 2_000,
+                           workers: int = 1
                            ) -> dict[str, dict[str, str | None]]:
     """Verdict of every enumerated RTL mutant under every backend.
 
@@ -195,9 +219,21 @@ def rtl_mutant_kill_matrix(core: Module, program, backends,
     deterministic mutant set :func:`enumerate_rtl_mutations` hands the
     mutation tests, so a fast path that silently weakens (or accidentally
     "improves") verification shows up as an unequal matrix row.
+
+    ``workers > 1`` fans the mutants out across a process pool (one task
+    per mutant) via the simulation farm; rows are merged in enumeration
+    order, so the matrix — keys, key order, every verdict — is
+    bit-identical to the serial loop for any worker count.  Requires a
+    core rebuildable from its subset (every stitched RISSP qualifies).
     """
+    mutations = enumerate_rtl_mutations(core, limit=limit)
+    if workers > 1 and len(mutations) > 1:
+        from ..farm.campaigns import sharded_mutant_kill_matrix
+        return sharded_mutant_kill_matrix(
+            core, program, backends, limit=limit,
+            max_instructions=max_instructions, workers=workers)
     matrix: dict[str, dict[str, str | None]] = {}
-    for mutation in enumerate_rtl_mutations(core, limit=limit):
+    for mutation in mutations:
         mutant = apply_rtl_mutation(core, mutation)
         matrix[mutation.description] = {
             backend: cosim_verdict(mutant, program, backend,

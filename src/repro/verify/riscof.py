@@ -15,6 +15,10 @@ against a reference model (Spike).  Here:
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pathlib
+import tempfile
 from dataclasses import dataclass, field
 from functools import lru_cache
 
@@ -148,19 +152,75 @@ def _compliance_binary(mnemonic: str) -> Program:
     return assemble(compliance_program(mnemonic))
 
 
+def _signature_cache_dir() -> pathlib.Path | None:
+    """Shared on-disk signature cache root: ``$REPRO_CACHE_DIR``, or
+    disabled when unset (the in-process memo below always applies)."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    return pathlib.Path(root) if root else None
+
+
+def _program_digest(program: Program) -> str:
+    """Content digest of a linked image — the disk-cache key component
+    that makes a stale entry impossible: any change to the generated
+    compliance program (or the assembler) changes the key."""
+    blob = hashlib.sha256()
+    blob.update(program.text_bytes())
+    blob.update(bytes(program.data_bytes))
+    blob.update(repr((program.text_base, program.data_base,
+                      program.entry)).encode())
+    return blob.hexdigest()[:16]
+
+
+def _cached_signature_path(mnemonic: str) -> pathlib.Path | None:
+    cache_dir = _signature_cache_dir()
+    if cache_dir is None:
+        return None
+    digest = _program_digest(_compliance_binary(mnemonic))
+    return cache_dir / f"riscof-sig-{mnemonic}-{digest}.bin"
+
+
 @lru_cache(maxsize=None)
 def _reference_signature(mnemonic: str) -> bytes:
     """Golden-reference signature for one compliance program, memoized.
 
     The reference depends only on the (deterministic) program, never on
     the core under test, so the golden run happens once per process — the
-    same sharing the compliance binaries already had.  Before this, the
-    flow re-simulated the reference for every RISSP it verified.
+    same sharing the compliance binaries already had.
+
+    With ``$REPRO_CACHE_DIR`` set the signature is additionally shared
+    *across* processes, which is what makes a sharded compliance campaign
+    cheap: the cache key is ``(mnemonic, program content digest)`` — two
+    workers can never interleave entries for different programs under one
+    key — and a worker that finds the entry skips the golden run
+    entirely.  Writes are atomic (temp file in the same directory +
+    ``os.replace``), so a reader sees either nothing or one complete
+    signature, never a torn write; racing writers both produce the same
+    bytes and the last rename wins.  A short or missing entry is treated
+    as absent and recomputed.
     """
+    expected = 4 * SIGNATURE_WORDS
+    path = _cached_signature_path(mnemonic)
+    if path is not None:
+        try:
+            cached = path.read_bytes()
+        except OSError:
+            cached = b""
+        if len(cached) == expected:
+            return cached
     program = _compliance_binary(mnemonic)
     ref = GoldenSim(program)
     ref.run(max_instructions=100_000)
-    return _signature(ref.memory, program)
+    signature = _signature(ref.memory, program)
+    if path is not None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                        prefix=path.name + ".")
+        try:
+            os.write(fd, signature)
+        finally:
+            os.close(fd)
+        os.replace(tmp_name, path)
+    return signature
 
 
 def _signature(memory, program: Program) -> bytes:
@@ -168,42 +228,84 @@ def _signature(memory, program: Program) -> bytes:
     return memory.read_blob(base, 4 * SIGNATURE_WORDS)
 
 
-def run_compliance(core: Module,
-                   mnemonics: list[str] | None = None) -> ComplianceReport:
-    """Run generated compliance tests for every instruction in the subset
-    that has a self-contained test (needs lw/sw/jal/addi/lui in the subset
-    for scaffolding — always true for real applications)."""
-    subset = list(core.meta.get("mnemonics", []))
-    targets = mnemonics or subset
-    # Instructions the generated test programs themselves rely on (li/la/
-    # j/ret expansions plus the signature stores).  Note ``beq`` is NOT
-    # here: no generated program branches as scaffolding, and all-C
-    # firmware subsets (PR 5) legitimately arrive without it.
+def compliance_targets(subset: list[str],
+                       mnemonics: list[str] | None = None) -> list[str]:
+    """The mnemonics :func:`run_compliance` will actually test — a pure
+    function of the subset, so a farm front-end can shard the exact same
+    target list the serial loop walks.
+
+    Filters out system instructions (no self-contained signature test:
+    the trap path is covered by cosimulation and the RVFI checker) and
+    targets whose test scaffolding the subset cannot execute.  The
+    scaffolding set is what the generated programs rely on (li/la/j/ret
+    expansions plus the signature stores); note ``beq`` is NOT in it: no
+    generated program branches as scaffolding, and all-C firmware subsets
+    (PR 5) legitimately arrive without it.
+    """
     scaffolding = {"lw", "sw", "jal", "jalr", "addi", "lui"}
-    report = ComplianceReport(mnemonics=list(targets))
-    for mnemonic in targets:
-        # System instructions have no self-contained signature test: the
-        # trap path is covered by cosimulation and the RVFI checker.
+    available = set(subset) | {"ecall"}
+    targets = []
+    for mnemonic in (mnemonics or subset):
         if mnemonic in ("ecall", "ebreak", "mret", "wfi") \
                 or mnemonic.startswith("csrr"):
             continue
-        needed = scaffolding | {mnemonic}
-        if not needed.issubset(set(subset) | {"ecall"}):
+        if not (scaffolding | {mnemonic}).issubset(available):
             continue
-        program = _compliance_binary(mnemonic)
-        dut = RisspSim(core, program)
-        dut.run(max_instructions=100_000)
+        targets.append(mnemonic)
+    return targets
+
+
+def check_compliance_mnemonic(core: Module, mnemonic: str) -> list[str]:
+    """Signature-compare one compliance program on one core.
+
+    Returns the mismatch strings for this mnemonic (at most one — the
+    first diverging signature word, same convention as always).  This is
+    the unit of work a compliance shard executes; it touches no state
+    beyond the per-process/ per-``$REPRO_CACHE_DIR`` reference memos.
+    """
+    program = _compliance_binary(mnemonic)
+    dut = RisspSim(core, program)
+    dut.run(max_instructions=100_000)
+    dut_sig = _signature(dut.memory, program)
+    ref_sig = _reference_signature(mnemonic)
+    if dut_sig == ref_sig:
+        return []
+    for index in range(SIGNATURE_WORDS):
+        a = dut_sig[4 * index:4 * index + 4]
+        b = ref_sig[4 * index:4 * index + 4]
+        if a != b:
+            return [f"{mnemonic}: signature[{index}] dut="
+                    f"{int.from_bytes(a, 'little'):#x} ref="
+                    f"{int.from_bytes(b, 'little'):#x}"]
+    return []  # pragma: no cover - unequal blobs differ at some word
+
+
+def run_compliance(core: Module,
+                   mnemonics: list[str] | None = None,
+                   workers: int = 1,
+                   shards: int = 0) -> ComplianceReport:
+    """Run generated compliance tests for every instruction in the subset
+    that has a self-contained test (needs lw/sw/jal/addi/lui in the subset
+    for scaffolding — always true for real applications).
+
+    ``workers > 1`` shards the target list across a process pool via the
+    simulation farm (``shards`` task groups; 0 = one per worker); the
+    merged report is bit-identical to the serial walk — same target
+    order, same mismatch strings — because shard results are merged in
+    target order, not completion order.  Requires a core rebuildable from
+    its subset (every stitched RISSP qualifies).
+    """
+    subset = list(core.meta.get("mnemonics", []))
+    targets = compliance_targets(subset, mnemonics)
+    report = ComplianceReport(mnemonics=list(mnemonics or subset))
+    if workers > 1 and len(targets) > 1:
+        from ..farm.campaigns import sharded_compliance_mismatches
+        mismatches = sharded_compliance_mismatches(
+            core, targets, workers=workers, shards=shards)
+        report.tests_run = len(targets)
+        report.mismatches.extend(mismatches)
+        return report
+    for mnemonic in targets:
         report.tests_run += 1
-        dut_sig = _signature(dut.memory, program)
-        ref_sig = _reference_signature(mnemonic)
-        if dut_sig != ref_sig:
-            for index in range(SIGNATURE_WORDS):
-                a = dut_sig[4 * index:4 * index + 4]
-                b = ref_sig[4 * index:4 * index + 4]
-                if a != b:
-                    report.mismatches.append(
-                        f"{mnemonic}: signature[{index}] dut="
-                        f"{int.from_bytes(a, 'little'):#x} ref="
-                        f"{int.from_bytes(b, 'little'):#x}")
-                    break
+        report.mismatches.extend(check_compliance_mnemonic(core, mnemonic))
     return report

@@ -1,0 +1,131 @@
+"""``python -m repro`` CLI tests: dataclass-driven parsing + stage runs.
+
+The parser is *generated* from :class:`repro.cli.FarmConfig` — these
+tests pin the mapping (field -> option name, tuple -> multi-value, int ->
+hex-capable) and smoke every stage at small limits through ``main``,
+asserting exit codes rather than output details.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import STAGES, FarmConfig, build_parser, main, parse_config, run
+from repro.verify.fuzz import FUZZ_BASE_SEED
+
+
+# ----------------------------------------------------------- parsing
+
+def test_defaults_round_trip_through_the_parser():
+    config = parse_config([])
+    assert config == FarmConfig()
+    assert config.stages == ("cosim",)
+    assert config.workers == 1
+    assert config.fuzz_seed == FUZZ_BASE_SEED
+
+
+def test_every_config_field_is_a_cli_option():
+    """The declarative contract: adding a FarmConfig field IS adding a
+    CLI option — nothing is wired twice, nothing can be forgotten."""
+    import dataclasses
+
+    parser = build_parser()
+    option_strings = {s for action in parser._actions
+                      for s in action.option_strings}
+    destinations = {action.dest for action in parser._actions}
+    for spec in dataclasses.fields(FarmConfig):
+        assert spec.name in destinations
+        if not spec.metadata.get("positional"):
+            assert "--" + spec.name.replace("_", "-") in option_strings
+
+
+def test_tuple_fields_take_multiple_values():
+    config = parse_config(["cosim", "mutation",
+                           "--backends", "fused", "compiled",
+                           "--workloads", "crc32",
+                           "--bench-workers", "1", "2"])
+    assert config.stages == ("cosim", "mutation")
+    assert config.backends == ("fused", "compiled")
+    assert config.workloads == ("crc32",)
+    assert config.bench_workers == (1, 2)
+
+
+def test_int_options_accept_hex():
+    config = parse_config(["cosim", "--fuzz-seed", "0xDEADBEEF",
+                           "--workers", "4"])
+    assert config.fuzz_seed == 0xDEADBEEF
+    assert config.workers == 4
+
+
+def test_unknown_stage_is_rejected():
+    with pytest.raises(SystemExit):
+        parse_config(["synthesize"])
+
+
+def test_stage_order_is_preserved():
+    config = parse_config(list(reversed(STAGES)))
+    assert config.stages == tuple(reversed(STAGES))
+
+
+# -------------------------------------------------------- stage smoke
+
+def test_cosim_stage_exit_zero(capsys):
+    code = main(["cosim", "--workloads", "uart_selftest",
+                 "--fuzz-chunks", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "cosim: 2/2 clean" in out
+    assert "all stages passed" in out
+
+
+def test_mutation_stage_exit_zero(capsys):
+    code = main(["mutation", "--mutation-limit", "6",
+                 "--mutation-budget", "400"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "mutation: " in out and "0 backend disagreements" in out
+
+
+def test_compliance_stage_exit_zero(capsys):
+    code = main(["compliance"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "-> PASS" in out
+
+
+def test_json_out_records_stage_results(tmp_path, capsys):
+    out_path = tmp_path / "results.json"
+    code = main(["cosim", "--workloads", "uart_selftest",
+                 "--json-out", str(out_path)])
+    assert code == 0
+    results = json.loads(out_path.read_text())
+    assert results["cosim"]["ok"] is True
+    assert results["cosim"]["verdicts"] == {"cosim:uart_selftest": None}
+    capsys.readouterr()
+
+
+def test_failing_stage_exits_nonzero(capsys, monkeypatch):
+    import repro.cli as cli
+
+    monkeypatch.setitem(cli._STAGE_RUNNERS, "cosim",
+                        lambda config: (False, {"verdicts": {}}))
+    code = run(parse_config(["cosim"]))
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "FAILED stages: cosim" in out
+
+
+def test_module_entrypoint_help(tmp_path):
+    """``python -m repro --help`` must work (wires __main__ -> cli)."""
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True, text=True, env={"PYTHONPATH": "src",
+                                             "PATH": "/usr/bin:/bin"},
+        cwd="/root/repo")
+    assert proc.returncode == 0
+    assert "--workers" in proc.stdout and "--fuzz-seed" in proc.stdout

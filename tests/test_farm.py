@@ -1,0 +1,254 @@
+"""Simulation-farm contract tests (PR 6).
+
+The farm's whole promise is *determinism under parallelism*: every
+campaign merged from a process pool must be bit-identical to the serial
+walk, failures must surface with a replayable task description instead of
+hanging the pool, and workers must rebuild their cores from the task's
+subset + fingerprint — never trust a stale structure.  These tests pin
+each clause, plus the process-safe compliance signature cache.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+import pytest
+
+from repro.farm import (
+    CoreMaterializeError,
+    CoreSpec,
+    FarmTaskError,
+    cosim_campaign,
+    mutation_exercise_target,
+    run_tasks,
+)
+from repro.isa.instructions import INSTRUCTIONS
+from repro.rtl.compiled import stable_fingerprint
+from repro.rtl.rissp import build_rissp
+from repro.verify.fuzz import FUZZ_BASE_SEED, derive_seed, fuzz_chunk_seeds
+from repro.verify.mutation import rtl_mutant_kill_matrix
+from repro.verify.riscof import run_compliance
+import repro.verify.riscof as riscof
+
+#: Subset with full compliance-test scaffolding and a handful of targets.
+COMPLIANCE_SUBSET = ["lw", "sw", "jal", "jalr", "addi", "lui",
+                     "add", "sub", "and", "or", "slt", "ecall"]
+
+
+# ------------------------------------------ bit-identical merged results
+
+def test_kill_matrix_identical_at_any_worker_count():
+    """The acceptance diff: workers=1 and workers=4 must produce the same
+    kill matrix — same rows, same verdicts, same *order*."""
+    core, program = mutation_exercise_target()
+    serial = rtl_mutant_kill_matrix(core, program, backends=("fused",),
+                                    limit=8, max_instructions=400,
+                                    workers=1)
+    farmed = rtl_mutant_kill_matrix(core, program, backends=("fused",),
+                                    limit=8, max_instructions=400,
+                                    workers=4)
+    assert list(serial.items()) == list(farmed.items())
+    # The campaign must have actually judged something.
+    assert len(serial) == 8
+
+
+def test_cosim_campaign_identical_at_any_worker_count():
+    serial = cosim_campaign(workloads=("uart_selftest",), fuzz_chunks=3,
+                            workers=1)
+    farmed = cosim_campaign(workloads=("uart_selftest",), fuzz_chunks=3,
+                            workers=4)
+    assert list(serial.items()) == list(farmed.items())
+    assert len(serial) == 4
+    assert all(verdict is None for verdict in serial.values())
+
+
+def test_compliance_identical_at_any_worker_count():
+    core = build_rissp(COMPLIANCE_SUBSET)
+    serial = run_compliance(core, workers=1)
+    farmed = run_compliance(core, workers=4, shards=4)
+    assert serial.tests_run == farmed.tests_run > 0
+    assert serial.mismatches == farmed.mismatches == []
+    assert serial.compliant and farmed.compliant
+
+
+def test_compliance_shard_merge_restores_target_order(monkeypatch):
+    """Mismatches from different shards must come back in serial target
+    order, not shard-completion order."""
+    core = build_rissp(COMPLIANCE_SUBSET)
+    real = riscof.check_compliance_mnemonic
+
+    def flaky(core, mnemonic):
+        if mnemonic in ("add", "slt"):
+            return [f"{mnemonic}: signature[0] dut=0x0 ref=0x1"]
+        return real(core, mnemonic)
+
+    monkeypatch.setattr(riscof, "check_compliance_mnemonic", flaky)
+    serial = run_compliance(core, workers=1)
+    # Farm path with workers=1 still exercises sharding + merge in-process
+    # (run_tasks takes the serial branch, so the monkeypatch applies).
+    from repro.farm import sharded_compliance_mismatches
+    from repro.verify.riscof import compliance_targets
+
+    targets = compliance_targets(COMPLIANCE_SUBSET)
+    merged = sharded_compliance_mismatches(core, targets, workers=1,
+                                           shards=5)
+    assert merged == serial.mismatches
+    assert [m.split(":")[0] for m in merged] == ["add", "slt"]
+
+
+# --------------------------------------------------- failure propagation
+
+@dataclass(frozen=True)
+class ExplodingTask:
+    """Module-level (picklable) task that always fails."""
+
+    task_id: str
+    payload: str = "kaboom"
+
+    def describe(self) -> str:
+        return f"exploding {self.task_id}: payload={self.payload}"
+
+    def run(self):
+        raise ValueError(self.payload)
+
+
+def test_worker_exception_carries_task_description():
+    """A failing task must surface as FarmTaskError naming the task —
+    through the real process pool (>= 2 tasks so the pool engages), not
+    hang or lose the description in pickling."""
+    tasks = [ExplodingTask(task_id="boom[000]"),
+             ExplodingTask(task_id="boom[001]")]
+    with pytest.raises(FarmTaskError) as excinfo:
+        run_tasks(tasks, workers=2)
+    assert excinfo.value.task_id == "boom[000]"
+    assert "kaboom" in str(excinfo.value)
+    assert "exploding boom[000]" in excinfo.value.description
+
+
+def test_serial_path_raises_the_same_error():
+    with pytest.raises(FarmTaskError) as excinfo:
+        run_tasks([ExplodingTask(task_id="solo")], workers=1)
+    assert excinfo.value.task_id == "solo"
+
+
+def test_farm_task_error_survives_pickling():
+    err = FarmTaskError("msg", "tid", "desc")
+    clone = pickle.loads(pickle.dumps(err))
+    assert (str(clone), clone.task_id, clone.description) == \
+        ("msg", "tid", "desc")
+
+
+# ------------------------------------------- worker core-rebuild contract
+
+def test_core_spec_roundtrip_matches_fingerprint():
+    core = build_rissp(COMPLIANCE_SUBSET)
+    spec = CoreSpec.of(core)
+    assert spec.fingerprint == stable_fingerprint(core)
+    rebuilt = spec.build()
+    assert stable_fingerprint(rebuilt) == spec.fingerprint
+    assert spec.build() is rebuilt  # per-process memo
+
+    blob = pickle.dumps(spec)
+    assert pickle.loads(blob) == spec  # frozen dataclass round-trips
+
+
+def test_tampered_fingerprint_refuses_to_materialize():
+    core = build_rissp(["addi", "add", "lui", "ecall"])
+    spec = CoreSpec.of(core)
+    tampered = CoreSpec(mnemonics=spec.mnemonics, name=spec.name,
+                        reset_pc=spec.reset_pc, trap_unit=spec.trap_unit,
+                        fingerprint="0" * 64)
+    with pytest.raises(CoreMaterializeError, match="fingerprint"):
+        tampered.build()
+
+
+def test_core_spec_rejects_unrebuildable_modules():
+    from types import SimpleNamespace
+
+    fake = SimpleNamespace(name="adhoc", meta={}, registers={})
+    with pytest.raises(CoreMaterializeError, match="rebuildable"):
+        CoreSpec.of(fake)
+
+
+# -------------------------------------------------- seeded fuzz replay
+
+def test_derived_seed_stream_is_deterministic():
+    seeds = list(fuzz_chunk_seeds(FUZZ_BASE_SEED, 8))
+    assert seeds == [derive_seed(FUZZ_BASE_SEED, i) for i in range(8)]
+    assert len(set(seeds)) == 8  # splitmix64 never collides here
+    assert all(0 <= seed < 2 ** 64 for seed in seeds)
+    # Chunk seeds depend only on (base, index) — never process state.
+    assert list(fuzz_chunk_seeds(FUZZ_BASE_SEED, 8)) == seeds
+
+
+def test_fuzz_task_ids_embed_replayable_seeds():
+    """The (task-id, seed) failure-report contract: every fuzz chunk's id
+    carries the exact derived seed that regenerates its program."""
+    results = cosim_campaign(workloads=(), fuzz_chunks=2, workers=1)
+    expected = [f"fuzz[{i:03d}]:seed={derive_seed(FUZZ_BASE_SEED, i):#018x}"
+                for i in range(2)]
+    assert list(results) == expected
+
+
+# ---------------------------------------- process-safe signature cache
+
+def _full_core():
+    return build_rissp([d.mnemonic for d in INSTRUCTIONS])
+
+
+def test_signature_cache_writes_atomically(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    riscof._reference_signature.cache_clear()
+    core = build_rissp(COMPLIANCE_SUBSET)
+    assert riscof.check_compliance_mnemonic(core, "add") == []
+    entries = list(tmp_path.glob("riscof-sig-add-*.bin"))
+    assert len(entries) == 1
+    assert len(entries[0].read_bytes()) == 4 * riscof.SIGNATURE_WORDS
+    # Atomic rename leaves no temp files behind.
+    assert list(tmp_path.glob("*.bin.*")) == []
+
+
+def test_signature_cache_hit_skips_the_golden_run(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    riscof._reference_signature.cache_clear()
+    core = build_rissp(COMPLIANCE_SUBSET)
+    assert riscof.check_compliance_mnemonic(core, "sub") == []
+    riscof._reference_signature.cache_clear()
+
+    class Detonator:
+        def __init__(self, *args, **kwargs):
+            raise AssertionError("golden run despite warm disk cache")
+
+    monkeypatch.setattr(riscof, "GoldenSim", Detonator)
+    assert riscof.check_compliance_mnemonic(core, "sub") == []
+    riscof._reference_signature.cache_clear()
+
+
+def test_short_cache_entry_is_recomputed(tmp_path, monkeypatch):
+    """A torn/truncated entry must read as absent, never as a signature."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    riscof._reference_signature.cache_clear()
+    core = build_rissp(COMPLIANCE_SUBSET)
+    assert riscof.check_compliance_mnemonic(core, "and") == []
+    entry = next(tmp_path.glob("riscof-sig-and-*.bin"))
+    entry.write_bytes(b"\xde\xad")  # corrupt: far too short
+    riscof._reference_signature.cache_clear()
+    assert riscof.check_compliance_mnemonic(core, "and") == []
+    assert len(entry.read_bytes()) == 4 * riscof.SIGNATURE_WORDS
+    riscof._reference_signature.cache_clear()
+
+
+def test_cache_key_distinguishes_programs(tmp_path, monkeypatch):
+    """Two mnemonics can never interleave under one key: the file name
+    carries both the mnemonic and the program content digest."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    riscof._reference_signature.cache_clear()
+    core = build_rissp(COMPLIANCE_SUBSET)
+    assert riscof.check_compliance_mnemonic(core, "or") == []
+    assert riscof.check_compliance_mnemonic(core, "slt") == []
+    names = sorted(p.name for p in tmp_path.glob("riscof-sig-*.bin"))
+    assert len(names) == 2 and names[0] != names[1]
+    digests = {name.rsplit("-", 1)[1] for name in names}
+    assert len(digests) == 2  # distinct programs -> distinct digests
+    riscof._reference_signature.cache_clear()

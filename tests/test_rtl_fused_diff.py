@@ -10,7 +10,12 @@ backends — ``fused``, per-cycle ``compiled`` (PR 2) and the tree-walking
 code, row by row:
 
 * **randomized programs** — a seeded generator mixes every ALU/shift/
-  compare op with memory round-trips and bounded loops;
+  compare op with memory round-trips and bounded loops.  Since PR 6 the
+  generators live in :mod:`repro.verify.fuzz` and every chunk's seed is
+  derived from one base seed via :func:`repro.verify.fuzz.derive_seed` —
+  the exact seed stream the multi-process farm shards, so a farm run
+  reproduces this suite bit-for-bit and any failure here names the same
+  ``(task-id, seed)`` pair a farm failure would;
 * **randomized trap firmware** — handler installs, Zicsr traffic,
   ecall round-trips through the hardware trap unit;
 * **real workloads from every registry category** — a MicroC-compiled
@@ -23,17 +28,27 @@ code, row by row:
   and only ``fused`` may arm the fused loop.
 """
 
-import random
-
 import pytest
 
 from repro.isa import INSTRUCTIONS, assemble
 from repro.rtl import build_rissp
 from repro.rtl.core_sim import RisspSim, cosimulate
 from repro.sim.tracing import RvfiTrace
+from repro.verify.fuzz import (
+    FUZZ_BASE_SEED,
+    derive_seed,
+    fuzz_chunk_seeds,
+    random_program,
+    random_trap_program,
+)
 from repro.workloads import WORKLOADS, build_program
 
 BACKENDS = ("fused", "compiled", "interpreter")
+
+#: Per-chunk seeds of the fuzz campaign — (chunk index, derived seed)
+#: pairs, so every parametrized test id doubles as the replay recipe.
+FUZZ_CHUNKS = list(enumerate(fuzz_chunk_seeds(FUZZ_BASE_SEED, 8)))
+TRAP_FUZZ_CHUNKS = list(enumerate(fuzz_chunk_seeds(FUZZ_BASE_SEED + 1, 4)))
 
 FULL_SUBSET = [d.mnemonic for d in INSTRUCTIONS]
 FULL_TRAP_SUBSET = FULL_SUBSET + ["mret"]
@@ -81,105 +96,29 @@ def _assert_lockstep(core, program, max_instructions, soc=None,
 
 # ---------------------------------------------------------------- fuzzing
 
-_OPS_RRR = ["add", "sub", "and", "or", "xor", "sll", "srl", "sra",
-            "slt", "sltu"]
-_OPS_RRI = ["addi", "andi", "ori", "xori", "slti", "sltiu"]
-_OPS_SHI = ["slli", "srli", "srai"]
-_LOADS = ["lw", "lh", "lhu", "lb", "lbu"]
-_STORES = {"sw": 4, "sh": 2, "sb": 1}
-_REGS = ["t0", "t1", "t2", "a2", "a3", "a4", "a5", "s0", "s1"]
-
-
-def _random_program(seed: int) -> str:
-    """A random halting program: ALU soup + memory round-trips + a
-    counted loop, accumulating a checksum into a0."""
-    rng = random.Random(seed)
-    lines = [".text", "main:", "    li a0, 0", "    li a1, 0",
-             "    li gp, 0x8000"]
-    for reg in _REGS:
-        lines.append(f"    li {reg}, {rng.randrange(-2048, 2048)}")
-    lines.append(f"    li tp, {rng.randrange(3, 7)}")   # loop counter
-    lines.append("loop:")
-    for index in range(rng.randrange(10, 25)):
-        roll = rng.randrange(10)
-        rd = rng.choice(_REGS)
-        rs1 = rng.choice(_REGS)
-        rs2 = rng.choice(_REGS)
-        if roll < 4:
-            lines.append(f"    {rng.choice(_OPS_RRR)} {rd}, {rs1}, {rs2}")
-        elif roll < 6:
-            lines.append(f"    {rng.choice(_OPS_RRI)} {rd}, {rs1}, "
-                         f"{rng.randrange(-2048, 2048)}")
-        elif roll < 7:
-            lines.append(f"    {rng.choice(_OPS_SHI)} {rd}, {rs1}, "
-                         f"{rng.randrange(32)}")
-        elif roll < 8:
-            offset = 4 * rng.randrange(8)
-            mnemonic = rng.choice(list(_STORES))
-            lines.append(f"    {mnemonic} {rs1}, {offset}(gp)")
-        else:
-            offset = 4 * rng.randrange(8)
-            lines.append(f"    {rng.choice(_LOADS)} {rd}, {offset}(gp)")
-        lines.append(f"    add a0, a0, {rd}")
-        if roll == 9 and index % 3 == 0:
-            lines.append(f"    beq {rs1}, {rs2}, skip{seed}_{index}")
-            lines.append("    addi a0, a0, 1")
-            lines.append(f"skip{seed}_{index}:")
-    lines += ["    addi tp, tp, -1", "    bne tp, zero, loop", "    ret"]
-    return "\n".join(lines) + "\n"
-
-
-@pytest.mark.parametrize("seed", range(8))
-def test_random_programs_lockstep_on_all_backends(seed, full_core):
-    program = assemble(_random_program(seed))
-    reference = _assert_lockstep(full_core, program, 20_000,
-                                 context=f"seed={seed}")
+@pytest.mark.parametrize("chunk, seed", FUZZ_CHUNKS,
+                         ids=[f"chunk{i}-seed={s:#x}"
+                              for i, s in FUZZ_CHUNKS])
+def test_random_programs_lockstep_on_all_backends(chunk, seed, full_core):
+    program = assemble(random_program(seed))
+    reference = _assert_lockstep(
+        full_core, program, 20_000,
+        context=f"fuzz[{chunk:03d}] seed={seed:#x}")
     assert reference.halted_by == "ecall"
     # The reference itself must match the golden ISS (fused chunked cosim).
     assert cosimulate(full_core, program, max_instructions=20_000,
                       backend="fused") is None
 
 
-def _random_trap_program(seed: int) -> str:
-    """Random compute burst wrapped in trap plumbing: install a handler,
-    bounce through ecall a few times, read CSRs back, then halt."""
-    rng = random.Random(seed)
-    body = []
-    for _ in range(rng.randrange(4, 10)):
-        body.append(f"    {rng.choice(_OPS_RRI)} "
-                    f"{rng.choice(_REGS)}, {rng.choice(_REGS)}, "
-                    f"{rng.randrange(-512, 512)}")
-    bounces = rng.randrange(2, 5)
-    return "\n".join([
-        ".text", "main:",
-        "    la t0, handler",
-        "    csrw mtvec, t0",
-        "    li a0, 0",
-        f"    li tp, {bounces}",
-        "again:"] + body + [
-        "    ecall",                      # hardware trap entry
-        "    csrr a2, mepc",
-        "    add a0, a0, a2",
-        "    csrr a3, mcause",
-        "    add a0, a0, a3",
-        "    addi tp, tp, -1",
-        "    bne tp, zero, again",
-        "    csrw mtvec, x0",             # restore halt convention
-        "    ret",
-        "handler:",
-        "    csrr a4, mepc",
-        "    addi a4, a4, 4",
-        "    csrw mepc, a4",
-        "    addi a0, a0, 100",
-        "    mret",
-    ]) + "\n"
-
-
-@pytest.mark.parametrize("seed", range(4))
-def test_random_trap_firmware_lockstep_on_all_backends(seed, trap_core):
-    program = assemble(_random_trap_program(seed))
-    reference = _assert_lockstep(trap_core, program, 20_000,
-                                 context=f"trap seed={seed}")
+@pytest.mark.parametrize("chunk, seed", TRAP_FUZZ_CHUNKS,
+                         ids=[f"chunk{i}-seed={s:#x}"
+                              for i, s in TRAP_FUZZ_CHUNKS])
+def test_random_trap_firmware_lockstep_on_all_backends(chunk, seed,
+                                                       trap_core):
+    program = assemble(random_trap_program(seed))
+    reference = _assert_lockstep(
+        trap_core, program, 20_000,
+        context=f"trap-fuzz[{chunk:03d}] seed={seed:#x}")
     assert reference.halted_by == "ecall"
     rows = _rows(reference)
     assert any(row[RvfiTrace.FIELDS.index("trap")] for row in rows), \
@@ -350,7 +289,7 @@ def test_fused_cosim_detects_injected_row_corruption(full_core,
         return halted, reason, new_count
 
     monkeypatch.setattr(RisspSim, "_fused_run", corrupted)
-    program = assemble(_random_program(1))
+    program = assemble(random_program(derive_seed(FUZZ_BASE_SEED, 1)))
     mismatch = cosimulate(full_core, program, max_instructions=20_000,
                           backend="fused")
     assert mismatch is not None and mismatch.field == "rd_wdata"
@@ -368,7 +307,7 @@ def test_fused_cosim_reports_limit_exhaustion(full_core):
 # ------------------------------------------------- backend selection
 
 def test_env_var_selects_every_backend(full_core, monkeypatch):
-    program = assemble(_random_program(2))
+    program = assemble(random_program(derive_seed(FUZZ_BASE_SEED, 2)))
     outcomes = {}
     for backend in BACKENDS:
         monkeypatch.setenv("REPRO_RTL_BACKEND", backend)
@@ -386,7 +325,8 @@ def test_env_var_selects_every_backend(full_core, monkeypatch):
 
 def test_constructor_backend_beats_env_var(full_core, monkeypatch):
     monkeypatch.setenv("REPRO_RTL_BACKEND", "interpreter")
-    sim = RisspSim(full_core, assemble(_random_program(3)),
+    sim = RisspSim(full_core,
+                   assemble(random_program(derive_seed(FUZZ_BASE_SEED, 3))),
                    backend="fused")
     assert sim.rtl.backend == "fused" and sim._fused is not None
 

@@ -37,7 +37,9 @@ def _cfg(default, help_text: str, **extra):
     """A config field: default + help (+ argparse extras) in one place."""
     metadata = {"help": help_text, **extra}
     if isinstance(default, (tuple, list, dict)):
-        return field(default_factory=lambda: default, metadata=metadata)
+        # Copy per instance so a list/dict default is never shared.
+        return field(default_factory=lambda: type(default)(default),
+                     metadata=metadata)
     return field(default=default, metadata=metadata)
 
 

@@ -225,8 +225,11 @@ def farm_scaling_metrics(worker_counts=(1, 2, 4), limit: int = 32,
         matrices.append(matrix)
     reference = matrices[0]
     for workers, matrix in zip(worker_counts, matrices):
-        assert list(matrix.items()) == list(reference.items()), (
-            f"kill matrix at workers={workers} diverged from serial")
+        # Not an assert: this guard must survive ``python -O`` — a speedup
+        # over a diverged matrix must never be reported.
+        if list(matrix.items()) != list(reference.items()):
+            raise RuntimeError(
+                f"kill matrix at workers={workers} diverged from serial")
     serial = wallclock[f"workers_{worker_counts[0]}"]
     metrics: dict = {
         "campaign": "rtl_mutant_kill_matrix",

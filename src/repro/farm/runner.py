@@ -72,4 +72,10 @@ def run_tasks(tasks, workers: int = 1) -> list:
         return [execute_task(task) for task in tasks]
     with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
         futures = [pool.submit(execute_task, task) for task in tasks]
-        return [future.result() for future in futures]
+        try:
+            return [future.result() for future in futures]
+        except BaseException:
+            # Drop queued tasks so the first failure surfaces immediately
+            # instead of after the rest of the campaign drains.
+            pool.shutdown(wait=True, cancel_futures=True)
+            raise

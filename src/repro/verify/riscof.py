@@ -152,11 +152,10 @@ def _compliance_binary(mnemonic: str) -> Program:
     return assemble(compliance_program(mnemonic))
 
 
-def _signature_cache_dir() -> pathlib.Path | None:
+def _signature_cache_dir() -> str | None:
     """Shared on-disk signature cache root: ``$REPRO_CACHE_DIR``, or
     disabled when unset (the in-process memo below always applies)."""
-    root = os.environ.get("REPRO_CACHE_DIR")
-    return pathlib.Path(root) if root else None
+    return os.environ.get("REPRO_CACHE_DIR") or None
 
 
 def _program_digest(program: Program) -> str:
@@ -171,21 +170,23 @@ def _program_digest(program: Program) -> str:
     return blob.hexdigest()[:16]
 
 
-def _cached_signature_path(mnemonic: str) -> pathlib.Path | None:
-    cache_dir = _signature_cache_dir()
+def _cached_signature_path(mnemonic: str,
+                           cache_dir: str | None) -> pathlib.Path | None:
     if cache_dir is None:
         return None
     digest = _program_digest(_compliance_binary(mnemonic))
-    return cache_dir / f"riscof-sig-{mnemonic}-{digest}.bin"
+    return pathlib.Path(cache_dir) / f"riscof-sig-{mnemonic}-{digest}.bin"
 
 
-@lru_cache(maxsize=None)
 def _reference_signature(mnemonic: str) -> bytes:
     """Golden-reference signature for one compliance program, memoized.
 
     The reference depends only on the (deterministic) program, never on
     the core under test, so the golden run happens once per process — the
-    same sharing the compliance binaries already had.
+    same sharing the compliance binaries already had.  The in-process
+    memo is keyed by ``(mnemonic, resolved cache dir)``, so changing
+    ``$REPRO_CACHE_DIR`` mid-process takes effect on the next call
+    instead of silently reusing the old cache decision.
 
     With ``$REPRO_CACHE_DIR`` set the signature is additionally shared
     *across* processes, which is what makes a sharded compliance campaign
@@ -198,8 +199,14 @@ def _reference_signature(mnemonic: str) -> bytes:
     bytes and the last rename wins.  A short or missing entry is treated
     as absent and recomputed.
     """
+    return _reference_signature_memo(mnemonic, _signature_cache_dir())
+
+
+@lru_cache(maxsize=None)
+def _reference_signature_memo(mnemonic: str,
+                              cache_dir: str | None) -> bytes:
     expected = 4 * SIGNATURE_WORDS
-    path = _cached_signature_path(mnemonic)
+    path = _cached_signature_path(mnemonic, cache_dir)
     if path is not None:
         try:
             cached = path.read_bytes()

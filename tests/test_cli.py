@@ -119,13 +119,16 @@ def test_failing_stage_exits_nonzero(capsys, monkeypatch):
 
 def test_module_entrypoint_help(tmp_path):
     """``python -m repro --help`` must work (wires __main__ -> cli)."""
+    import os
+    import pathlib
     import subprocess
     import sys
 
+    root = pathlib.Path(__file__).resolve().parents[1]
     proc = subprocess.run(
         [sys.executable, "-m", "repro", "--help"],
-        capture_output=True, text=True, env={"PYTHONPATH": "src",
-                                             "PATH": "/usr/bin:/bin"},
-        cwd="/root/repo")
+        capture_output=True, text=True,
+        env={**os.environ, "PYTHONPATH": str(root / "src")},
+        cwd=root)
     assert proc.returncode == 0
     assert "--workers" in proc.stdout and "--fuzz-seed" in proc.stdout

@@ -199,7 +199,6 @@ def _full_core():
 
 def test_signature_cache_writes_atomically(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-    riscof._reference_signature.cache_clear()
     core = build_rissp(COMPLIANCE_SUBSET)
     assert riscof.check_compliance_mnemonic(core, "add") == []
     entries = list(tmp_path.glob("riscof-sig-add-*.bin"))
@@ -211,10 +210,11 @@ def test_signature_cache_writes_atomically(tmp_path, monkeypatch):
 
 def test_signature_cache_hit_skips_the_golden_run(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-    riscof._reference_signature.cache_clear()
     core = build_rissp(COMPLIANCE_SUBSET)
     assert riscof.check_compliance_mnemonic(core, "sub") == []
-    riscof._reference_signature.cache_clear()
+    # Drop the in-process memo so the next call must go through the disk
+    # cache — the cross-process path a farm worker exercises.
+    riscof._reference_signature_memo.cache_clear()
 
     class Detonator:
         def __init__(self, *args, **kwargs):
@@ -222,28 +222,24 @@ def test_signature_cache_hit_skips_the_golden_run(tmp_path, monkeypatch):
 
     monkeypatch.setattr(riscof, "GoldenSim", Detonator)
     assert riscof.check_compliance_mnemonic(core, "sub") == []
-    riscof._reference_signature.cache_clear()
 
 
 def test_short_cache_entry_is_recomputed(tmp_path, monkeypatch):
     """A torn/truncated entry must read as absent, never as a signature."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-    riscof._reference_signature.cache_clear()
     core = build_rissp(COMPLIANCE_SUBSET)
     assert riscof.check_compliance_mnemonic(core, "and") == []
     entry = next(tmp_path.glob("riscof-sig-and-*.bin"))
     entry.write_bytes(b"\xde\xad")  # corrupt: far too short
-    riscof._reference_signature.cache_clear()
+    riscof._reference_signature_memo.cache_clear()
     assert riscof.check_compliance_mnemonic(core, "and") == []
     assert len(entry.read_bytes()) == 4 * riscof.SIGNATURE_WORDS
-    riscof._reference_signature.cache_clear()
 
 
 def test_cache_key_distinguishes_programs(tmp_path, monkeypatch):
     """Two mnemonics can never interleave under one key: the file name
     carries both the mnemonic and the program content digest."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-    riscof._reference_signature.cache_clear()
     core = build_rissp(COMPLIANCE_SUBSET)
     assert riscof.check_compliance_mnemonic(core, "or") == []
     assert riscof.check_compliance_mnemonic(core, "slt") == []
@@ -251,4 +247,3 @@ def test_cache_key_distinguishes_programs(tmp_path, monkeypatch):
     assert len(names) == 2 and names[0] != names[1]
     digests = {name.rsplit("-", 1)[1] for name in names}
     assert len(digests) == 2  # distinct programs -> distinct digests
-    riscof._reference_signature.cache_clear()

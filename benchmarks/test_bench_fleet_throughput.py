@@ -1,0 +1,45 @@
+"""Batched fleet throughput: thousands of cores stepped per fused pass.
+
+PR 7 tentpole measurement.  A fleet campaign used to pay the full
+per-instance fixed costs N times — RisspSim construction (module check,
+environment setup) plus per-quantum fused-loop entry/exit with a
+combinational re-settle.  :class:`~repro.rtl.fleet.FleetSim` batches the
+loop-carried state of every lane into per-instance arrays and advances
+the whole fleet inside one generated pass, sharing one per-word decode
+cache across all lanes.
+
+Gate: >= 1k instances stepped in one campaign, aggregate cycles/sec at
+least **3x** the single-core fused backend constructed and run in a
+Python loop over the same instances — and, before any timing,
+sampled-instance bit-identity (full RVFI columns) against single-core
+fused, asserted inside :func:`repro.farm.fleet_throughput_metrics`
+itself: a speedup over wrong results is not a speedup.
+"""
+
+from repro.farm import fleet_throughput_metrics
+
+INSTANCES = 1024
+SPEEDUP_GATE = 3.0
+
+
+def test_bench_fleet_throughput(benchmark, bench_artifact):
+    metrics = benchmark.pedantic(
+        lambda: fleet_throughput_metrics(instances=INSTANCES),
+        rounds=1, iterations=1)
+    print(f"\n=== batched fleet throughput ({metrics['instances']} "
+          f"instances, {metrics['retirements']} retirements, "
+          f"{metrics['equivalence_sampled_lanes']} lanes "
+          f"equivalence-sampled) ===")
+    print(f"fleet  : {metrics['fleet_cycles_per_sec']:12,.0f} cycles/sec "
+          f"({metrics['wallclock_sec']['fleet_batched']:.2f}s)")
+    print(f"single : {metrics['single_cycles_per_sec']:12,.0f} cycles/sec "
+          f"({metrics['single_sampled_instances']} sampled instances)")
+    print(f"speedup: {metrics['speedup_vs_single']:.2f}x")
+    bench_artifact("fleet_throughput", metrics)
+    assert metrics["instances"] >= 1000
+    assert metrics["retirements"] > 0
+    assert metrics["equivalence_sampled_lanes"] > 0
+    assert metrics["speedup_vs_single"] >= SPEEDUP_GATE, (
+        f"batched fleet regressed: "
+        f"{metrics['speedup_vs_single']:.2f}x < {SPEEDUP_GATE}x over "
+        f"single-core fused")

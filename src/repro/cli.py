@@ -1,9 +1,9 @@
 """The single ``repro`` entrypoint: ``python -m repro [stages] [options]``.
 
 One CLI drives the verification campaigns the repository accumulated —
-cosimulation, the RTL mutant kill matrix, riscof-analog compliance, and
-the farm scaling benchmark — through the multi-process simulation farm
-(:mod:`repro.farm`).
+cosimulation, the RTL mutant kill matrix, riscof-analog compliance, the
+farm scaling benchmark, and the batched fleet throughput stage — through
+the multi-process simulation farm (:mod:`repro.farm`).
 
 Configuration is **declarative**: :class:`FarmConfig` is a plain
 dataclass whose fields *are* the command line (in the style of
@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from .verify.fuzz import FUZZ_BASE_SEED
 
 #: Stage names, in the order a multi-stage invocation runs them.
-STAGES = ("cosim", "mutation", "compliance", "bench")
+STAGES = ("cosim", "mutation", "compliance", "bench", "fleet")
 
 
 def _cfg(default, help_text: str, **extra):
@@ -77,6 +77,11 @@ class FarmConfig:
         2_000, "retirement budget per mutant cosim")
     bench_workers: tuple[int, ...] = _cfg(
         (1, 2, 4), "worker counts the bench stage times")
+    fleet_instances: int = _cfg(
+        1024, "core+firmware instances the fleet stage batches")
+    fleet_quantum: int = _cfg(
+        256, "retirements per batched fleet pass (scheduling only — "
+             "never changes results)")
     json_out: str = _cfg(
         "", "write stage results as JSON to this path")
 
@@ -158,6 +163,15 @@ def parse_config(argv=None, config_cls=FarmConfig) -> FarmConfig:
 def _stage_cosim(config: FarmConfig) -> tuple[bool, dict]:
     from .farm import cosim_campaign
 
+    if not config.backends:
+        # Zero backends would loop zero times and report "0/0 clean" — a
+        # vacuous pass claiming success with nothing verified.
+        print("cosim: no backends configured — nothing verified -> FAIL")
+        return False, {"verdicts": {}}
+    if not config.workloads and not config.fuzz_chunks:
+        print("cosim: no workloads and no fuzz chunks — nothing "
+              "verified -> FAIL")
+        return False, {"verdicts": {}}
     verdicts: dict[str, str | None] = {}
     for backend in config.backends:
         prefix = f"{backend}:" if len(config.backends) > 1 else ""
@@ -180,6 +194,12 @@ def _stage_mutation(config: FarmConfig) -> tuple[bool, dict]:
     from .farm import mutation_exercise_target
     from .verify.mutation import rtl_mutant_kill_matrix
 
+    if not config.backends:
+        # Empty verdict rows would crash the kill count (StopIteration
+        # inside the generator) — fail cleanly instead.
+        print("mutation: no backends configured — nothing verified "
+              "-> FAIL")
+        return False, {"mutants": 0, "killed": 0, "disagreements": []}
     core, program = mutation_exercise_target()
     matrix = rtl_mutant_kill_matrix(
         core, program, backends=tuple(config.backends),
@@ -219,6 +239,12 @@ def _stage_bench(config: FarmConfig) -> tuple[bool, dict]:
     from .core.bench_schema import write_bench_artifact
     from .farm import farm_scaling_metrics
 
+    if not config.bench_workers or not config.backends:
+        # Zero worker counts would crash indexing the serial baseline;
+        # zero backends would time an empty campaign.
+        print("bench: needs at least one worker count and one backend "
+              "-> FAIL")
+        return False, {}
     metrics = farm_scaling_metrics(
         worker_counts=tuple(config.bench_workers),
         backends=tuple(config.backends))
@@ -232,8 +258,30 @@ def _stage_bench(config: FarmConfig) -> tuple[bool, dict]:
     return True, {"metrics": metrics, "artifact": str(path)}
 
 
+def _stage_fleet(config: FarmConfig) -> tuple[bool, dict]:
+    from .core.bench_schema import write_bench_artifact
+    from .farm import fleet_throughput_metrics
+
+    if config.fleet_instances <= 0:
+        print("fleet: needs at least one instance -> FAIL")
+        return False, {}
+    metrics = fleet_throughput_metrics(
+        instances=config.fleet_instances, workers=config.workers,
+        quantum=config.fleet_quantum)
+    print(f"  instances            {metrics['instances']}")
+    print(f"  retirements          {metrics['retirements']}")
+    print(f"  fleet cycles/sec     {metrics['fleet_cycles_per_sec']:,.0f}")
+    print(f"  single cycles/sec    {metrics['single_cycles_per_sec']:,.0f}")
+    print(f"  speedup vs single    "
+          f"{metrics['speedup_vs_single']:.2f}x")
+    path = write_bench_artifact("fleet_throughput", metrics)
+    print(f"fleet: wrote {path}")
+    return True, {"metrics": metrics, "artifact": str(path)}
+
+
 _STAGE_RUNNERS = {"cosim": _stage_cosim, "mutation": _stage_mutation,
-                  "compliance": _stage_compliance, "bench": _stage_bench}
+                  "compliance": _stage_compliance, "bench": _stage_bench,
+                  "fleet": _stage_fleet}
 
 
 def run(config: FarmConfig) -> int:

@@ -20,10 +20,15 @@ Design rules (see the module docstrings for the fine print):
 """
 
 from .campaigns import (
+    FLEET_EXERCISE_PROGRAM,
     MUTATION_EXERCISE_PROGRAM,
     MUTATION_EXERCISE_SUBSET,
     cosim_campaign,
     farm_scaling_metrics,
+    fleet_campaign,
+    fleet_exercise_target,
+    fleet_lane_value,
+    fleet_throughput_metrics,
     mutation_exercise_target,
     sharded_compliance_mismatches,
     sharded_mutant_kill_matrix,
@@ -35,15 +40,19 @@ from .tasks import (
     CoreMaterializeError,
     CoreSpec,
     CosimTask,
+    FleetShardTask,
     FuzzCosimTask,
     MutantTask,
 )
 
 __all__ = [
     "ComplianceTask", "CoreMaterializeError", "CoreSpec", "CosimTask",
-    "FarmTaskError", "FuzzCosimTask", "MUTATION_EXERCISE_PROGRAM",
+    "FLEET_EXERCISE_PROGRAM", "FarmTaskError", "FleetShardTask",
+    "FuzzCosimTask", "MUTATION_EXERCISE_PROGRAM",
     "MUTATION_EXERCISE_SUBSET", "MutantTask", "cosim_campaign",
-    "execute_task", "farm_scaling_metrics", "mutation_exercise_target",
-    "run_tasks", "sharded_compliance_mismatches",
-    "sharded_mutant_kill_matrix", "workload_target",
+    "execute_task", "farm_scaling_metrics", "fleet_campaign",
+    "fleet_exercise_target", "fleet_lane_value",
+    "fleet_throughput_metrics", "mutation_exercise_target", "run_tasks",
+    "sharded_compliance_mismatches", "sharded_mutant_kill_matrix",
+    "workload_target",
 ]

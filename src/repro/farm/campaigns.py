@@ -26,7 +26,14 @@ from ..isa.program import Program
 from ..rtl.ir import Module
 from ..verify.fuzz import FUZZ_BASE_SEED, derive_seed
 from .runner import run_tasks
-from .tasks import ComplianceTask, CoreSpec, CosimTask, FuzzCosimTask, MutantTask
+from .tasks import (
+    ComplianceTask,
+    CoreSpec,
+    CosimTask,
+    FleetShardTask,
+    FuzzCosimTask,
+    MutantTask,
+)
 
 # ------------------------------------------------------------- mutation
 
@@ -139,6 +146,195 @@ def cosim_campaign(workloads=(), fuzz_chunks: int = 0,
     results = run_tasks(tasks, workers=workers)
     return {task.task_id: verdict
             for task, verdict in zip(tasks, results)}
+
+
+# ---------------------------------------------------------------- fleet
+
+#: Exercise program for fleet campaigns: an arithmetic/memory loop whose
+#: iteration count and result are driven by the per-lane parameter poked
+#: into ``a2`` — every lane computes a distinct value and halts at a
+#: distinct retirement count, so batched-vs-single divergence anywhere in
+#: the datapath, the store/load path or the halt sequencing is visible in
+#: the per-lane rows.
+FLEET_EXERCISE_PROGRAM = """.text
+start:
+    li a0, 0
+    li t0, 0
+loop:
+    add a0, a0, t0
+    addi t0, t0, 1
+    xor a1, a0, t0
+    sw a1, 128(zero)
+    lw a3, 128(zero)
+    add a0, a0, a3
+    blt t0, a2, loop
+    ecall
+"""
+
+#: Per-lane differentiation: ``a2`` (x12) gets ``BASE + lane % SPREAD``
+#: — a pure function of the global lane index, so sharding can never
+#: change a lane's workload.
+FLEET_ID_REGISTER = 12
+FLEET_ID_BASE = 12
+FLEET_ID_SPREAD = 5
+
+#: Fleet lanes only need the 64 KiB that reaches the halt-sentinel stub —
+#: a quarter of the default image keeps a 1k-lane fleet cache-friendly.
+FLEET_MEM_SIZE = 0x10000
+
+
+def fleet_lane_value(lane: int) -> int:
+    """The ``a2`` parameter of one (globally indexed) fleet lane."""
+    return FLEET_ID_BASE + lane % FLEET_ID_SPREAD
+
+
+def fleet_exercise_target() -> tuple[Module, Program]:
+    """The (core, program) pair fleet campaigns batch: the full-table
+    RISSP (same rebuildable core the fuzz campaign ships) running
+    :data:`FLEET_EXERCISE_PROGRAM`."""
+    from ..isa.assembler import assemble
+    from ..isa.instructions import INSTRUCTIONS
+    from ..rtl.rissp import build_rissp
+
+    return (build_rissp([d.mnemonic for d in INSTRUCTIONS]),
+            assemble(FLEET_EXERCISE_PROGRAM))
+
+
+def fleet_campaign(instances: int, workers: int = 1, shards: int = 0,
+                   max_instructions: int = 1_000, quantum: int = 256
+                   ) -> list[tuple[int, int, int, str]]:
+    """Per-lane ``(lane, exit_code, instructions, halted_by)`` rows for
+    ``instances`` fleet lanes, sharded as contiguous lane ranges across
+    the process pool (0 shards = one range per worker).  Rows concatenate
+    in shard order — lane order — so the merged output is bit-identical
+    for any worker/shard split."""
+    core, program = fleet_exercise_target()
+    spec = CoreSpec.of(core)
+    shards = shards or workers
+    shards = max(1, min(shards, instances))
+    bounds = [instances * index // shards for index in range(shards + 1)]
+    tasks = [FleetShardTask(
+        task_id=f"fleet[{index:02d}]", core=spec, program=program,
+        lane_lo=lo, lane_hi=hi, id_register=FLEET_ID_REGISTER,
+        id_base=FLEET_ID_BASE, id_spread=FLEET_ID_SPREAD,
+        max_instructions=max_instructions, quantum=quantum,
+        mem_size=FLEET_MEM_SIZE)
+        for index, (lo, hi) in enumerate(zip(bounds, bounds[1:]))
+        if hi > lo]
+    rows: list[tuple[int, int, int, str]] = []
+    for shard_rows in run_tasks(tasks, workers=workers):
+        rows.extend(shard_rows)
+    return rows
+
+
+def fleet_throughput_metrics(instances: int = 1024, workers: int = 1,
+                             quantum: int = 256, sample: int = 8,
+                             baseline_sample: int = 128,
+                             max_instructions: int = 1_000) -> dict:
+    """Batched-fleet throughput vs the single-core fused loop, for
+    ``BENCH_fleet_throughput``.
+
+    Order matters: **equivalence before timing**.  ``sample`` lanes
+    spread across the fleet are first replayed on a per-instance
+    single-core fused :class:`~repro.rtl.core_sim.RisspSim` and compared
+    on the result row *and every RVFI column*; any divergence raises
+    ``RuntimeError`` and no timing is reported — a speedup over wrong
+    results is not a speedup.  Then the batched fleet is timed end to end
+    (construction, pokes, run) against a Python loop constructing and
+    running single-core sims over ``baseline_sample`` of the same lanes.
+    With ``workers > 1`` the sharded campaign is also timed and its
+    merged rows checked bit-identical to the serial rows.
+    """
+    from ..rtl.core_sim import RisspSim
+    from ..rtl.fleet import FleetSim
+    from ..sim.tracing import RvfiTrace
+
+    core, program = fleet_exercise_target()
+
+    def single_run(lane: int, trace: bool):
+        sim = RisspSim(core, program, mem_size=FLEET_MEM_SIZE,
+                       backend="fused", trace=trace)
+        sim.rtl.regfile_data[FLEET_ID_REGISTER] = fleet_lane_value(lane)
+        return sim, sim.run(max_instructions=max_instructions)
+
+    # -- equivalence: sampled lanes, full RVFI columns, before any timing
+    sample = max(1, min(sample, instances))
+    sampled = sorted({lane * (instances - 1) // max(1, sample - 1)
+                      for lane in range(sample)})
+    probe = FleetSim(core, program, instances, mem_size=FLEET_MEM_SIZE,
+                     trace_lanes=sampled)
+    for lane in range(instances):
+        probe.poke_regfile(lane, FLEET_ID_REGISTER, fleet_lane_value(lane))
+    probe_rows = probe.run(max_instructions=max_instructions,
+                           quantum=quantum)
+    for lane in sampled:
+        sim, reference = single_run(lane, trace=True)
+        got = probe_rows[lane]
+        if (got.exit_code, got.instructions, got.halted_by) != \
+                (reference.exit_code, reference.instructions,
+                 reference.halted_by):
+            raise RuntimeError(
+                f"fleet lane {lane} result diverged from single-core "
+                f"fused: {got} vs {reference}")
+        fleet_trace = probe.trace(lane)
+        for field in RvfiTrace.FIELDS:
+            if fleet_trace.column(field) != reference.trace.column(field):
+                raise RuntimeError(
+                    f"fleet lane {lane} RVFI column {field!r} diverged "
+                    f"from single-core fused")
+
+    # -- timed batched fleet (construction + pokes + run, no tracing)
+    started = time.perf_counter()
+    fleet = FleetSim(core, program, instances, mem_size=FLEET_MEM_SIZE)
+    for lane in range(instances):
+        fleet.poke_regfile(lane, FLEET_ID_REGISTER, fleet_lane_value(lane))
+    results = fleet.run(max_instructions=max_instructions, quantum=quantum)
+    fleet_seconds = time.perf_counter() - started
+    retirements = sum(result.instructions for result in results)
+
+    # -- baseline: single-core fused sims in a Python loop, same lanes
+    baseline_sample = max(1, min(baseline_sample, instances))
+    started = time.perf_counter()
+    baseline_retirements = 0
+    for lane in range(baseline_sample):
+        _, reference = single_run(lane, trace=False)
+        baseline_retirements += reference.instructions
+    single_seconds = time.perf_counter() - started
+
+    fleet_cps = retirements / fleet_seconds
+    single_cps = baseline_retirements / single_seconds
+    wallclock = {"fleet_batched": fleet_seconds,
+                 "single_core_sampled": single_seconds}
+    metrics: dict = {
+        "campaign": "fleet_throughput",
+        "instances": instances,
+        "retirements": retirements,
+        "quantum": quantum,
+        "cpu_count": os.cpu_count() or 1,
+        "equivalence_sampled_lanes": len(sampled),
+        "single_sampled_instances": baseline_sample,
+        "fleet_cycles_per_sec": fleet_cps,
+        "single_cycles_per_sec": single_cps,
+        "speedup_vs_single": fleet_cps / single_cps,
+        "wallclock_sec": wallclock,
+    }
+    if workers > 1:
+        serial_rows = [(lane, result.exit_code, result.instructions,
+                        result.halted_by)
+                       for lane, result in enumerate(results)]
+        started = time.perf_counter()
+        sharded_rows = fleet_campaign(
+            instances, workers=workers,
+            max_instructions=max_instructions, quantum=quantum)
+        wallclock[f"fleet_sharded_workers_{workers}"] = \
+            time.perf_counter() - started
+        # Not an assert: must survive ``python -O``.
+        if sharded_rows != serial_rows:
+            raise RuntimeError(
+                f"sharded fleet campaign at workers={workers} diverged "
+                f"from the serial batched run")
+        metrics["sharded_workers"] = workers
+    return metrics
 
 
 # -------------------------------------------------- scaling measurement

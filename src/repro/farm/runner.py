@@ -68,7 +68,12 @@ def run_tasks(tasks, workers: int = 1) -> list:
     ``workers <= 1`` is the serial in-process path.
     """
     tasks = list(tasks)
-    if workers <= 1 or len(tasks) <= 1:
+    if workers <= 1 or not tasks:
+        # Serial only when *asked* for serial (or there is nothing to
+        # run).  A single task with workers > 1 still goes through the
+        # pool: a one-task campaign must exercise pickling and the
+        # worker-side cache rebuild, or an unpicklable task hides until
+        # the campaign grows.
         return [execute_task(task) for task in tasks]
     with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
         futures = [pool.submit(execute_task, task) for task in tasks]

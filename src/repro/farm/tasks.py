@@ -205,6 +205,59 @@ class MutantTask:
 
 
 @dataclass(frozen=True)
+class FleetShardTask:
+    """One contiguous lane range of a batched fleet campaign.
+
+    The shard builds a :class:`~repro.rtl.fleet.FleetSim` over its lanes
+    only, differentiates each lane by poking ``id_register`` with a value
+    derived from the lane's *global* index (so results are a pure
+    function of the lane index, not of how the campaign was sharded), and
+    returns one ``(lane, exit_code, instructions, halted_by)`` row per
+    lane in lane order — the merge step concatenates shard results in
+    shard order, which restores the serial row order exactly.
+    """
+
+    task_id: str
+    core: CoreSpec
+    program: Program
+    lane_lo: int
+    lane_hi: int
+    id_register: int = 12
+    id_base: int = 12
+    id_spread: int = 5
+    max_instructions: int = 100_000
+    quantum: int = 256
+    mem_size: int = 0x10000
+
+    def lane_id_value(self, lane: int) -> int:
+        """Per-lane workload parameter: pure function of the global lane
+        index (``id_spread`` staggers halt times across the batch)."""
+        return self.id_base + (lane % self.id_spread
+                               if self.id_spread else 0)
+
+    def describe(self) -> str:
+        return (f"fleet {self.task_id}: core={self.core.name} "
+                f"lanes=[{self.lane_lo},{self.lane_hi}) "
+                f"quantum={self.quantum}")
+
+    def run(self) -> list[tuple[int, int, int, str]]:
+        from ..rtl.fleet import FleetSim
+
+        fleet = FleetSim(self.core.build(), self.program,
+                         self.lane_hi - self.lane_lo,
+                         mem_size=self.mem_size)
+        for slot, lane in enumerate(range(self.lane_lo, self.lane_hi)):
+            fleet.poke_regfile(slot, self.id_register,
+                               self.lane_id_value(lane))
+        results = fleet.run(max_instructions=self.max_instructions,
+                            quantum=self.quantum)
+        return [(lane, result.exit_code, result.instructions,
+                 result.halted_by)
+                for lane, result in zip(range(self.lane_lo, self.lane_hi),
+                                        results)]
+
+
+@dataclass(frozen=True)
 class ComplianceTask:
     """One shard of the riscof-analog compliance target list.
 

@@ -557,6 +557,10 @@ class CompiledCore:
     run_cycles: object  # callable(ctx, count, limit, sink) ->
     #                     (halted: bool, reason: str, count: int)
     source: str
+    #: The exec namespace the loop runs in — :func:`compile_fleet` grafts
+    #: the per-word decode cache (``_DCACHE``/``decode_comb``) out of it so
+    #: the batched loop and the per-instance loop share one decode memo.
+    namespace: dict = None
 
 
 def core_fusable(module: Module) -> bool:
@@ -636,15 +640,42 @@ def _substitute_memo(expr: Expr, mapping: dict[str, Expr],
     return result
 
 
-def _generate_core_source(module: Module) -> str:
-    """Generate the fused ``run_cycles`` source for a fusable core.
+@dataclass
+class _CoreAnalysis:
+    """Dataflow analysis shared by the fused-loop generators.
 
-    The loop mirrors :meth:`repro.rtl.core_sim.RisspSim._cycle` statement
-    for statement — same evaluation order, same error messages, same RVFI
-    row fields — with the per-cycle ``env`` traffic replaced by locals and
-    the full-DAG second evaluation replaced by the ``dmem_rdata``
-    dependency cone.
+    Everything :func:`_generate_core_source` (one instance per call) and
+    :func:`_generate_fleet_source` (N instances per pass) need to know
+    about a fusable core's DAG: the needed-set closure, the single-use
+    inlining rewrite, the ``dmem_rdata`` dependency cone, the word-only
+    decode extraction and the tick roots.  The analysis is a deterministic
+    function of the module, so the ``decode_out`` tuple layout — the value
+    format of the shared per-word decode cache — is identical across both
+    generators, which is what lets :func:`compile_fleet` graft the fused
+    loop's ``_DCACHE`` dict into the batched loop's namespace.
     """
+
+    module: Module
+    sig_var: object                      # signal name -> Python local
+    trap_core: bool
+    registers: list                      # module registers, commit order
+    effective: dict                      # post-inline/extract assigns
+    cycle_names: list                    # eager per-cycle statements
+    cone_names: list                     # dmem_rdata dependency cone
+    decode_names: list                   # word-only signals (decode_comb)
+    synth_order: list                    # synthesized word-only subtrees
+    decode_out: list                     # decode_comb return layout
+    tick_next: dict
+    tick_enable: dict
+    we_sig: str
+    waddr_sig: str
+    wdata_sig: str
+    rs1_addr_sig: str
+    rs2_addr_sig: str
+
+
+def _analyze_core(module: Module) -> _CoreAnalysis:
+    """Run the shared fused-loop dataflow analysis over a fusable core."""
     spec = module.regfile
     order = topo_order(module)
     sig_var = _make_sig_namer(module)
@@ -652,7 +683,6 @@ def _generate_core_source(module: Module) -> str:
     has_trap_out = "trap" in module.assigns
     we_sig, waddr_sig, wdata_sig = spec.write_port
     (rs1_addr_sig, _), (rs2_addr_sig, _) = spec.read_ports
-    intr = "intr" if trap_core else "0"
 
     # Needed-set closure: only assigns feeding the harness interface, the
     # register commits or the RVFI row are emitted inside the loop (e.g.
@@ -773,6 +803,43 @@ def _generate_core_source(module: Module) -> str:
         used_by_cycle |= expr_signals(expr)
     decode_out = [name for name in decode_names if name in used_by_cycle]
     decode_out += [sig.name for sig, _ in synth_order]
+
+    return _CoreAnalysis(
+        module=module, sig_var=sig_var, trap_core=trap_core,
+        registers=registers, effective=effective, cycle_names=cycle_names,
+        cone_names=cone_names, decode_names=decode_names,
+        synth_order=synth_order, decode_out=decode_out,
+        tick_next=tick_next, tick_enable=tick_enable, we_sig=we_sig,
+        waddr_sig=waddr_sig, wdata_sig=wdata_sig,
+        rs1_addr_sig=rs1_addr_sig, rs2_addr_sig=rs2_addr_sig)
+
+
+def _generate_core_source(module: Module) -> str:
+    """Generate the fused ``run_cycles`` source for a fusable core.
+
+    The loop mirrors :meth:`repro.rtl.core_sim.RisspSim._cycle` statement
+    for statement — same evaluation order, same error messages, same RVFI
+    row fields — with the per-cycle ``env`` traffic replaced by locals and
+    the full-DAG second evaluation replaced by the ``dmem_rdata``
+    dependency cone.
+    """
+    a = _analyze_core(module)
+    module = a.module
+    spec = module.regfile
+    sig_var = a.sig_var
+    trap_core = a.trap_core
+    registers = a.registers
+    effective = a.effective
+    cycle_names = a.cycle_names
+    cone_names = a.cone_names
+    decode_names = a.decode_names
+    synth_order = a.synth_order
+    decode_out = a.decode_out
+    tick_next = a.tick_next
+    tick_enable = a.tick_enable
+    we_sig, waddr_sig, wdata_sig = a.we_sig, a.waddr_sig, a.wdata_sig
+    rs1_addr_sig, rs2_addr_sig = a.rs1_addr_sig, a.rs2_addr_sig
+    intr = "intr" if trap_core else "0"
 
     lines: list[str] = []
     emit = lines.append
@@ -1042,6 +1109,248 @@ def compile_core(module: Module) -> CompiledCore:
                                     "SimulationError": SimulationError}
     exec(compile(source, f"<rtl-fused:{module.name}>", "exec"), namespace)
     compiled = CompiledCore(run_cycles=namespace["run_cycles"],
-                            source=source)
+                            source=source, namespace=namespace)
     _core_cache[module] = (key, compiled)
+    return compiled
+
+
+# ---------------------------------------------------------------------------
+# Batched fleet loop (PR 7)
+
+@dataclass
+class CompiledFleet:
+    """The batched fleet entry point plus its generated source."""
+
+    run_fleet: object   # callable(ctx, lanes, quantum) ->
+    #                     (halted: list[(lane, reason)], diverged: list[lane])
+    #: Per-lane register-bank layout: bank slot ``i`` holds the register
+    #: named ``registers[i]`` — the adoption contract between the batched
+    #: arrays and a per-instance ``RisspSim``'s ``env``.
+    registers: tuple
+    source: str
+
+
+def _generate_fleet_source(a: _CoreAnalysis) -> str:
+    """Generate the batched ``run_fleet(ctx, lanes, quantum)`` source.
+
+    One call advances every listed lane (instance) by up to ``quantum``
+    retirements over per-instance state arrays: ``mems[lane]`` (RAM
+    bytearray), ``regfiles[lane]`` (register-file list), ``regs[lane]``
+    (module-register bank laid out per :attr:`CompiledFleet.registers`),
+    ``counts[lane]`` and ``sinks[lane]`` (RVFI row sink or None).  The
+    cycle body is the same emission as the fused single-instance loop —
+    same comb statements, same decode cache (grafted from the fused
+    namespace by :func:`compile_fleet`), same RVFI row fields, same tick.
+
+    Divergence rule: any retirement the batched template cannot complete
+    bit-identically in place — misaligned/out-of-range fetch, a word the
+    harness owns (emulated Zicsr/wfi, mret, RV32E bound), an illegal or
+    trapping instruction, an out-of-RAM (MMIO) load or store, a malformed
+    store strobe — stops the lane *before* that instruction applies any
+    state and reports it in the ``diverged`` list.  The caller re-runs the
+    instruction on the per-instance fused path, which owns every one of
+    those events, so a diverged lane's trajectory (including error
+    surfaces) is bit-identical to a single-core run.  Divergence is
+    checked strictly pre-commit: a diverging instruction has written
+    neither memory (``trap`` can only assert for ecall/ebreak, which never
+    store) nor registers when the lane exits the batch.
+
+    Halting retirements (ecall/ebreak with no handler installed) complete
+    in-batch exactly like the fused loop and land in ``halted``.
+    """
+    module = a.module
+    spec = module.regfile
+    sig_var = a.sig_var
+    lines: list[str] = []
+    emit = lines.append
+    emit("def run_fleet(ctx, lanes, quantum):")
+    for key, local in (("mems", "mems"), ("regfiles", "regfiles"),
+                       ("regs", "regbanks"), ("counts", "counts"),
+                       ("sinks", "sinks"), ("ram_size", "ram_size"),
+                       ("halt_reason", "halt_reason"),
+                       ("trace_load", "trace_load")):
+        emit(f"    {local} = ctx[{key!r}]")
+    emit("    wclass_get = ctx['wclass'].get")
+    emit("    classify = ctx['classify']")
+    if a.decode_out:
+        emit("    dcache_get = _DCACHE.get")
+    # Non-memory input ports hold their reset value (0) for every batched
+    # lane, exactly like a fresh RtlSim the harness never drives.
+    for port in module.inputs():
+        if port.name not in ("imem_rdata", "dmem_rdata"):
+            emit(f"    {sig_var(port.name)} = 0")
+    emit("    halted_lanes = []")
+    emit("    diverged = []")
+    emit("    for lane in lanes:")
+    emit("        regfile = regfiles[lane]")
+    emit("        mem = mems[lane]")
+    emit("        _rb = regbanks[lane]")
+    for index, reg in enumerate(a.registers):
+        emit(f"        {sig_var(reg.name)} = _rb[{index}]"
+             f" & {_mask(reg.width)}")
+    emit("        sink = sinks[lane]")
+    emit("        count = counts[lane]")
+    emit("        limit = count + quantum")
+    emit("        stop = 0")
+    emit("        reason = ''")
+    emit("        while count < limit:")
+    emit(f"            pc = {sig_var('pc')}")
+    emit("            if pc & 3 or pc + 4 > ram_size:")
+    emit("                stop = 2")
+    emit("                break")
+    emit("            w = int.from_bytes(mem[pc:pc + 4], 'little')")
+    emit("            cls = wclass_get(w)")
+    emit("            if cls is None:")
+    emit("                cls = classify(w)")
+    emit("            if cls:")
+    emit("                stop = 2")
+    emit("                break")
+    emit(f"            {sig_var('imem_rdata')} = w")
+    emit(f"            {sig_var('dmem_rdata')} = 0")
+    if a.decode_out:
+        unpacked = "".join(sig_var(name) + ", " for name in a.decode_out)
+        emit("            _dv = dcache_get(w)")
+        emit("            if _dv is None:")
+        emit("                _dv = _DCACHE[w] = decode_comb(w)")
+        emit(f"            ({unpacked}) = _dv")
+    body = _core_emitter(lines, "            ",
+                         [a.effective[name] for name in a.cycle_names],
+                         sig_var, "t", module)
+    for name in a.cycle_names:
+        code = body.ref(a.effective[name])
+        emit(f"            {sig_var(name)} = {code}")
+    emit(f"            if {sig_var('illegal')}:")
+    emit("                stop = 2")
+    emit("                break")
+    if a.trap_core:
+        # Hardware trap entry (ecall/ebreak with mtvec installed) diverges
+        # pre-instruction: the trap unit guarantees no load/store/halt
+        # asserts with it, so nothing has been applied yet.
+        emit(f"            if {sig_var('trap')}:")
+        emit("                stop = 2")
+        emit("                break")
+    emit(f"            reading = {sig_var('dmem_re')}")
+    emit("            load_addr = mem_word = 0")
+    emit("            if reading:")
+    emit(f"                load_addr = {sig_var('dmem_addr')}")
+    emit("                _ba = load_addr & 4294967292")
+    emit("                if _ba + 4 > ram_size:")
+    emit("                    stop = 2")
+    emit("                    break")
+    emit("                mem_word = int.from_bytes("
+         "mem[_ba:_ba + 4], 'little')")
+    emit(f"                {sig_var('dmem_rdata')} = mem_word")
+    cone_emitter = _core_emitter(
+        lines, "                ",
+        [a.effective[name] for name in a.cone_names], sig_var, "c", module)
+    for name in a.cone_names:
+        code = cone_emitter.ref(a.effective[name])
+        emit(f"                {sig_var(name)} = {code}")
+    emit("            mem_addr = mem_wmask = mem_wdata = 0")
+    emit(f"            _wstrb = {sig_var('dmem_wstrb')}")
+    emit("            if _wstrb:")
+    emit("                _width = WSTRB_WIDTH.get(_wstrb)")
+    emit("                if _width is None:")
+    # Malformed strobe: diverge; the per-instance path raises the
+    # SimulationError with the canonical message.
+    emit("                    stop = 2")
+    emit("                    break")
+    emit("                _off = (_wstrb & -_wstrb).bit_length() - 1")
+    emit(f"                mem_addr = ({sig_var('dmem_addr')}"
+         " & 4294967292) + _off")
+    emit("                if mem_addr + _width > ram_size:")
+    emit("                    stop = 2")
+    emit("                    break")
+    emit("                mem_wmask = (1 << _width) - 1")
+    emit(f"                mem_wdata = ({sig_var('dmem_wdata')}"
+         " >> (8 * _off)) & ((1 << (8 * _width)) - 1)")
+    emit("                mem[mem_addr:mem_addr + _width] = "
+         "mem_wdata.to_bytes(_width, 'little')")
+    emit(f"            if {sig_var('halt')}:")
+    emit("                stop = 1")
+    emit("                reason = halt_reason(w)")
+    emit("            if sink is not None:")
+    emit("                mem_rmask = mem_rdata = 0")
+    emit("                if reading:")
+    emit("                    mem_addr, mem_rmask, mem_rdata = "
+         "trace_load(w, load_addr, mem_word)")
+    emit(f"                _rs1a = {sig_var(a.rs1_addr_sig)}")
+    emit(f"                _rs2a = {sig_var(a.rs2_addr_sig)}")
+    emit(f"                _we = {sig_var(a.we_sig)}")
+    emit(f"                _wa = {sig_var(a.waddr_sig)} if _we else 0")
+    emit(f"                sink(count, w, pc, {sig_var('next_pc')}, "
+         "_rs1a, _rs2a,")
+    emit("                     regfile[_rs1a] if _rs1a else 0,")
+    emit("                     regfile[_rs2a] if _rs2a else 0,")
+    emit(f"                     _wa, {sig_var(a.wdata_sig)} if _we and _wa "
+         "else 0,")
+    emit("                     mem_addr, mem_rmask, mem_wmask, mem_rdata, "
+         "mem_wdata,")
+    emit("                     0, 0)")
+    tick_roots = list(a.tick_next.values()) + list(a.tick_enable.values())
+    tick = _core_emitter(lines, "            ", tick_roots, sig_var, "k",
+                         module)
+    commits: list[str] = []
+    for index, reg in enumerate(a.registers):
+        if reg.next is None:
+            continue
+        emit(f"            _nx{index} = {tick.ref(a.tick_next[reg.name])}")
+        if reg.enable is not None:
+            emit(f"            _en{index} = "
+                 f"{tick.ref(a.tick_enable[reg.name])}")
+            commits.append(f"            if _en{index}:\n"
+                           f"                {sig_var(reg.name)} = "
+                           f"_nx{index}")
+        else:
+            commits.append(f"            {sig_var(reg.name)} = _nx{index}")
+    emit(f"            if {sig_var(a.we_sig)}:")
+    emit(f"                _wa = {sig_var(a.waddr_sig)} % {spec.num_regs}")
+    emit("                if _wa:")
+    emit(f"                    regfile[_wa] = {sig_var(a.wdata_sig)}"
+         f" & {_mask(spec.width)}")
+    lines.extend(commits)
+    emit("            count += 1")
+    emit("            if stop:")
+    emit("                break")
+    for index, reg in enumerate(a.registers):
+        emit(f"        _rb[{index}] = {sig_var(reg.name)}")
+    emit("        counts[lane] = count")
+    emit("        if stop == 1:")
+    emit("            halted_lanes.append((lane, reason))")
+    emit("        elif stop == 2:")
+    emit("            diverged.append(lane)")
+    emit("    return halted_lanes, diverged")
+    return "\n".join(lines) + "\n"
+
+
+_fleet_cache: "weakref.WeakKeyDictionary[Module, tuple[int, CompiledFleet]]" \
+    = weakref.WeakKeyDictionary()
+
+
+def compile_fleet(module: Module) -> CompiledFleet:
+    """Compile (or fetch the cached compilation of) the batched fleet loop.
+
+    Compiles the single-instance fused loop first and grafts its per-word
+    decode cache (``_DCACHE`` dict plus the ``decode_comb`` function) into
+    the batched loop's namespace: every instance of every
+    :class:`~repro.rtl.fleet.FleetSim` sharing this module — and the
+    per-instance fused path diverged lanes fall back to — decodes each
+    distinct instruction word exactly once per process.  Same caching
+    contract as :func:`compile_core`."""
+    core = compile_core(module)
+    key = _fingerprint(module)
+    hit = _fleet_cache.get(module)
+    if hit is not None and hit[0] == key:
+        return hit[1]
+    source = _generate_fleet_source(_analyze_core(module))
+    namespace: dict[str, object] = {
+        "WSTRB_WIDTH": WSTRB_WIDTH,
+        "_DCACHE": core.namespace.get("_DCACHE"),
+        "decode_comb": core.namespace.get("decode_comb"),
+    }
+    exec(compile(source, f"<rtl-fleet:{module.name}>", "exec"), namespace)
+    compiled = CompiledFleet(run_fleet=namespace["run_fleet"],
+                             registers=tuple(module.registers),
+                             source=source)
+    _fleet_cache[module] = (key, compiled)
     return compiled

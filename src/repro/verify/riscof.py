@@ -223,10 +223,17 @@ def _reference_signature_memo(mnemonic: str,
         fd, tmp_name = tempfile.mkstemp(dir=path.parent,
                                         prefix=path.name + ".")
         try:
-            os.write(fd, signature)
+            try:
+                os.write(fd, signature)
+            finally:
+                os.close(fd)
+            os.replace(tmp_name, path)
         finally:
-            os.close(fd)
-        os.replace(tmp_name, path)
+            # A failed write or replace must not leak the temp file into
+            # the shared cache dir (after a successful replace the name
+            # is gone and this is a no-op).
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
     return signature
 
 

@@ -52,6 +52,47 @@ def test_tuple_fields_take_multiple_values():
     assert config.bench_workers == (1, 2)
 
 
+def test_tuple_options_with_zero_values_yield_empty_tuples():
+    """Regression (docstring promise): ``--workloads`` with no values
+    means "fuzz chunks only" — the parsed config must carry an *empty*
+    tuple, never silently fall back to the default pair.  Same for every
+    tuple option."""
+    config = parse_config(["cosim", "--workloads"])
+    assert config.workloads == ()
+    assert config.backends == ("fused",)  # untouched options keep defaults
+    config = parse_config(["cosim", "--backends"])
+    assert config.backends == ()
+    assert config.workloads == ("uart_selftest", "crc32")
+    config = parse_config(["bench", "--bench-workers"])
+    assert config.bench_workers == ()
+    # Empty *positional* stages still mean the default stage list.
+    assert parse_config(["--workloads"]).stages == ("cosim",)
+
+
+def test_empty_workloads_run_fuzz_chunks_only(capsys):
+    code = main(["cosim", "--workloads", "--fuzz-chunks", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "cosim: 1/1 clean" in out
+    assert "cosim:uart_selftest" not in out
+
+
+def test_zero_task_stages_fail_instead_of_crashing_or_passing(capsys):
+    """Regression sweep for zero-value tuples downstream of the parser:
+    cosim with nothing to verify used to exit 0 claiming "0/0 clean" (a
+    vacuous pass), mutation with zero backends crashed on its empty
+    verdict rows, and bench with zero worker counts crashed indexing the
+    serial baseline.  All three must fail cleanly with exit code 1."""
+    assert main(["cosim", "--backends"]) == 1
+    assert "nothing verified" in capsys.readouterr().out
+    assert main(["cosim", "--workloads"]) == 1  # no fuzz chunks either
+    assert "nothing verified" in capsys.readouterr().out
+    assert main(["mutation", "--backends"]) == 1
+    assert "nothing verified" in capsys.readouterr().out
+    assert main(["bench", "--bench-workers"]) == 1
+    assert "worker count" in capsys.readouterr().out
+
+
 def test_int_options_accept_hex():
     config = parse_config(["cosim", "--fuzz-seed", "0xDEADBEEF",
                            "--workers", "4"])
@@ -93,6 +134,30 @@ def test_compliance_stage_exit_zero(capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "-> PASS" in out
+
+
+def test_fleet_stage_writes_validated_artifact(tmp_path, capsys,
+                                               monkeypatch):
+    """``python -m repro fleet`` batches instances, proves sampled
+    equivalence, and writes a schema-valid BENCH_fleet_throughput.json."""
+    from repro.core.bench_schema import validate_artifact_file
+
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+    code = main(["fleet", "--fleet-instances", "48"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "speedup vs single" in out
+    artifact = tmp_path / "BENCH_fleet_throughput.json"
+    assert artifact.exists()
+    assert validate_artifact_file(artifact) == []
+    document = json.loads(artifact.read_text())
+    assert document["metrics"]["instances"] == 48
+    assert document["metrics"]["retirements"] > 0
+
+
+def test_fleet_stage_rejects_zero_instances(capsys):
+    assert main(["fleet", "--fleet-instances", "0"]) == 1
+    assert "at least one instance" in capsys.readouterr().out
 
 
 def test_json_out_records_stage_results(tmp_path, capsys):

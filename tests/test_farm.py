@@ -20,6 +20,8 @@ from repro.farm import (
     CoreSpec,
     FarmTaskError,
     cosim_campaign,
+    fleet_campaign,
+    fleet_lane_value,
     mutation_exercise_target,
     run_tasks,
 )
@@ -61,6 +63,26 @@ def test_cosim_campaign_identical_at_any_worker_count():
     assert list(serial.items()) == list(farmed.items())
     assert len(serial) == 4
     assert all(verdict is None for verdict in serial.values())
+
+
+def test_fleet_campaign_identical_at_any_worker_count():
+    """Sharding a fleet across the pool never changes any lane's row:
+    lane workloads are a pure function of the global lane index, and
+    contiguous shards merge back in lane order."""
+    serial = fleet_campaign(12, workers=1, max_instructions=400)
+    assert [row[0] for row in serial] == list(range(12))
+    assert all(row[3] == "ecall" for row in serial)
+    # Lanes with equal id values compute equal results; different ids
+    # (mod the spread) differ — the campaign is actually differentiated.
+    by_value: dict[int, set] = {}
+    for lane, exit_code, instructions, _ in serial:
+        by_value.setdefault(fleet_lane_value(lane), set()).add(
+            (exit_code, instructions))
+    assert all(len(group) == 1 for group in by_value.values())
+    assert len({next(iter(g)) for g in by_value.values()}) == len(by_value)
+    assert fleet_campaign(12, workers=2, max_instructions=400) == serial
+    assert fleet_campaign(12, workers=2, shards=5,
+                          max_instructions=400) == serial
 
 
 def test_compliance_identical_at_any_worker_count():
@@ -130,6 +152,38 @@ def test_serial_path_raises_the_same_error():
     with pytest.raises(FarmTaskError) as excinfo:
         run_tasks([ExplodingTask(task_id="solo")], workers=1)
     assert excinfo.value.task_id == "solo"
+
+
+class UnpicklableTask:
+    """Deliberately refuses to cross a process boundary — but runs fine
+    in-process, which is exactly how the old single-task serial
+    short-circuit hid it."""
+
+    task_id = "unpicklable[000]"
+
+    def describe(self) -> str:
+        return "unpicklable task"
+
+    def run(self):
+        return 42
+
+    def __reduce__(self):
+        raise TypeError("deliberately unpicklable")
+
+
+def test_single_task_with_workers_goes_through_the_pool():
+    """Regression: run_tasks used to short-circuit serial whenever
+    ``len(tasks) <= 1`` even with ``workers > 1``, so a one-task campaign
+    never exercised pickling and an unpicklable task succeeded silently —
+    then failed only once the campaign grew.  A single task with
+    ``workers > 1`` must take the pool path (and surface the pickling
+    failure immediately)."""
+    with pytest.raises(Exception, match="unpicklable"):
+        run_tasks([UnpicklableTask()], workers=2)
+    # The explicit serial path is still serial: no pickling involved.
+    assert run_tasks([UnpicklableTask()], workers=1) == [42]
+    # And zero tasks never spin up a pool.
+    assert run_tasks([], workers=4) == []
 
 
 def test_farm_task_error_survives_pickling():
@@ -234,6 +288,39 @@ def test_short_cache_entry_is_recomputed(tmp_path, monkeypatch):
     riscof._reference_signature_memo.cache_clear()
     assert riscof.check_compliance_mnemonic(core, "and") == []
     assert len(entry.read_bytes()) == 4 * riscof.SIGNATURE_WORDS
+
+
+def test_failed_cache_write_leaves_no_temp_files(tmp_path, monkeypatch):
+    """Regression: a write failure between mkstemp and os.replace used to
+    leak the temp file into the shared cache dir forever (mkstemp names
+    survive the process).  The write path must unlink its temp file on
+    any failure — and still produce no signature file."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    riscof._reference_signature_memo.cache_clear()
+
+    import os as os_module
+
+    def failing_write(fd, data):
+        raise OSError("injected: disk full")
+
+    monkeypatch.setattr(riscof.os, "write", failing_write)
+    with pytest.raises(OSError, match="disk full"):
+        riscof._reference_signature("add")
+    monkeypatch.undo()
+    assert list(tmp_path.iterdir()) == []  # no entry, no stray temp
+
+    # A failing replace (entry path turned into a directory) must also
+    # clean up its temp file.
+    riscof._reference_signature_memo.cache_clear()
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    program = riscof._compliance_binary("add")
+    digest = riscof._program_digest(program)
+    entry = tmp_path / f"riscof-sig-add-{digest}.bin"
+    entry.mkdir()
+    with pytest.raises(OSError):
+        riscof._reference_signature("add")
+    entry.rmdir()
+    assert list(tmp_path.iterdir()) == []
 
 
 def test_cache_key_distinguishes_programs(tmp_path, monkeypatch):

@@ -1,0 +1,361 @@
+"""Batched fleet simulation tests (PR 7).
+
+:class:`~repro.rtl.fleet.FleetSim` promises three things and these tests
+pin all of them:
+
+* **equivalence** — every lane's results (RunResult fields, final
+  architectural state, full RVFI columns) are bit-identical to running
+  that lane alone on the single-core fused backend;
+* **divergence fallback** — a lane that reaches anything the batched
+  loop cannot complete bit-identically (a trapping ecall, emulated
+  Zicsr, an illegal word, an out-of-RAM access) leaves the batch with
+  that instruction unexecuted and finishes on a per-instance
+  :class:`~repro.rtl.core_sim.RisspSim`, while the rest of the batch
+  keeps going — results still bit-identical, error surfaces included;
+* **determinism contract** — batch size, stepping quantum and lane
+  order never change any lane's results; mid-run peek/poke behaves
+  exactly like the single-instance harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import INSTRUCTIONS, assemble
+from repro.rtl.compiled import compile_fleet
+from repro.rtl.core_sim import RisspSim
+from repro.rtl.fleet import FleetSim
+from repro.rtl.rissp import build_rissp
+from repro.sim.golden import SimulationError
+from repro.sim.tracing import RvfiTrace
+
+FULL_SUBSET = [d.mnemonic for d in INSTRUCTIONS]
+
+
+@pytest.fixture(scope="module")
+def full_core():
+    return build_rissp(FULL_SUBSET)
+
+
+@pytest.fixture(scope="module")
+def trap_core():
+    return build_rissp(FULL_SUBSET + ["mret"])
+
+
+#: Arithmetic/store/load loop parameterized by a2 (x12): every lane
+#: computes a distinct result and halts at a distinct retirement count.
+LOOP_SOURCE = """
+    .text
+start:
+    li a0, 0
+    li t0, 0
+loop:
+    add a0, a0, t0
+    addi t0, t0, 1
+    xor a1, a0, t0
+    sw a1, 128(zero)
+    lw a3, 128(zero)
+    add a0, a0, a3
+    blt t0, a2, loop
+    ecall
+"""
+
+
+@pytest.fixture(scope="module")
+def loop_program():
+    return assemble(LOOP_SOURCE)
+
+
+def single_reference(core, program, lane_value, *, trace=False,
+                     max_instructions=10_000):
+    sim = RisspSim(core, program, trace=trace)
+    sim.rtl.regfile_data[12] = lane_value
+    return sim, sim.run(max_instructions=max_instructions)
+
+
+def assert_lane_matches(fleet, lane, sim, reference):
+    result = fleet.result(lane)
+    assert result.exit_code == reference.exit_code
+    assert result.instructions == reference.instructions
+    assert result.halted_by == reference.halted_by
+    for index in range(1, 16):
+        assert fleet.peek_regfile(lane, index) == \
+            sim.rtl.regfile_data[index]
+    assert fleet.peek_regfile(lane, 0) == 0
+    for name in sim.core.registers:
+        assert fleet.peek_register(lane, name) == sim.rtl.env[name]
+
+
+# ----------------------------------------------------------- equivalence
+
+def test_batched_lanes_match_single_core_fused(full_core, loop_program):
+    fleet = FleetSim(full_core, loop_program, 6)
+    for lane in range(6):
+        fleet.poke_regfile(lane, 12, 3 + lane)
+    fleet.run(max_instructions=10_000)
+    for lane in range(6):
+        assert fleet.lane_state(lane) == "halted"
+        sim, reference = single_reference(full_core, loop_program,
+                                          3 + lane)
+        assert_lane_matches(fleet, lane, sim, reference)
+
+
+def test_rvfi_columns_match_single_core_fused(full_core, loop_program):
+    """Full column diff on traced lanes — the strongest equivalence the
+    harness can express (pc/rs/rd/mem lanes, every retirement)."""
+    fleet = FleetSim(full_core, loop_program, 3, trace_lanes=(0, 1, 2))
+    for lane in range(3):
+        fleet.poke_regfile(lane, 12, 4 + lane)
+    fleet.run(max_instructions=10_000)
+    for lane in range(3):
+        _, reference = single_reference(full_core, loop_program, 4 + lane,
+                                        trace=True)
+        fleet_trace = fleet.trace(lane)
+        assert len(fleet_trace) == len(reference.trace)
+        for field in RvfiTrace.FIELDS:
+            assert fleet_trace.column(field) == \
+                reference.trace.column(field), field
+
+
+def test_limit_and_halt_mix(full_core, loop_program):
+    """Lanes that halt early coexist with lanes that run out of budget."""
+    fleet = FleetSim(full_core, loop_program, 4)
+    bounds = (2, 2000, 3, 2000)
+    for lane, bound in enumerate(bounds):
+        fleet.poke_regfile(lane, 12, bound)
+    fleet.run(max_instructions=100, quantum=32)
+    for lane, bound in enumerate(bounds):
+        sim, reference = single_reference(full_core, loop_program, bound,
+                                          max_instructions=100)
+        assert_lane_matches(fleet, lane, sim, reference)
+    assert fleet.result(0).halted_by == "ecall"
+    assert fleet.result(1).halted_by == "limit"
+
+
+def test_per_lane_programs(full_core):
+    add_prog = assemble(".text\nli a0, 7\naddi a0, a0, 1\necall\n")
+    mul_prog = assemble(".text\nli a0, 6\nslli a0, a0, 2\necall\n")
+    fleet = FleetSim(full_core, programs=[add_prog, mul_prog, add_prog])
+    results = fleet.run()
+    assert [r.exit_code for r in results] == [8, 24, 8]
+
+
+# ------------------------------------------------- determinism contract
+
+def test_batch_size_never_changes_results(full_core, loop_program):
+    """The determinism contract: the same lane workload computes the same
+    result alone, in a small batch, and in a large batch."""
+    def outcome(instances, lane):
+        fleet = FleetSim(full_core, loop_program, instances)
+        for index in range(instances):
+            fleet.poke_regfile(index, 12, 5 + index % 4)
+        results = fleet.run(max_instructions=1_000)
+        r = results[lane]
+        return (r.exit_code, r.instructions, r.halted_by,
+                [fleet.peek_regfile(lane, i) for i in range(16)])
+
+    assert outcome(1, 0) == outcome(4, 0) == outcome(32, 0)
+    assert outcome(4, 3) == outcome(32, 3)
+
+
+def test_quantum_never_changes_results(full_core, loop_program):
+    def outcome(quantum):
+        fleet = FleetSim(full_core, loop_program, 5)
+        for lane in range(5):
+            fleet.poke_regfile(lane, 12, 6 + lane)
+        results = fleet.run(max_instructions=1_000, quantum=quantum)
+        return [(r.exit_code, r.instructions, r.halted_by)
+                for r in results]
+
+    reference = outcome(256)
+    for quantum in (1, 3, 17, 64):
+        assert outcome(quantum) == reference
+
+
+def test_forced_backend_matches_fused(full_core, loop_program):
+    """backend="interpreter" routes every lane through per-instance
+    oracle sims — same results, no batched pass."""
+    fused = FleetSim(full_core, loop_program, 2)
+    oracle = FleetSim(full_core, loop_program, 2, backend="interpreter")
+    for fleet in (fused, oracle):
+        for lane in range(2):
+            fleet.poke_regfile(lane, 12, 4 + lane)
+    expected = fused.run(max_instructions=300)
+    actual = oracle.run(max_instructions=300, quantum=64)
+    assert [(r.exit_code, r.instructions, r.halted_by)
+            for r in actual] == \
+        [(r.exit_code, r.instructions, r.halted_by) for r in expected]
+    assert oracle.lane_state(0) == "halted"
+
+
+# ------------------------------------------------- divergence fallback
+
+def test_trapping_lane_diverges_while_batch_continues(trap_core):
+    """One lane installs mtvec and ecalls into a handler (divergence:
+    the batched loop never executes a trapping instruction); its
+    neighbours never trap and stay on the batched path to halt.  Both
+    kinds must match their single-core runs exactly."""
+    source = """
+        .text
+    start:
+        beq a2, zero, plain
+        la t1, handler
+        csrrw zero, mtvec, t1      # emulated Zicsr -> diverges here
+        li a0, 5
+        ecall                      # traps into handler
+        addi a0, a0, 7
+        li t1, 0
+        csrrw zero, mtvec, t1
+        ecall
+    plain:
+        li a0, 40
+        addi a0, a0, 2
+        ecall
+    handler:
+        addi a0, a0, 100
+        csrrs t2, mepc, zero
+        addi t2, t2, 4
+        csrrw zero, mepc, t2
+        mret
+    """
+    program = assemble(source)
+    fleet = FleetSim(trap_core, program, 4,
+                     trace_lanes=(0, 1, 2, 3))
+    for lane in range(4):
+        fleet.poke_regfile(lane, 12, lane % 2)
+    results = fleet.run(max_instructions=1_000)
+    assert results[0].exit_code == 42 and results[2].exit_code == 42
+    assert results[1].exit_code == 112 and results[3].exit_code == 112
+    # Divergent lanes were adopted by per-instance sims; plain lanes
+    # never left the batch.
+    assert 1 in fleet._sims and 3 in fleet._sims
+    assert 0 not in fleet._sims and 2 not in fleet._sims
+    for lane in range(4):
+        sim = RisspSim(trap_core, program, trace=True)
+        sim.rtl.regfile_data[12] = lane % 2
+        reference = sim.run(max_instructions=1_000)
+        assert_lane_matches(fleet, lane, sim, reference)
+        fleet_trace = fleet.trace(lane)
+        for field in RvfiTrace.FIELDS:
+            assert fleet_trace.column(field) == \
+                reference.trace.column(field), (lane, field)
+
+
+def test_illegal_word_raises_like_single_core(full_core):
+    program = assemble(".text\nli a0, 1\n.word 0xFFFFFFFF\necall\n")
+    fleet = FleetSim(full_core, program, 2)
+    with pytest.raises(SimulationError):
+        fleet.run(max_instructions=100)
+    single = RisspSim(full_core, program)
+    with pytest.raises(SimulationError):
+        single.run(max_instructions=100)
+
+
+def test_divergent_lane_keeps_tracing(trap_core):
+    """A trace attached before divergence keeps filling after the lane
+    moves to the per-instance path (no rows lost at the boundary)."""
+    source = """
+        .text
+    start:
+        la t1, handler
+        csrrw zero, mtvec, t1
+        li a0, 1
+        ecall
+        li t1, 0
+        csrrw zero, mtvec, t1
+        ecall
+    handler:
+        addi a0, a0, 10
+        csrrs t2, mepc, zero
+        addi t2, t2, 4
+        csrrw zero, mepc, t2
+        mret
+    """
+    program = assemble(source)
+    fleet = FleetSim(trap_core, program, 1, trace_lanes=(0,))
+    fleet.run(max_instructions=100)
+    sim = RisspSim(trap_core, program, trace=True)
+    reference = sim.run(max_instructions=100)
+    assert len(fleet.trace(0)) == len(reference.trace)
+    for field in RvfiTrace.FIELDS:
+        assert fleet.trace(0).column(field) == \
+            reference.trace.column(field), field
+
+
+# -------------------------------------------------- mid-run peek/poke
+
+def test_midrun_poke_on_batched_lane(full_core, loop_program):
+    """Poking one batched lane mid-run redirects only that lane — the
+    same fault-injection surface the single-instance harness offers."""
+    fleet = FleetSim(full_core, loop_program, 3)
+    for lane in range(3):
+        fleet.poke_regfile(lane, 12, 50)
+    fleet.step(5)
+    assert fleet.lane_state(1) == "batched"
+    fleet.poke_regfile(1, 12, 3)  # shrink only lane 1's loop bound
+    results = fleet.run(max_instructions=1_000)
+    assert results[1].instructions < results[0].instructions
+    assert results[0].instructions == results[2].instructions
+
+    # The poked trajectory equals a single-core run poked at the same
+    # retirement count.
+    sim = RisspSim(full_core, loop_program)
+    sim.rtl.regfile_data[12] = 50
+    sim._fused_run(0, 5, None)
+    sim.rtl.regfile_data[12] = 3
+    reference = sim.run(max_instructions=1_000)
+    # run() restarts its budget; align on total retirements instead.
+    assert fleet.peek_regfile(1, 10) == reference.exit_code
+
+
+def test_midrun_peek_and_memory_poke(full_core, loop_program):
+    fleet = FleetSim(full_core, loop_program, 2)
+    for lane in range(2):
+        fleet.poke_regfile(lane, 12, 30)
+    fleet.step(7)
+    assert fleet.instructions(0) == 7
+    assert fleet.peek_register(0, "pc") != 0
+    fleet.poke_memory_word(0, 0x200, 0xDEADBEEF)
+    fleet.run(max_instructions=500)
+    assert fleet.peek_memory_word(0, 0x200) == 0xDEADBEEF
+    assert fleet.peek_memory_word(1, 0x200) == 0
+    # x0 stays hardwired to zero through pokes.
+    fleet.poke_regfile(0, 0, 123)
+    assert fleet.peek_regfile(0, 0) == 0
+
+
+def test_poke_register_reaches_fallback_lane(trap_core, loop_program):
+    fleet = FleetSim(trap_core, loop_program, 1, backend="compiled")
+    fleet.poke_regfile(0, 12, 4)
+    fleet.step(3)  # materializes (non-fused backend)
+    assert fleet.lane_state(0) == "fallback"
+    fleet.poke_register(0, "mtvec", 0x80)
+    assert fleet.peek_register(0, "mtvec") == 0x80
+    assert fleet._sims[0].rtl.env["mtvec"] == 0x80
+
+
+# ------------------------------------------------------- construction
+
+def test_constructor_validation(full_core, loop_program):
+    with pytest.raises(ValueError, match="needs a program"):
+        FleetSim(full_core)
+    with pytest.raises(ValueError, match="at least one"):
+        FleetSim(full_core, programs=[])
+    with pytest.raises(ValueError, match="instances"):
+        FleetSim(full_core, instances=3,
+                 programs=[loop_program, loop_program])
+    with pytest.raises(ValueError, match="positive"):
+        FleetSim(full_core, loop_program, 1).step(0)
+
+
+def test_compile_fleet_shares_decode_cache(full_core):
+    """The batched loop and the single-instance fused loop share one
+    per-word decode cache — same dict object, same positional layout."""
+    from repro.rtl.compiled import compile_core
+
+    fleet = compile_fleet(full_core)
+    core = compile_core(full_core)
+    assert fleet is compile_fleet(full_core)  # memoized per module
+    assert core.namespace["_DCACHE"] is \
+        fleet.run_fleet.__globals__["_DCACHE"]
+    assert fleet.registers == tuple(full_core.registers)

@@ -16,6 +16,16 @@ callers can skip argv entirely and hand :func:`run` a config instance.
 Semantics guaranteed by the farm layer: ``--workers 1`` is the exact
 serial path, and results are bit-identical for any worker count — only
 wall-clock changes.
+
+Output discipline (PR 8): **stdout is machine-clean** — nothing is ever
+printed to it, so ``--json-out -``-style piping and shell capture stay
+usable; all human-facing progress goes to stderr via :func:`_echo`.
+``--telemetry PATH`` records the run under a :mod:`repro.obs` session
+and writes the schema-validated run manifest (counters, stage spans,
+per-task timings, host provenance); ``--trace-out PATH`` additionally
+writes a Chrome ``trace_event`` timeline Perfetto can load.  Both are
+written even when stages fail — a crashed campaign still leaves its
+telemetry and its ``--json-out`` results behind.
 """
 
 from __future__ import annotations
@@ -23,8 +33,10 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import pathlib
 import sys
 import typing
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from .verify.fuzz import FUZZ_BASE_SEED
@@ -84,6 +96,14 @@ class FarmConfig:
              "never changes results)")
     json_out: str = _cfg(
         "", "write stage results as JSON to this path")
+    telemetry: str = _cfg(
+        "", "record the run under a telemetry session and write the "
+            "run-manifest JSON (counters, stage spans, task timings, "
+            "host provenance) to this path")
+    trace_out: str = _cfg(
+        "", "write a Chrome trace_event timeline of the run (open in "
+            "Perfetto / about:tracing) to this path; implies the "
+            "telemetry session")
 
 
 def _option_name(field_name: str) -> str:
@@ -160,16 +180,22 @@ def parse_config(argv=None, config_cls=FarmConfig) -> FarmConfig:
 
 # ---------------------------------------------------------------- stages
 
+def _echo(message: str) -> None:
+    """Human-facing progress: stderr, so stdout stays machine-clean and
+    never interleaves with worker output in a pipe."""
+    print(message, file=sys.stderr)
+
+
 def _stage_cosim(config: FarmConfig) -> tuple[bool, dict]:
     from .farm import cosim_campaign
 
     if not config.backends:
         # Zero backends would loop zero times and report "0/0 clean" — a
         # vacuous pass claiming success with nothing verified.
-        print("cosim: no backends configured — nothing verified -> FAIL")
+        _echo("cosim: no backends configured — nothing verified -> FAIL")
         return False, {"verdicts": {}}
     if not config.workloads and not config.fuzz_chunks:
-        print("cosim: no workloads and no fuzz chunks — nothing "
+        _echo("cosim: no workloads and no fuzz chunks — nothing "
               "verified -> FAIL")
         return False, {"verdicts": {}}
     verdicts: dict[str, str | None] = {}
@@ -184,9 +210,9 @@ def _stage_cosim(config: FarmConfig) -> tuple[bool, dict]:
         for task_id, verdict in results.items():
             verdicts[prefix + task_id] = verdict
     for task_id, verdict in verdicts.items():
-        print(f"  {task_id:<48} {verdict or 'PASS'}")
+        _echo(f"  {task_id:<48} {verdict or 'PASS'}")
     clean = sum(1 for verdict in verdicts.values() if verdict is None)
-    print(f"cosim: {clean}/{len(verdicts)} clean")
+    _echo(f"cosim: {clean}/{len(verdicts)} clean")
     return clean == len(verdicts), {"verdicts": verdicts}
 
 
@@ -197,7 +223,7 @@ def _stage_mutation(config: FarmConfig) -> tuple[bool, dict]:
     if not config.backends:
         # Empty verdict rows would crash the kill count (StopIteration
         # inside the generator) — fail cleanly instead.
-        print("mutation: no backends configured — nothing verified "
+        _echo("mutation: no backends configured — nothing verified "
               "-> FAIL")
         return False, {"mutants": 0, "killed": 0, "disagreements": []}
     core, program = mutation_exercise_target()
@@ -210,8 +236,8 @@ def _stage_mutation(config: FarmConfig) -> tuple[bool, dict]:
     kills = sum(1 for row in matrix.values()
                 if next(iter(row.values())) is not None)
     for description, row in unequal.items():
-        print(f"  BACKENDS DISAGREE {description}: {row}")
-    print(f"mutation: {kills}/{len(matrix)} mutants killed, "
+        _echo(f"  BACKENDS DISAGREE {description}: {row}")
+    _echo(f"mutation: {kills}/{len(matrix)} mutants killed, "
           f"{len(unequal)} backend disagreements "
           f"(backends={','.join(config.backends)})")
     return not unequal, {"mutants": len(matrix), "killed": kills,
@@ -227,8 +253,8 @@ def _stage_compliance(config: FarmConfig) -> tuple[bool, dict]:
     report = run_compliance(core, workers=config.workers,
                             shards=config.shards)
     for mismatch in report.mismatches:
-        print(f"  MISMATCH {mismatch}")
-    print(f"compliance: {report.tests_run} programs, "
+        _echo(f"  MISMATCH {mismatch}")
+    _echo(f"compliance: {report.tests_run} programs, "
           f"{len(report.mismatches)} mismatches "
           f"-> {'PASS' if report.compliant else 'FAIL'}")
     return report.compliant, {"tests_run": report.tests_run,
@@ -242,19 +268,19 @@ def _stage_bench(config: FarmConfig) -> tuple[bool, dict]:
     if not config.bench_workers or not config.backends:
         # Zero worker counts would crash indexing the serial baseline;
         # zero backends would time an empty campaign.
-        print("bench: needs at least one worker count and one backend "
+        _echo("bench: needs at least one worker count and one backend "
               "-> FAIL")
         return False, {}
     metrics = farm_scaling_metrics(
         worker_counts=tuple(config.bench_workers),
         backends=tuple(config.backends))
     for key, seconds in metrics["wallclock_sec"].items():
-        print(f"  {key:<12} {seconds:7.2f}s")
+        _echo(f"  {key:<12} {seconds:7.2f}s")
     for workers in config.bench_workers[1:]:
-        print(f"  speedup at {workers} workers: "
+        _echo(f"  speedup at {workers} workers: "
               f"{metrics[f'speedup_workers_{workers}']:.2f}x")
     path = write_bench_artifact("farm_scaling", metrics)
-    print(f"bench: wrote {path}")
+    _echo(f"bench: wrote {path}")
     return True, {"metrics": metrics, "artifact": str(path)}
 
 
@@ -263,19 +289,19 @@ def _stage_fleet(config: FarmConfig) -> tuple[bool, dict]:
     from .farm import fleet_throughput_metrics
 
     if config.fleet_instances <= 0:
-        print("fleet: needs at least one instance -> FAIL")
+        _echo("fleet: needs at least one instance -> FAIL")
         return False, {}
     metrics = fleet_throughput_metrics(
         instances=config.fleet_instances, workers=config.workers,
         quantum=config.fleet_quantum)
-    print(f"  instances            {metrics['instances']}")
-    print(f"  retirements          {metrics['retirements']}")
-    print(f"  fleet cycles/sec     {metrics['fleet_cycles_per_sec']:,.0f}")
-    print(f"  single cycles/sec    {metrics['single_cycles_per_sec']:,.0f}")
-    print(f"  speedup vs single    "
+    _echo(f"  instances            {metrics['instances']}")
+    _echo(f"  retirements          {metrics['retirements']}")
+    _echo(f"  fleet cycles/sec     {metrics['fleet_cycles_per_sec']:,.0f}")
+    _echo(f"  single cycles/sec    {metrics['single_cycles_per_sec']:,.0f}")
+    _echo(f"  speedup vs single    "
           f"{metrics['speedup_vs_single']:.2f}x")
     path = write_bench_artifact("fleet_throughput", metrics)
-    print(f"fleet: wrote {path}")
+    _echo(f"fleet: wrote {path}")
     return True, {"metrics": metrics, "artifact": str(path)}
 
 
@@ -284,24 +310,77 @@ _STAGE_RUNNERS = {"cosim": _stage_cosim, "mutation": _stage_mutation,
                   "fleet": _stage_fleet}
 
 
+def _run_stage(config: FarmConfig, stage: str) -> tuple[bool, dict]:
+    """One stage with its failure contract: a raising stage is recorded
+    as failed — with the replayable task id (for fuzz chunks, embedding
+    the seed) when the farm reports one — instead of aborting the run,
+    so later stages still execute and ``--json-out``/``--telemetry``
+    always get written (the PR 8 regression: an uncaught
+    ``FarmTaskError`` used to skip the JSON write entirely)."""
+    from .farm import FarmTaskError
+
+    try:
+        return _STAGE_RUNNERS[stage](config)
+    except FarmTaskError as exc:
+        _echo(f"{stage}: FAILED — {exc}")
+        return False, {"error": f"{type(exc).__name__}: {exc}",
+                       "task_id": exc.task_id,
+                       "task_description": exc.description}
+    except Exception as exc:
+        _echo(f"{stage}: FAILED — {type(exc).__name__}: {exc}")
+        return False, {"error": f"{type(exc).__name__}: {exc}"}
+
+
 def run(config: FarmConfig) -> int:
-    """Run the configured stages; returns the process exit code."""
+    """Run the configured stages; returns the process exit code.
+
+    ``--json-out`` is written whether or not stages fail or raise;
+    ``--telemetry``/``--trace-out`` open one :mod:`repro.obs` session
+    around all stages (each under its own span) plus the telemetry
+    probe, and write the manifest/timeline at the end, also
+    unconditionally.
+    """
+    from . import obs
+
     results: dict[str, dict] = {}
     failures = []
-    for stage in config.stages:
-        print(f"== {stage} (workers={config.workers}) ==")
-        ok, payload = _STAGE_RUNNERS[stage](config)
-        results[stage] = {"ok": ok, **payload}
-        if not ok:
-            failures.append(stage)
+    with obs.session() if (config.telemetry or config.trace_out) \
+            else nullcontext(None) as telemetry:
+        for stage in config.stages:
+            _echo(f"== {stage} (workers={config.workers}) ==")
+            with obs.span(stage, workers=config.workers):
+                ok, payload = _run_stage(config, stage)
+            results[stage] = {"ok": ok, **payload}
+            if not ok:
+                failures.append(stage)
+        if telemetry is not None:
+            # Populate every instrumented counter family once so run
+            # manifests are comparable regardless of stage selection.
+            from .farm import telemetry_probe
+
+            with obs.span("telemetry_probe"):
+                telemetry_probe()
     if config.json_out:
-        with open(config.json_out, "w") as handle:
-            json.dump(results, handle, indent=2)
-        print(f"results written to {config.json_out}")
+        out_path = pathlib.Path(config.json_out)
+        if out_path.parent != pathlib.Path(""):
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(results, indent=2) + "\n")
+        _echo(f"results written to {config.json_out}")
+    if telemetry is not None:
+        config_doc = {name: list(value) if isinstance(value, tuple)
+                      else value
+                      for name, value in dataclasses.asdict(config).items()}
+        if config.telemetry:
+            path = obs.write_manifest(config.telemetry, telemetry,
+                                      config_doc)
+            _echo(f"telemetry manifest written to {path}")
+        if config.trace_out:
+            path = obs.write_trace(config.trace_out, telemetry)
+            _echo(f"trace timeline written to {path}")
     if failures:
-        print(f"FAILED stages: {', '.join(failures)}")
+        _echo(f"FAILED stages: {', '.join(failures)}")
         return 1
-    print(f"all stages passed: {', '.join(config.stages)}")
+    _echo(f"all stages passed: {', '.join(config.stages)}")
     return 0
 
 

@@ -29,6 +29,13 @@ Schema history: revision 2 (PR 5) added the ``schema`` stamp itself and
 extended the ``workload_cpi`` table with the SoC ``sensor_streaming``
 row (two-source interrupt firmware), so downstream trajectory tooling
 can key row availability off the revision instead of probing names.
+Revision 3 (PR 8) extended ``host`` with ``cpu_count`` (positive int)
+and ``platform`` (the full ``platform.platform()`` string), shared with
+the telemetry manifests via :func:`repro.obs.host_provenance` — perf
+numbers from a 1-core CI runner and a 32-core workstation were
+previously indistinguishable in the artifact.  The extra keys are
+required at revision 3 and rejected below it, so old documents stay
+valid and new ones cannot silently drop provenance.
 """
 
 from __future__ import annotations
@@ -37,14 +44,16 @@ import json
 import math
 import os
 import pathlib
-import platform
 import re
+
+from ..obs import host_provenance
 
 _NAME = re.compile(r"^[A-Za-z0-9_.-]+$")
 _HOST_KEYS = ("python", "machine", "system")
+_HOST_KEYS_V3 = ("cpu_count", "platform")
 
 #: Current artifact schema revision, stamped by :func:`write_bench_artifact`.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 #: Dict tables may nest this deep below ``metrics`` (a per-workload
@@ -106,6 +115,8 @@ def validate_artifact(document: object) -> list[str]:
                               or not _NAME.match(bench)):
         errors.append(f"bench must be a non-empty filesystem-safe string, "
                       f"got {bench!r}")
+    revision = schema if isinstance(schema, int) \
+        and not isinstance(schema, bool) else 1
     host = document.get("host")
     if host is not None:
         if not isinstance(host, dict):
@@ -114,6 +125,19 @@ def validate_artifact(document: object) -> list[str]:
             for key in _HOST_KEYS:
                 if not isinstance(host.get(key), str) or not host.get(key):
                     errors.append(f"host.{key} must be a non-empty string")
+            if revision >= 3:
+                cpu_count = host.get("cpu_count")
+                if isinstance(cpu_count, bool) \
+                        or not isinstance(cpu_count, int) or cpu_count < 1:
+                    errors.append("host.cpu_count must be a positive int")
+                if not isinstance(host.get("platform"), str) \
+                        or not host.get("platform"):
+                    errors.append("host.platform must be a non-empty string")
+            else:
+                for key in _HOST_KEYS_V3:
+                    if key in host:
+                        errors.append(f"host.{key} requires schema >= 3, "
+                                      f"document is revision {revision}")
     metrics = document.get("metrics")
     if metrics is not None:
         if not isinstance(metrics, dict) or not metrics:
@@ -162,11 +186,7 @@ def write_bench_artifact(name: str, payload: dict) -> pathlib.Path:
     document = {
         "schema": SCHEMA_VERSION,
         "bench": name,
-        "host": {
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "system": platform.system(),
-        },
+        "host": host_provenance(),
         "metrics": payload,
     }
     errors = validate_artifact(document)

@@ -32,9 +32,15 @@ from .campaigns import (
     mutation_exercise_target,
     sharded_compliance_mismatches,
     sharded_mutant_kill_matrix,
+    telemetry_probe,
     workload_target,
 )
-from .runner import FarmTaskError, execute_task, run_tasks
+from .runner import (
+    FarmTaskError,
+    execute_task,
+    execute_task_telemetry,
+    run_tasks,
+)
 from .tasks import (
     ComplianceTask,
     CoreMaterializeError,
@@ -50,9 +56,9 @@ __all__ = [
     "FLEET_EXERCISE_PROGRAM", "FarmTaskError", "FleetShardTask",
     "FuzzCosimTask", "MUTATION_EXERCISE_PROGRAM",
     "MUTATION_EXERCISE_SUBSET", "MutantTask", "cosim_campaign",
-    "execute_task", "farm_scaling_metrics", "fleet_campaign",
-    "fleet_exercise_target", "fleet_lane_value",
+    "execute_task", "execute_task_telemetry", "farm_scaling_metrics",
+    "fleet_campaign", "fleet_exercise_target", "fleet_lane_value",
     "fleet_throughput_metrics", "mutation_exercise_target", "run_tasks",
     "sharded_compliance_mismatches", "sharded_mutant_kill_matrix",
-    "workload_target",
+    "telemetry_probe", "workload_target",
 ]

@@ -22,7 +22,11 @@ exec-compiled ever crosses the process boundary.
 
 from __future__ import annotations
 
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+
+from .. import obs
 
 
 class FarmTaskError(RuntimeError):
@@ -61,26 +65,81 @@ def execute_task(task):
             task.task_id, task.describe()) from exc
 
 
+def execute_task_telemetry(task, submitted_wall: float):
+    """Run one task under a fresh worker-local telemetry session.
+
+    Top-level so it is picklable as the pool's callable.  Returns
+    ``(result, snapshot)`` where the snapshot is a plain dict — task id,
+    worker pid, queue wait (worker pickup wall-time minus submission
+    wall-time: the one duration that genuinely spans two processes, so
+    it is the one wall-clock measurement), monotonic-clock run time, and
+    the task's counters.  The serial path runs the same wrapper (the
+    session nests under the parent's), so a ``workers=1`` snapshot has
+    exactly the same shape as a pool snapshot.
+    """
+    started_wall = time.time()
+    with obs.session() as telemetry:
+        started = time.perf_counter()
+        result = execute_task(task)
+        run_sec = time.perf_counter() - started
+    return result, {
+        "task_id": task.task_id,
+        "pid": os.getpid(),
+        "start_wall": started_wall,
+        "queue_wait_sec": max(0.0, started_wall - submitted_wall),
+        "run_sec": run_sec,
+        "counters": dict(telemetry.counters),
+    }
+
+
 def run_tasks(tasks, workers: int = 1) -> list:
     """Execute tasks; returns their results in task order.
 
     ``workers`` caps the process count (never more processes than tasks);
     ``workers <= 1`` is the serial in-process path.
+
+    With a :mod:`repro.obs` session active in the caller, every task runs
+    under :func:`execute_task_telemetry` instead and its snapshot is
+    merged into the caller's session **in submission order** — the same
+    order results merge in — so telemetry structure is bit-identical for
+    any worker count.  Results themselves are unaffected.
     """
     tasks = list(tasks)
+    parent = obs.get()
     if workers <= 1 or not tasks:
         # Serial only when *asked* for serial (or there is nothing to
         # run).  A single task with workers > 1 still goes through the
         # pool: a one-task campaign must exercise pickling and the
         # worker-side cache rebuild, or an unpicklable task hides until
         # the campaign grows.
-        return [execute_task(task) for task in tasks]
+        if parent is None:
+            return [execute_task(task) for task in tasks]
+        pairs = [execute_task_telemetry(task, time.time())
+                 for task in tasks]
+        return _merge_snapshots(parent, pairs)
     with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-        futures = [pool.submit(execute_task, task) for task in tasks]
+        if parent is None:
+            futures = [pool.submit(execute_task, task) for task in tasks]
+        else:
+            futures = [pool.submit(execute_task_telemetry, task,
+                                   time.time()) for task in tasks]
         try:
-            return [future.result() for future in futures]
+            results = [future.result() for future in futures]
         except BaseException:
             # Drop queued tasks so the first failure surfaces immediately
             # instead of after the rest of the campaign drains.
             pool.shutdown(wait=True, cancel_futures=True)
             raise
+    if parent is None:
+        return results
+    return _merge_snapshots(parent, results)
+
+
+def _merge_snapshots(parent, pairs) -> list:
+    """Fold task snapshots into the parent session (submission order)."""
+    results = []
+    for result, snapshot in pairs:
+        parent.counters["farm.tasks"] += 1
+        parent.add_task(snapshot)
+        results.append(result)
+    return results

@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..isa.program import Program
+from ..obs import telemetry as _obs
 from ..rtl.compiled import stable_fingerprint
 from ..rtl.ir import Module
 from ..soc import SocSpec
@@ -89,7 +90,11 @@ _CORE_CACHE: dict[CoreSpec, Module] = {}
 def _materialize(spec: CoreSpec) -> Module:
     core = _CORE_CACHE.get(spec)
     if core is not None:
+        if _obs._ACTIVE is not None:
+            _obs._ACTIVE.counters["farm.core_rebuild.memo_hit"] += 1
         return core
+    if _obs._ACTIVE is not None:
+        _obs._ACTIVE.counters["farm.core_rebuild.build"] += 1
     from ..rtl.rissp import build_rissp
 
     core = build_rissp(list(spec.mnemonics), name=spec.name,

@@ -1,0 +1,63 @@
+"""``repro.obs`` — zero-overhead-when-off telemetry (PR 8).
+
+Three primitives:
+
+* **counters** — plain-int bumps at existing Python re-entry points
+  (fused-loop callbacks, compile functions, cache probes, farm task
+  boundaries); never inside exec-compiled generated code;
+* **spans** — monotonic-clock start/stop with labels;
+* **run manifests** — one schema-validated JSON per run (config, stage
+  spans, whole-run counters, derived cache rates, per-task timings,
+  host provenance), plus a Chrome ``trace_event`` timeline export.
+
+Off by default: every instrumented site is one module-global read plus
+an ``is not None`` check.  Open a session with::
+
+    from repro import obs
+
+    with obs.session() as telemetry:
+        ...  # anything instrumented records into `telemetry`
+    obs.write_manifest("run.json", telemetry)
+    obs.write_trace("trace.json", telemetry)
+
+This package imports nothing from the rest of ``repro`` (stdlib only),
+so any module — including the RTL hot paths — may import it without
+cycles.
+"""
+
+from .manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    cache_rates,
+    host_provenance,
+    validate_manifest,
+    write_manifest,
+)
+from .telemetry import (
+    COUNTERS,
+    TASK_SNAPSHOT_KEYS,
+    Telemetry,
+    bump,
+    get,
+    session,
+    span,
+)
+from .trace_event import build_trace, write_trace
+
+__all__ = [
+    "COUNTERS",
+    "MANIFEST_SCHEMA_VERSION",
+    "TASK_SNAPSHOT_KEYS",
+    "Telemetry",
+    "build_manifest",
+    "build_trace",
+    "bump",
+    "cache_rates",
+    "get",
+    "host_provenance",
+    "session",
+    "span",
+    "validate_manifest",
+    "write_manifest",
+    "write_trace",
+]

@@ -1,0 +1,74 @@
+"""Chrome ``trace_event`` export: campaign timelines Perfetto can load.
+
+One complete-event (``"ph": "X"``) row per recorded span:
+
+* parent-session stage spans, under the parent pid;
+* one ``task`` slice per farm task snapshot, under the **worker's** pid
+  (so Perfetto groups lanes by worker process), preceded by a ``queue``
+  slice covering the task's time between submission and worker pickup.
+
+Timestamps are microseconds relative to the session start — stage spans
+place by the parent's wall clock, task slices by the worker's wall clock
+at pickup (the cross-process common timeline; durations themselves are
+monotonic-clock measured).  Load the file at https://ui.perfetto.dev or
+``about:tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from .telemetry import Telemetry
+
+
+def build_trace(telemetry: Telemetry) -> dict:
+    """Assemble the ``{"traceEvents": [...]}`` document from one
+    finished session."""
+    events: list[dict] = []
+    pid = telemetry.pid
+    events.append({"name": "process_name", "ph": "M", "pid": pid,
+                   "tid": 0, "args": {"name": "repro (parent)"}})
+    for span in telemetry.spans:
+        events.append({
+            "name": span["name"], "cat": "stage", "ph": "X",
+            "ts": span["start_sec"] * 1e6,
+            "dur": span["dur_sec"] * 1e6,
+            "pid": pid, "tid": 0, "args": dict(span["labels"]),
+        })
+    named_workers = set()
+    for snapshot in telemetry.tasks:
+        worker = snapshot["pid"]
+        if worker not in named_workers:
+            named_workers.add(worker)
+            name = "repro (parent)" if worker == pid \
+                else f"repro worker {worker}"
+            events.append({"name": "process_name", "ph": "M",
+                           "pid": worker, "tid": 1,
+                           "args": {"name": name}})
+        start = (snapshot["start_wall"] - telemetry.start_wall) * 1e6
+        wait = snapshot["queue_wait_sec"] * 1e6
+        if wait > 0:
+            events.append({
+                "name": snapshot["task_id"], "cat": "queue", "ph": "X",
+                "ts": start - wait, "dur": wait,
+                "pid": worker, "tid": 1,
+                "args": {"state": "queued"},
+            })
+        events.append({
+            "name": snapshot["task_id"], "cat": "task", "ph": "X",
+            "ts": start, "dur": snapshot["run_sec"] * 1e6,
+            "pid": worker, "tid": 1,
+            "args": {"queue_wait_sec": snapshot["queue_wait_sec"]},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_trace(path: "pathlib.Path | str",
+                telemetry: Telemetry) -> pathlib.Path:
+    """Write the trace-event JSON for one finished session."""
+    path = pathlib.Path(path)
+    if path.parent != pathlib.Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(build_trace(telemetry), indent=2) + "\n")
+    return path

@@ -56,6 +56,7 @@ import re
 import weakref
 from dataclasses import dataclass
 
+from ..obs import telemetry as _obs
 from .ir import (
     Binary,
     Cat,
@@ -526,7 +527,11 @@ def compile_module(module: Module) -> CompiledModule:
     key = _fingerprint(module)
     hit = _cache.get(module)
     if hit is not None and hit[0] == key:
+        if _obs._ACTIVE is not None:
+            _obs._ACTIVE.counters["compile_cache.module.hit"] += 1
         return hit[1]
+    if _obs._ACTIVE is not None:
+        _obs._ACTIVE.counters["compile_cache.module.miss"] += 1
     source = _generate_source(module)
     namespace: dict[str, object] = {}
     exec(compile(source, f"<rtl:{module.name}>", "exec"), namespace)
@@ -1102,7 +1107,11 @@ def compile_core(module: Module) -> CompiledCore:
     key = _fingerprint(module)
     hit = _core_cache.get(module)
     if hit is not None and hit[0] == key:
+        if _obs._ACTIVE is not None:
+            _obs._ACTIVE.counters["compile_cache.core.hit"] += 1
         return hit[1]
+    if _obs._ACTIVE is not None:
+        _obs._ACTIVE.counters["compile_cache.core.miss"] += 1
     from ..sim.decoded import SimulationError
     source = _generate_core_source(module)
     namespace: dict[str, object] = {"WSTRB_WIDTH": WSTRB_WIDTH,
@@ -1341,7 +1350,11 @@ def compile_fleet(module: Module) -> CompiledFleet:
     key = _fingerprint(module)
     hit = _fleet_cache.get(module)
     if hit is not None and hit[0] == key:
+        if _obs._ACTIVE is not None:
+            _obs._ACTIVE.counters["compile_cache.fleet.hit"] += 1
         return hit[1]
+    if _obs._ACTIVE is not None:
+        _obs._ACTIVE.counters["compile_cache.fleet.miss"] += 1
     source = _generate_fleet_source(_analyze_core(module))
     namespace: dict[str, object] = {
         "WSTRB_WIDTH": WSTRB_WIDTH,

@@ -47,6 +47,7 @@ from ..isa.encoding import DecodeError, decode
 from ..isa.instructions import CSR_OPS
 from ..isa.program import DEFAULT_MEM_SIZE, Program
 from ..isa.spec import _LOAD_WIDTH, step
+from ..obs import telemetry as _obs
 from ..sim.csr import CsrError, CsrFile
 from ..sim.golden import RunResult, SimulationError
 from ..sim.memory import Memory, MemoryError_
@@ -394,7 +395,7 @@ class RisspSim:
                 "wclass": _WORD_CLASS,
                 "classify": _classify_word,
                 "emulated": self._fused_emulated,
-                "mret": self.csr.unstack_interrupt_enable,
+                "mret": self._fused_mret,
                 "hw_trap": self._fused_hw_trap,
                 "fire_index": self._fused_fire_index,
                 "take_interrupt": self._fused_take_interrupt,
@@ -412,13 +413,24 @@ class RisspSim:
     def _fused_take_interrupt(self, order: int, pc: int) -> tuple[int, int]:
         """Arbitrated interrupt entry; returns ``(handler_pc, intr_code)``
         — the generated loop stamps the code into the RVFI intr column."""
+        if _obs._ACTIVE is not None:
+            _obs._ACTIVE.counters["fused.exit.interrupt"] += 1
         csr = self.csr
         csr.set_pending(self.soc.irq_lines(order))
         cause = csr.pending_cause()
         return csr.take_interrupt(cause, pc), cause & 0x3F
 
+    def _fused_mret(self) -> None:
+        """Harness side of an ``mret`` retirement (interrupt-enable
+        unstack; the pc redirect happens in the generated loop)."""
+        if _obs._ACTIVE is not None:
+            _obs._ACTIVE.counters["fused.exit.mret"] += 1
+        self.csr.unstack_interrupt_enable()
+
     def _fused_emulated(self, order: int, pc: int, word: int,
                         intr: int) -> tuple[bool, str]:
+        if _obs._ACTIVE is not None:
+            _obs._ACTIVE.counters["fused.exit.emulated"] += 1
         if self.soc is not None:
             # The per-cycle path syncs the clock and the mip levels at the
             # top of every cycle; the fused loop only needs them fresh
@@ -429,15 +441,21 @@ class RisspSim:
 
     def _fused_illegal(self, order: int, pc: int, word: int,
                        intr: int) -> None:
+        if _obs._ACTIVE is not None:
+            _obs._ACTIVE.counters["fused.exit.illegal"] += 1
         self._retire_illegal(order, self._fused_sink, pc, word, intr)
 
     def _fused_hw_trap(self) -> None:
         """Harness side of a hardware ecall/ebreak trap entry (mepc/mcause
         latch in the generated tick)."""
+        if _obs._ACTIVE is not None:
+            _obs._ACTIVE.counters["fused.exit.hw_trap"] += 1
         self.csr.stack_interrupt_enable()
         self.csr.mtval = 0
 
     def _fused_load_slow(self, order: int, addr: int) -> int:
+        if _obs._ACTIVE is not None:
+            _obs._ACTIVE.counters["fused.exit.mmio_load"] += 1
         if self.soc is not None:
             self.soc.sync(order)
         return self.memory.load(addr, 4, signed=False)
@@ -446,6 +464,8 @@ class RisspSim:
                           width: int) -> bool:
         """Out-of-RAM store (device window or fault); True ends the run
         as a poweroff."""
+        if _obs._ACTIVE is not None:
+            _obs._ACTIVE.counters["fused.exit.mmio_store"] += 1
         soc = self.soc
         if soc is not None:
             soc.sync(order)
@@ -470,12 +490,37 @@ class RisspSim:
         """
         self._fused_sink = trace
         sink = trace.append_row if trace is not None else None
+        active = _obs._ACTIVE
+        if active is None:
+            try:
+                return self._fused.run_cycles(self._fused_context(), count,
+                                              limit, sink)
+            finally:
+                self._fused_sink = None
+                self.rtl.eval_comb()
+        # Telemetry path: decode-cache stats from the shared per-word
+        # cache's growth (misses are exact; lookups are approximated by
+        # retirements — every retirement probes the cache once, though
+        # emulated/illegal words re-decode via the ISA memo instead, so
+        # the derived hit rate is a lower bound).  Nothing is injected
+        # into the generated loop itself.
+        dcache = self._fused.namespace.get("_DCACHE")
+        words_before = len(dcache) if dcache is not None else 0
         try:
-            return self._fused.run_cycles(self._fused_context(), count,
-                                          limit, sink)
+            halted, reason, retired = self._fused.run_cycles(
+                self._fused_context(), count, limit, sink)
         finally:
             self._fused_sink = None
             self.rtl.eval_comb()
+        counters = active.counters
+        counters["fused.runs"] += 1
+        counters["fused.retired"] += retired - count
+        counters["decode_cache.lookups"] += retired - count
+        if dcache is not None:
+            counters["decode_cache.misses"] += len(dcache) - words_before
+        if halted:
+            counters["fused.exit.halt"] += 1
+        return halted, reason, retired
 
     def run(self, max_instructions: int = 2_000_000) -> RunResult:
         """Run to halt; single-cycle core, so cycles == instructions."""

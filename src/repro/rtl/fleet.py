@@ -45,9 +45,10 @@ from ..isa.bits import to_u32
 from ..isa.encoding import Instruction, encode
 from ..isa.program import DEFAULT_MEM_SIZE, Program
 from ..sim.golden import _HALT_SENTINEL, RunResult, abi_initial_regs
+from ..obs import telemetry as _obs
 from ..sim.memory import Memory
 from ..sim.tracing import RvfiTrace
-from .compiled import compile_fleet, core_fusable
+from .compiled import WSTRB_WIDTH, compile_fleet, core_fusable
 from .core_sim import (
     RisspSim,
     _classify_word,
@@ -192,11 +193,18 @@ class FleetSim:
             targets = {lane: self._counts[lane] + cycles for lane in batch}
             halted, diverged = self._fleet.run_fleet(
                 self._ctx, batch, cycles)
+            active = _obs._ACTIVE
+            if active is not None:
+                active.counters["fleet.passes"] += 1
+                active.counters["fleet.lane_halt"] += len(halted)
             for lane, reason in halted:
                 self._status[lane] = _HALTED
                 self._reasons[lane] = reason or "ecall"
             for lane in diverged:
-                self._materialize(lane)
+                sim = self._materialize(lane)
+                if active is not None:
+                    cause = self._divergence_cause(lane, sim)
+                    active.counters[f"fleet.diverge.{cause}"] += 1
                 self._advance_single(lane, targets[lane])
         for lane in fallback:
             self._advance_single(lane, self._counts[lane] + cycles)
@@ -240,6 +248,50 @@ class FleetSim:
         self._sims[lane] = sim
         self._status[lane] = _FALLBACK
         return sim
+
+    def _divergence_cause(self, lane: int, sim: RisspSim) -> str:
+        """Best-effort classification of why the batched loop handed this
+        lane over (telemetry only — never on the no-session path).
+
+        Replays the divergence decision on the freshly-adopted sim's
+        *unexecuted* next instruction: the lane state is exactly as the
+        batch left it, and only combinational evaluation happens here
+        (``set_inputs``/``eval_comb``, the same probe the state tests
+        drive), so the fallback path the lane continues on is untouched.
+        """
+        rtl = sim.rtl
+        pc = rtl.env["pc"]
+        if pc & 0x3 or pc + 4 > self.mem_size:
+            return "fetch"
+        word = int.from_bytes(self._mems[lane][pc:pc + 4], "little")
+        cls = _WORD_CLASS.get(word)
+        if cls is None:
+            cls = _classify_word(word)
+        if cls == 1:
+            return "emulated"
+        if cls == 2:
+            return "mret"
+        if cls == 3:
+            return "rv32e_bound"
+        rtl.set_inputs(imem_rdata=word, dmem_rdata=0)
+        rtl.eval_comb()
+        if rtl.get("illegal"):
+            return "illegal"
+        if sim._trap_hw and rtl.get("trap"):
+            return "trap"
+        if rtl.get("dmem_re"):
+            if (rtl.get("dmem_addr") & ~0x3) + 4 > self.mem_size:
+                return "load_oob"
+        wstrb = rtl.get("dmem_wstrb")
+        if wstrb:
+            width = WSTRB_WIDTH.get(wstrb)
+            if width is None:
+                return "other"
+            offset = (wstrb & -wstrb).bit_length() - 1
+            if (rtl.get("dmem_addr") & ~0x3) + offset + width \
+                    > self.mem_size:
+                return "store_oob"
+        return "other"
 
     def _advance_single(self, lane: int, target: int) -> None:
         sim = self._sims[lane]

@@ -24,6 +24,7 @@ from functools import lru_cache
 
 from ..isa.assembler import assemble
 from ..isa.bits import to_s32
+from ..obs import telemetry as _obs
 from ..isa.instructions import BRANCHES, BY_MNEMONIC, Format, LOADS, STORES
 from ..isa.program import Program
 from ..rtl.core_sim import RisspSim
@@ -198,8 +199,21 @@ def _reference_signature(mnemonic: str) -> bytes:
     signature, never a torn write; racing writers both produce the same
     bytes and the last rename wins.  A short or missing entry is treated
     as absent and recomputed.
+
+    Telemetry (when a :mod:`repro.obs` session is active) counts every
+    lookup here and classifies the resolution tier: an lru memo hit is
+    detected from the memo's miss count not moving, a disk hit or full
+    golden recompute is counted inside the memo body.
     """
-    return _reference_signature_memo(mnemonic, _signature_cache_dir())
+    active = _obs._ACTIVE
+    if active is None:
+        return _reference_signature_memo(mnemonic, _signature_cache_dir())
+    active.counters["riscof.sig_lookup"] += 1
+    misses_before = _reference_signature_memo.cache_info().misses
+    signature = _reference_signature_memo(mnemonic, _signature_cache_dir())
+    if _reference_signature_memo.cache_info().misses == misses_before:
+        active.counters["riscof.sig_memo_hit"] += 1
+    return signature
 
 
 @lru_cache(maxsize=None)
@@ -213,7 +227,11 @@ def _reference_signature_memo(mnemonic: str,
         except OSError:
             cached = b""
         if len(cached) == expected:
+            if _obs._ACTIVE is not None:
+                _obs._ACTIVE.counters["riscof.sig_disk_hit"] += 1
             return cached
+    if _obs._ACTIVE is not None:
+        _obs._ACTIVE.counters["riscof.sig_recompute"] += 1
     program = _compliance_binary(mnemonic)
     ref = GoldenSim(program)
     ref.run(max_instructions=100_000)

@@ -23,6 +23,7 @@ from repro.core.bench_schema import (
 
 
 def _good_document():
+    """A valid *revision-1* document (no schema stamp, v1/v2 host)."""
     return {
         "bench": "rtl_throughput",
         "host": {"python": "3.11.0", "machine": "x86_64",
@@ -34,8 +35,18 @@ def _good_document():
     }
 
 
+def _good_v3_document():
+    """A valid revision-3 document (host provenance extended in PR 8)."""
+    document = _good_document()
+    document["schema"] = 3
+    document["host"].update(cpu_count=8,
+                            platform="Linux-6.1-x86_64-with-glibc2.36")
+    return document
+
+
 def test_good_document_validates():
     assert validate_artifact(_good_document()) == []
+    assert validate_artifact(_good_v3_document()) == []
 
 
 @pytest.mark.parametrize("mutate, needle", [
@@ -105,6 +116,7 @@ def test_schema_version_stamped_and_validated():
 
     document = _good_document()
     assert validate_artifact(document) == []          # v1: stamp optional
+    document = _good_v3_document()
     document["schema"] = SCHEMA_VERSION
     assert validate_artifact(document) == []
     document["schema"] = 0
@@ -123,3 +135,28 @@ def test_writer_stamps_current_schema_version(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
     path = write_bench_artifact("schema_probe", {"value": 1.0})
     assert json.loads(path.read_text())["schema"] == SCHEMA_VERSION
+
+
+def test_v3_host_provenance_required_and_gated(tmp_path, monkeypatch):
+    """Revision 3 (PR 8) requires ``host.cpu_count``/``host.platform``;
+    older revisions must reject them — so a document can never claim
+    provenance its revision does not define."""
+    document = _good_v3_document()
+    document["host"].pop("cpu_count")
+    assert any("cpu_count" in e for e in validate_artifact(document))
+    document = _good_v3_document()
+    document["host"]["cpu_count"] = 0
+    assert any("cpu_count" in e for e in validate_artifact(document))
+    document = _good_v3_document()
+    document["host"]["platform"] = ""
+    assert any("host.platform" in e for e in validate_artifact(document))
+    document = _good_v3_document()
+    document["schema"] = 2                            # v2 + v3 keys
+    errors = validate_artifact(document)
+    assert any("requires schema >= 3" in e for e in errors)
+    # The writer stamps real provenance that satisfies the gate.
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+    path = write_bench_artifact("provenance_probe", {"value": 1.0})
+    host = json.loads(path.read_text())["host"]
+    assert host["cpu_count"] >= 1
+    assert host["platform"]

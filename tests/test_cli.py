@@ -71,10 +71,10 @@ def test_tuple_options_with_zero_values_yield_empty_tuples():
 
 def test_empty_workloads_run_fuzz_chunks_only(capsys):
     code = main(["cosim", "--workloads", "--fuzz-chunks", "1"])
-    out = capsys.readouterr().out
+    err = capsys.readouterr().err
     assert code == 0
-    assert "cosim: 1/1 clean" in out
-    assert "cosim:uart_selftest" not in out
+    assert "cosim: 1/1 clean" in err
+    assert "cosim:uart_selftest" not in err
 
 
 def test_zero_task_stages_fail_instead_of_crashing_or_passing(capsys):
@@ -84,13 +84,13 @@ def test_zero_task_stages_fail_instead_of_crashing_or_passing(capsys):
     verdict rows, and bench with zero worker counts crashed indexing the
     serial baseline.  All three must fail cleanly with exit code 1."""
     assert main(["cosim", "--backends"]) == 1
-    assert "nothing verified" in capsys.readouterr().out
+    assert "nothing verified" in capsys.readouterr().err
     assert main(["cosim", "--workloads"]) == 1  # no fuzz chunks either
-    assert "nothing verified" in capsys.readouterr().out
+    assert "nothing verified" in capsys.readouterr().err
     assert main(["mutation", "--backends"]) == 1
-    assert "nothing verified" in capsys.readouterr().out
+    assert "nothing verified" in capsys.readouterr().err
     assert main(["bench", "--bench-workers"]) == 1
-    assert "worker count" in capsys.readouterr().out
+    assert "worker count" in capsys.readouterr().err
 
 
 def test_int_options_accept_hex():
@@ -115,25 +115,29 @@ def test_stage_order_is_preserved():
 def test_cosim_stage_exit_zero(capsys):
     code = main(["cosim", "--workloads", "uart_selftest",
                  "--fuzz-chunks", "1"])
-    out = capsys.readouterr().out
+    captured = capsys.readouterr()
     assert code == 0
-    assert "cosim: 2/2 clean" in out
-    assert "all stages passed" in out
+    assert "cosim: 2/2 clean" in captured.err
+    assert "all stages passed" in captured.err
+    # Banner discipline (PR 8): progress goes to stderr, stdout stays
+    # machine-clean so `python -m repro ... > pipeline.json` style
+    # plumbing never has to strip human chatter.
+    assert captured.out == ""
 
 
 def test_mutation_stage_exit_zero(capsys):
     code = main(["mutation", "--mutation-limit", "6",
                  "--mutation-budget", "400"])
-    out = capsys.readouterr().out
+    err = capsys.readouterr().err
     assert code == 0
-    assert "mutation: " in out and "0 backend disagreements" in out
+    assert "mutation: " in err and "0 backend disagreements" in err
 
 
 def test_compliance_stage_exit_zero(capsys):
     code = main(["compliance"])
-    out = capsys.readouterr().out
+    err = capsys.readouterr().err
     assert code == 0
-    assert "-> PASS" in out
+    assert "-> PASS" in err
 
 
 def test_fleet_stage_writes_validated_artifact(tmp_path, capsys,
@@ -144,9 +148,9 @@ def test_fleet_stage_writes_validated_artifact(tmp_path, capsys,
 
     monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
     code = main(["fleet", "--fleet-instances", "48"])
-    out = capsys.readouterr().out
+    err = capsys.readouterr().err
     assert code == 0
-    assert "speedup vs single" in out
+    assert "speedup vs single" in err
     artifact = tmp_path / "BENCH_fleet_throughput.json"
     assert artifact.exists()
     assert validate_artifact_file(artifact) == []
@@ -157,7 +161,7 @@ def test_fleet_stage_writes_validated_artifact(tmp_path, capsys,
 
 def test_fleet_stage_rejects_zero_instances(capsys):
     assert main(["fleet", "--fleet-instances", "0"]) == 1
-    assert "at least one instance" in capsys.readouterr().out
+    assert "at least one instance" in capsys.readouterr().err
 
 
 def test_json_out_records_stage_results(tmp_path, capsys):
@@ -177,9 +181,72 @@ def test_failing_stage_exits_nonzero(capsys, monkeypatch):
     monkeypatch.setitem(cli._STAGE_RUNNERS, "cosim",
                         lambda config: (False, {"verdicts": {}}))
     code = run(parse_config(["cosim"]))
-    out = capsys.readouterr().out
+    err = capsys.readouterr().err
     assert code == 1
-    assert "FAILED stages: cosim" in out
+    assert "FAILED stages: cosim" in err
+
+
+def test_raising_stage_still_writes_json_out(tmp_path, capsys,
+                                             monkeypatch):
+    """Regression (PR 8): a stage that *raised* used to unwind straight
+    out of ``run()``, so ``--json-out`` was never written and a CI
+    pipeline tallying results saw a missing file instead of a recorded
+    failure.  Now every stage runs under its own catch: the exception is
+    recorded (with the replayable task id for farm failures), later
+    stages still run, and the JSON report is always written."""
+    import repro.cli as cli
+    from repro.farm import FarmTaskError
+
+    def explode(config):
+        raise FarmTaskError("farm task 'fuzz[007]' failed: boom",
+                            task_id="fuzz[007]",
+                            description="fuzz seed=0x1234")
+
+    monkeypatch.setitem(cli._STAGE_RUNNERS, "cosim", explode)
+    out_path = tmp_path / "results.json"
+    code = run(parse_config(["cosim", "fleet", "--fleet-instances", "16",
+                             "--json-out", str(out_path)]))
+    err = capsys.readouterr().err
+    assert code == 1
+    assert "FAILED stages: cosim" in err
+    results = json.loads(out_path.read_text())
+    assert results["cosim"]["ok"] is False
+    assert results["cosim"]["task_id"] == "fuzz[007]"
+    assert "boom" in results["cosim"]["error"]
+    # The stage after the explosion still ran and was recorded.
+    assert results["fleet"]["ok"] is True
+
+
+def test_telemetry_flags_write_manifest_and_trace(tmp_path, capsys):
+    """The acceptance surface: ``--telemetry``/``--trace-out`` produce a
+    schema-valid manifest with the counter families populated and a
+    Chrome trace_event document."""
+    from repro import obs
+
+    manifest_path = tmp_path / "run.json"
+    trace_path = tmp_path / "trace.json"
+    code = main(["cosim", "--workloads", "uart_selftest",
+                 "--telemetry", str(manifest_path),
+                 "--trace-out", str(trace_path)])
+    capsys.readouterr()
+    assert code == 0
+    document = json.loads(manifest_path.read_text())
+    assert obs.validate_manifest(document) == []
+    counters = document["counters"]
+    assert set(counters) == set(obs.COUNTERS)
+    assert counters["fused.runs"] > 0
+    # The probe guarantees every counter family reports even when the
+    # selected stages never touch it.  (>= because an earlier in-process
+    # test may already have warmed the riscof memo, turning the probe's
+    # cold lookup into a second hit.)
+    assert counters["riscof.sig_lookup"] == 2
+    assert counters["riscof.sig_memo_hit"] >= 1
+    assert counters["fleet.diverge.mret"] == 1
+    assert [s["name"] for s in document["stages"]] == \
+        ["cosim", "telemetry_probe"]
+    trace = json.loads(trace_path.read_text())
+    names = {event["ph"] for event in trace["traceEvents"]}
+    assert names == {"M", "X"}
 
 
 def test_module_entrypoint_help(tmp_path):

@@ -2,8 +2,9 @@
 
 One CLI drives the verification campaigns the repository accumulated —
 cosimulation, the RTL mutant kill matrix, riscof-analog compliance, the
-farm scaling benchmark, and the batched fleet throughput stage — through
-the multi-process simulation farm (:mod:`repro.farm`).
+farm scaling benchmark, the batched fleet throughput stage, and the
+coverage-guided scenario campaign — through the multi-process simulation
+farm (:mod:`repro.farm`).
 
 Configuration is **declarative**: :class:`FarmConfig` is a plain
 dataclass whose fields *are* the command line (in the style of
@@ -42,7 +43,8 @@ from dataclasses import dataclass, field
 from .verify.fuzz import FUZZ_BASE_SEED
 
 #: Stage names, in the order a multi-stage invocation runs them.
-STAGES = ("cosim", "mutation", "compliance", "bench", "fleet")
+STAGES = ("cosim", "mutation", "compliance", "bench", "fleet",
+          "scenarios")
 
 
 def _cfg(default, help_text: str, **extra):
@@ -94,6 +96,26 @@ class FarmConfig:
     fleet_quantum: int = _cfg(
         256, "retirements per batched fleet pass (scheduling only — "
              "never changes results)")
+    scenario_count: int = _cfg(
+        64, "random scenarios the scenarios stage generates")
+    scenario_seed: int = _cfg(
+        FUZZ_BASE_SEED,
+        "base seed; scenario i derives from derive_seed(base, i) "
+        "(hex accepted)")
+    scenario_mutation: int = _cfg(
+        16, "extra directed scenarios the mutation loop may spend on "
+            "uncovered coverage bins (0 = random-only)")
+    scenario_budget: int = _cfg(
+        20_000, "retirement budget per scenario")
+    scenario_probes: int = _cfg(
+        1, "1 = run the directed probe set and gate on it reaching "
+           "every trap-cause and arbitration-ordering bin; 0 = skip")
+    scenario_golden_stride: int = _cfg(
+        8, "replay every n-th scenario on the golden ISS with a full "
+           "trace-column compare (0 disables)")
+    coverage_out: str = _cfg(
+        "", "write the schema-validated scenario coverage report to "
+            "this path")
     json_out: str = _cfg(
         "", "write stage results as JSON to this path")
     telemetry: str = _cfg(
@@ -305,9 +327,61 @@ def _stage_fleet(config: FarmConfig) -> tuple[bool, dict]:
     return True, {"metrics": metrics, "artifact": str(path)}
 
 
+def _stage_scenarios(config: FarmConfig) -> tuple[bool, dict]:
+    from .scenario import (probe_gate_missing, scenario_campaign,
+                           write_report)
+
+    if config.scenario_count <= 0:
+        # Probes alone could still "pass"; an explicit zero-scenario
+        # request is a misconfiguration, not vacuous 100% coverage.
+        _echo("scenarios: --scenario-count must be positive — nothing "
+              "generated -> FAIL")
+        return False, {"covered": 0, "bins": 0, "failures": []}
+    result = scenario_campaign(
+        count=config.scenario_count, base_seed=config.scenario_seed,
+        budget=config.scenario_budget, workers=config.workers,
+        shards=config.shards,
+        golden_stride=config.scenario_golden_stride,
+        probes=bool(config.scenario_probes),
+        mutation_budget=config.scenario_mutation)
+    coverage = result["coverage"]
+    for row in result["failures"]:
+        _echo(f"  FAILURE {row['scenario_id']} "
+              f"seed={row['seed']:#018x}: {row['verdict']}")
+    missing = ()
+    if result["probe_coverage"] is not None:
+        missing = probe_gate_missing(result["probe_coverage"])
+        for name in missing:
+            _echo(f"  PROBE GATE MISS {name}")
+    phases = result["phases"]
+    _echo(f"scenarios: {len(coverage.covered())}/{len(coverage.counts)} "
+          f"bins covered ({phases['probes']} probes + "
+          f"{phases['random']} random + {phases['mutated']} mutated; "
+          f"saturated={phases['saturated']})")
+    payload = {"covered": len(coverage.covered()),
+               "bins": len(coverage.counts),
+               "uncovered": list(coverage.uncovered()),
+               "phases": phases, "failures": result["failures"],
+               "probe_gate_missing": list(missing)}
+    if config.coverage_out:
+        config_doc = {
+            "count": config.scenario_count,
+            "base_seed": config.scenario_seed,
+            "budget": config.scenario_budget,
+            "workers": config.workers, "shards": config.shards,
+            "golden_stride": config.scenario_golden_stride,
+            "probes": bool(config.scenario_probes),
+            "mutation_budget": config.scenario_mutation}
+        path = write_report(config.coverage_out, result, config_doc)
+        _echo(f"coverage report written to {path}")
+        payload["artifact"] = str(path)
+    ok = not result["failures"] and not missing
+    return ok, payload
+
+
 _STAGE_RUNNERS = {"cosim": _stage_cosim, "mutation": _stage_mutation,
                   "compliance": _stage_compliance, "bench": _stage_bench,
-                  "fleet": _stage_fleet}
+                  "fleet": _stage_fleet, "scenarios": _stage_scenarios}
 
 
 def _run_stage(config: FarmConfig, stage: str) -> tuple[bool, dict]:

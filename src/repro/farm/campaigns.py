@@ -369,7 +369,10 @@ def telemetry_probe() -> None:
       diverge for a distinct classified cause (emulated Zicsr, ``mret``,
       trapping ecall, RV32E register-bound word, illegal word);
     * one riscof golden-signature lookup resolved cold plus one resolved
-      from the in-process memo, populating the ``riscof.sig_*`` tiers.
+      from the in-process memo, populating the ``riscof.sig_*`` tiers;
+    * one tiny golden-checked SoC scenario (``scenario.runs`` /
+      ``scenario.replays`` — an SoC scenario, so the fleet lane counts
+      above stay exact).
 
     The fleet probe also exercises the fused fallback path (halt,
     emulated, mret, illegal, hw-trap exits) and the compile caches.
@@ -378,7 +381,10 @@ def telemetry_probe() -> None:
     from ..isa.instructions import INSTRUCTIONS
     from ..rtl.fleet import FleetSim
     from ..rtl.rissp import build_rissp
+    from ..scenario.gen import mutate_toward
+    from ..scenario.run import run_scenario
     from ..sim.golden import _HALT_SENTINEL
+    from ..verify.fuzz import FUZZ_BASE_SEED
     from ..verify.riscof import _reference_signature
 
     # Trap-capable full-ISA core: the mret/trap/illegal lanes need the
@@ -392,6 +398,12 @@ def telemetry_probe() -> None:
     fleet.run(max_instructions=32, quantum=16)
     _reference_signature("addi")   # cold: disk hit or golden recompute
     _reference_signature("addi")   # warm: in-process memo hit
+    # halt.wfi is the cheapest directed scenario: nothing armed, the
+    # first wfi ends the run deterministically on both backends.
+    probe_scenario = mutate_toward("halt.wfi", FUZZ_BASE_SEED,
+                                   budget=256,
+                                   scenario_id="probe:halt.wfi")
+    run_scenario(core, probe_scenario, check_backends=True)
 
 
 # -------------------------------------------------- scaling measurement

@@ -263,6 +263,38 @@ class FleetShardTask:
 
 
 @dataclass(frozen=True)
+class ScenarioShardTask:
+    """One contiguous scenario range of a coverage-guided campaign.
+
+    Scenarios are pure picklable descriptions (see
+    :mod:`repro.scenario.gen`); the worker assembles and runs each one
+    and returns its plain outcome row.  ``checks`` marks, per scenario,
+    whether the worker must also replay it on the golden ISS — the flag
+    is a pure function of the scenario's *global* campaign index, so the
+    checked subset is identical at any worker count.  The merge step
+    concatenates shard outcome lists in shard order, restoring the
+    serial row order exactly.
+    """
+
+    task_id: str
+    core: CoreSpec
+    scenarios: tuple
+    checks: tuple
+
+    def describe(self) -> str:
+        first = self.scenarios[0].scenario_id if self.scenarios else "-"
+        return (f"scenario {self.task_id}: core={self.core.name} "
+                f"n={len(self.scenarios)} first={first}")
+
+    def run(self) -> list[dict]:
+        from ..scenario.run import run_scenario
+
+        core = self.core.build()
+        return [run_scenario(core, scenario, check_backends=check)
+                for scenario, check in zip(self.scenarios, self.checks)]
+
+
+@dataclass(frozen=True)
 class ComplianceTask:
     """One shard of the riscof-analog compliance target list.
 

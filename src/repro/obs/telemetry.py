@@ -50,6 +50,9 @@ Counter taxonomy (see README for the narrative):
 ``farm.*``
     Task counts and worker-side core rebuilds (per-process memo hit vs
     full build).
+``scenario.*``
+    Coverage-guided scenario engine: scenarios executed, golden-replay
+    cross-checks, mutation-loop spawns, and replayable failures.
 """
 
 from __future__ import annotations
@@ -104,6 +107,11 @@ COUNTERS: tuple[str, ...] = (
     "farm.tasks",
     "farm.core_rebuild.memo_hit",
     "farm.core_rebuild.build",
+    # -- coverage-guided scenario engine
+    "scenario.runs",
+    "scenario.replays",
+    "scenario.mutants",
+    "scenario.failures",
 )
 
 #: Keys every farm task snapshot carries (see

@@ -56,10 +56,18 @@ NEVER = 1 << 62
 
 @dataclass(frozen=True)
 class SocSpec:
-    """Declarative platform description, shareable across simulators."""
+    """Declarative platform description, shareable across simulators.
+
+    ``mtime_offset`` is the platform clock's value at retirement zero
+    (``mtime = mtime_offset + retired`` until firmware rebases it) — the
+    scenario engine's event-schedule knob: shifting it slides every
+    device comparator (timer fire, sensor data-ready) relative to the
+    firmware's boot sequence without touching the firmware itself.
+    """
 
     sensor_samples: tuple[int, ...] = ()
     sensor_ticks_per_sample: int = 64
+    mtime_offset: int = 0
 
     def build(self, ram: Memory) -> "Soc":
         return Soc(self, ram)
@@ -81,6 +89,9 @@ class Soc:
     mtime_base: int = 0
 
     def __post_init__(self):
+        # The spec's clock offset is the *initial* rebase; wfi fast-forward
+        # and MTIME writes adjust it from there exactly as at offset zero.
+        self.mtime_base += self.spec.mtime_offset
         self.bus = SocBus(self.ram)
         self.power = PowerGate()
         self.timer = MachineTimer()

@@ -46,6 +46,17 @@ def fuzz_chunk_seeds(base_seed: int = FUZZ_BASE_SEED,
     return tuple(derive_seed(base_seed, index) for index in range(count))
 
 
+def seeded_rng(seed: int) -> random.Random:
+    """A ``random.Random`` whose stream is a pure function of ``seed``.
+
+    The one sanctioned way generators (fuzz programs, scenario
+    descriptions) draw randomness: always from an explicit splitmix64-
+    derived seed, never from global ``random`` state — so any artifact
+    regenerates bit-identically from its reported seed on any worker.
+    """
+    return random.Random(seed)
+
+
 # ------------------------------------------------------------ generators
 
 _OPS_RRR = ["add", "sub", "and", "or", "xor", "sll", "srl", "sra",

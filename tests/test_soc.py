@@ -946,3 +946,114 @@ def test_rv32e_register_bound_word_refused_without_handler(trap_core):
     for backend in ("fused", "compiled", "interpreter"):
         with pytest.raises(SimulationError):
             RisspSim(trap_core, prog, backend=backend).run()
+
+
+# ------------------------------ SensorPort edge semantics (PR 9 satellite)
+
+
+def test_sensor_index_clamps_past_stream_end(trap_core):
+    """Waveform exhaustion: with the platform clock started far past the
+    stream end (the scenario engine's ``mtime_offset`` knob), INDEX
+    clamps to the last sample instead of running off the table — on
+    every backend."""
+    src = """
+.equ SENSOR, 0x40300
+.text
+main:
+    li t0, SENSOR
+    lw a0, 0(t0)             # DATA: clamped to the last sample
+    lw a1, 4(t0)             # INDEX: COUNT-1, not mtime/tps
+    slli a1, a1, 8
+    or a0, a0, a1
+    ecall
+"""
+    spec = SocSpec(sensor_samples=(10, 20, 30),
+                   sensor_ticks_per_sample=10, mtime_offset=100_000)
+    _, (halted_by, exit_code, _) = _run_everywhere(trap_core, src,
+                                                   soc=spec)
+    assert halted_by == "ecall"
+    assert exit_code == 30 | (2 << 8)
+
+
+def test_ack_without_pending_parks_the_stream(trap_core):
+    """ACK past COUNT with nothing pending: the data-ready level can
+    never rise again, so a sensor-only wfi ends the run instead of
+    waking or spinning — identically everywhere."""
+    src = """
+.equ SENSOR, 0x40300
+.text
+main:
+    li t0, SENSOR
+    li t1, 9
+    sw t1, 12(t0)            # ACK 9 of a 3-sample stream
+    li t1, 0x10000           # mie = SDIE only
+    csrw mie, t1
+    li a0, 55
+    wfi                      # the over-acked stream can never pend
+    li a0, 77                # must never run
+    ecall
+"""
+    spec = SocSpec(sensor_samples=(1, 2, 3), sensor_ticks_per_sample=10)
+    _, (halted_by, exit_code, count) = _run_everywhere(
+        trap_core, src, soc=spec, n=10_000)
+    assert halted_by == "wfi" and exit_code == 55
+    assert count < 50
+
+
+def test_ack_ahead_of_stream_wakes_at_future_sample(trap_core):
+    """ACK of samples that have not arrived yet is not an error: the
+    level stays low until the acknowledged index becomes ready, and a
+    masked wfi fast-forwards exactly there."""
+    src = """
+.equ SENSOR, 0x40300
+.text
+main:
+    li t0, SENSOR
+    li t1, 2
+    sw t1, 12(t0)            # skip ahead: wait for sample 2 (t=2000)
+    li t1, 0x10000
+    csrw mie, t1             # enabled for wake, mstatus.MIE off
+    wfi
+    lw a0, 0(t0)             # the sample we skipped to
+    ecall
+"""
+    spec = SocSpec(sensor_samples=(7, 8, 9), sensor_ticks_per_sample=1000)
+    gold, (halted_by, exit_code, _) = _run_everywhere(
+        trap_core, src, soc=spec, n=10_000)
+    assert halted_by == "ecall" and exit_code == 9
+    assert gold.soc.timer.mtime >= 2000       # really fast-forwarded
+
+
+def test_same_cycle_sensor_vs_timer_race_is_timer_first(trap_core):
+    """Sensor data-ready and the timer comparator rising in the same
+    window take the arbiter's fixed priority — timer first — on every
+    backend (the ``arb.race.timer_first`` coverage bin)."""
+    src = """
+.equ TIMER, 0x40100
+.equ SENSOR, 0x40300
+.text
+main:
+    la t0, handler
+    csrw mtvec, t0
+    li t0, SENSOR
+    li t1, 1
+    sw t1, 12(t0)            # ACK sample 0: next data-ready at t = 60
+    li t0, TIMER
+    li t1, 60
+    sw t1, 8(t0)             # MTIMECMP = 60 — the same instant
+    sw x0, 12(t0)
+    li t1, 65664             # MTIE | SDIE
+    csrw mie, t1
+    csrsi mstatus, 8
+spin:
+    j spin
+handler:
+    csrr a0, mcause
+    csrw mtvec, x0
+    ecall
+"""
+    spec = SocSpec(sensor_samples=(1, 2, 3), sensor_ticks_per_sample=60)
+    _, (halted_by, exit_code, _) = _run_everywhere(
+        trap_core, src, soc=spec, n=10_000)
+    assert halted_by == "ecall"
+    assert exit_code == 0x8000_0007           # timer cause, not 16

@@ -1,0 +1,286 @@
+"""Auditor for the Python sources the RTL compilers generate.
+
+``compile_module`` / ``compile_core`` / ``compile_fleet`` emit Python that
+the simulators ``exec`` and then run millions of times; PR 4/7/8 kept those
+sources fast and deterministic by *convention* (locals-only hot loop, no
+telemetry inside, every exit classified).  This module turns the convention
+into machine-checked invariants by parsing the generated source with
+:mod:`ast`:
+
+=======  ==================================================================
+GEN001   foreign global: a ``Name`` load in a generated function that is
+         neither a parameter, a local, a module-level binding of the
+         generated source, a whitelisted exec-namespace binding, nor a
+         safe builtin
+GEN002   impure reference: ``telemetry`` / ``random`` / ``time`` /
+         ``print`` / ``open`` / ``eval`` / ``exec`` / ``globals`` etc.
+GEN003   comb-settle locality: an ``env[...]`` store inside the fused hot
+         loop outside a suite that re-enters the slow path (a call to a
+         ctx-bound callback) — steady-state cycles must touch locals only
+GEN004   unclassified loop exit: a ``break`` in the hot loop neither
+         guarded by nor preceded by an exit-cause flag assignment
+         (``halted`` / ``stop``)
+GEN005   missing required shape: expected function or hot loop absent
+GEN006   import statement inside generated source
+=======  ==================================================================
+
+Findings carry ``location = "<label>:<function>:<line>"`` so a dirtied
+template points at the exact generated line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Sequence
+
+from .findings import Finding
+
+#: Functions each codegen path must define, and which of them own a hot loop.
+REQUIRED_FUNCTIONS: dict[str, tuple[str, ...]] = {
+    "module": ("eval_comb", "tick"),
+    "core": ("decode_comb", "run_cycles"),
+    "fleet": ("run_fleet",),
+}
+HOT_FUNCTIONS: dict[str, tuple[str, ...]] = {
+    "module": (),
+    "core": ("run_cycles",),
+    "fleet": ("run_fleet",),
+}
+
+#: Names whose mere mention marks a generated source impure.
+IMPURE_NAMES: frozenset[str] = frozenset({
+    "telemetry", "random", "time", "print", "open", "input",
+    "globals", "locals", "vars", "eval", "exec", "compile",
+    "__import__", "os", "sys",
+})
+
+#: Builtins the generated sources may legitimately reach for.
+SAFE_BUILTINS: frozenset[str] = frozenset({
+    "int", "len", "range", "format", "isinstance", "bytes", "bytearray",
+    "min", "max", "list", "tuple", "dict", "set", "enumerate", "zip",
+})
+
+#: Exit-cause flags a hot-loop ``break`` must be tied to (GEN004).
+EXIT_FLAGS: frozenset[str] = frozenset({"halted", "stop"})
+
+
+def audit_source(source: str, kind: str,
+                 allowed_globals: Iterable[str] = (),
+                 label: str | None = None) -> list[Finding]:
+    """All findings for one generated source of the given codegen
+    ``kind`` (``"module"`` / ``"core"`` / ``"fleet"``)."""
+    if kind not in REQUIRED_FUNCTIONS:
+        raise ValueError(f"unknown codegen kind {kind!r}")
+    label = label or kind
+    findings: list[Finding] = []
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [Finding("gen", "GEN005", f"{label}:<module>:{error.lineno}",
+                        f"generated source does not parse: {error.msg}")]
+
+    module_names = _module_level_names(tree)
+    allowed = frozenset(allowed_globals) | module_names | SAFE_BUILTINS
+    functions = {node.name: node for node in tree.body
+                 if isinstance(node, ast.FunctionDef)}
+
+    for name in REQUIRED_FUNCTIONS[kind]:
+        if name not in functions:
+            findings.append(Finding(
+                "gen", "GEN005", f"{label}:{name}:0",
+                f"required generated function {name}() is missing"))
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            findings.append(Finding(
+                "gen", "GEN006", f"{label}:<module>:{node.lineno}",
+                "import statement inside generated source"))
+
+    for name, func in sorted(functions.items()):
+        findings.extend(_audit_function(func, label, allowed))
+
+    for name in HOT_FUNCTIONS[kind]:
+        func = functions.get(name)
+        if func is None:
+            continue
+        loops = [node for node in ast.walk(func)
+                 if isinstance(node, ast.While)]
+        if not loops:
+            findings.append(Finding(
+                "gen", "GEN005", f"{label}:{name}:{func.lineno}",
+                "hot function has no cycle loop"))
+            continue
+        ctx_bound = _ctx_bound_names(func)
+        for loop in loops:
+            findings.extend(
+                _audit_hot_loop(loop, label, name, ctx_bound))
+    return sorted(set(findings))
+
+
+def audit_compiled(compiled: object, kind: str,
+                   label: str | None = None) -> list[Finding]:
+    """Audit a compiled artifact (``CompiledModule`` / ``CompiledCore`` /
+    ``CompiledFleet``), whitelisting exactly its exec-namespace bindings."""
+    namespace = getattr(compiled, "namespace", None) or {}
+    allowed = tuple(name for name in namespace if name != "__builtins__")
+    return audit_source(getattr(compiled, "source"), kind, allowed, label)
+
+
+# ---------------------------------------------------------------- helpers
+
+
+def _module_level_names(tree: ast.Module) -> frozenset[str]:
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return frozenset(names)
+
+
+def _local_names(func: ast.FunctionDef) -> frozenset[str]:
+    args = func.args
+    names = {a.arg for a in (args.posonlyargs + args.args + args.kwonlyargs)}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and \
+                isinstance(node.ctx, (ast.Store, ast.Del)):
+            names.add(node.id)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            target = node.target
+            for leaf in ast.walk(target):
+                if isinstance(leaf, ast.Name):
+                    names.add(leaf.id)
+    return frozenset(names)
+
+
+def _audit_function(func: ast.FunctionDef, label: str,
+                    allowed: frozenset[str]) -> list[Finding]:
+    findings: list[Finding] = []
+    local = _local_names(func)
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Name):
+            continue
+        name = node.id
+        if name in IMPURE_NAMES:
+            findings.append(Finding(
+                "gen", "GEN002", f"{label}:{func.name}:{node.lineno}",
+                f"impure reference {name!r} in generated code"))
+        elif isinstance(node.ctx, ast.Load) \
+                and name not in local and name not in allowed:
+            findings.append(Finding(
+                "gen", "GEN001", f"{label}:{func.name}:{node.lineno}",
+                f"foreign global {name!r}: not a local, not a module "
+                f"binding, not in the exec-namespace whitelist"))
+    return findings
+
+
+def _ctx_bound_names(func: ast.FunctionDef) -> frozenset[str]:
+    """Locals unpacked from the ``ctx`` dict at the function head — the
+    slow-path callbacks whose calls legitimise an env write (GEN003)."""
+    names: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and isinstance(node.value, ast.Subscript) \
+                and isinstance(node.value.value, ast.Name) \
+                and node.value.value.id == "ctx":
+            names.add(node.targets[0].id)
+    return frozenset(names)
+
+
+def _stores_to_env(stmt: ast.stmt) -> list[ast.Subscript]:
+    out = []
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Subscript) \
+                and isinstance(node.ctx, ast.Store) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "env":
+            out.append(node)
+    return out
+
+
+def _calls_ctx_callback(stmt: ast.stmt, ctx_bound: frozenset[str]) -> bool:
+    return any(isinstance(node, ast.Call)
+               and isinstance(node.func, ast.Name)
+               and node.func.id in ctx_bound
+               for node in ast.walk(stmt))
+
+
+def _names_in(node: ast.expr) -> set[str]:
+    return {leaf.id for leaf in ast.walk(node)
+            if isinstance(leaf, ast.Name)}
+
+
+def _audit_hot_loop(loop: ast.While, label: str, func_name: str,
+                    ctx_bound: frozenset[str]) -> list[Finding]:
+    """GEN003 (env-store locality) + GEN004 (classified breaks) for one
+    hot loop, suite by suite."""
+    findings: list[Finding] = []
+
+    def visit_suite(suite: Sequence[ast.stmt],
+                    guard_names: set[str]) -> None:
+        # A suite that re-enters the slow path may restore env state; any
+        # other suite inside the loop must stay locals-only (GEN003).
+        reentry = any(_calls_ctx_callback(stmt, ctx_bound)
+                      for stmt in suite)
+        flagged = set(guard_names)
+        for stmt in suite:
+            if not reentry:
+                for store in _stores_to_env(stmt):
+                    findings.append(Finding(
+                        "gen", "GEN003",
+                        f"{label}:{func_name}:{store.lineno}",
+                        "env[...] store inside the hot loop outside a "
+                        "slow-path re-entry suite (steady-state cycles "
+                        "must be locals-only)"))
+            if isinstance(stmt, ast.Break):
+                if not flagged & EXIT_FLAGS:
+                    findings.append(Finding(
+                        "gen", "GEN004",
+                        f"{label}:{func_name}:{stmt.lineno}",
+                        "break without an exit cause: not guarded by and "
+                        "not preceded by a halted/stop flag assignment"))
+            for target in _assigned_names(stmt):
+                flagged.add(target)
+            for child_suite, extra_guard in _child_suites(stmt):
+                visit_suite(child_suite, flagged | extra_guard)
+
+    visit_suite(loop.body, set())
+    return findings
+
+
+def _assigned_names(stmt: ast.stmt) -> set[str]:
+    if isinstance(stmt, ast.Assign):
+        return {t.id for t in stmt.targets if isinstance(t, ast.Name)}
+    if isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+        return {stmt.target.id}
+    return set()
+
+
+def _child_suites(stmt: ast.stmt
+                  ) -> Iterator[tuple[list[ast.stmt], set[str]]]:
+    """(suite, names-guarding-it) pairs for one statement's nested suites.
+
+    Nested ``while``/``for`` bodies are *not* descended into here — a
+    nested loop is audited as its own hot loop by the caller."""
+    if isinstance(stmt, ast.If):
+        guard = _names_in(stmt.test)
+        yield stmt.body, guard
+        yield stmt.orelse, guard
+    elif isinstance(stmt, ast.Try):
+        yield stmt.body, set()
+        for handler in stmt.handlers:
+            yield handler.body, set()
+        yield stmt.orelse, set()
+        yield stmt.finalbody, set()
+    elif isinstance(stmt, ast.With):
+        yield stmt.body, set()

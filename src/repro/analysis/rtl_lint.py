@@ -1,0 +1,267 @@
+"""RTL structural lint over :mod:`repro.rtl.ir` modules.
+
+Rule taxonomy (all findings carry ``location = "module:signal"``):
+
+=======  ==================================================================
+RTL001   combinational loop — unlike ``topo_order``'s bare failure, the
+         finding reports the full cycle path ``a -> b -> ... -> a``
+RTL002   multiply-driven signal (comb assign vs register vs regfile
+         storage/read-return vs input port)
+RTL003   silent width truncation: a non-constant shift amount wider than
+         needed to index the shifted operand — amounts >= the operand
+         width quietly truncate the result to zero
+RTL004   dead signal: a wire or register no consumer ever reads
+         (self-references through a register's own next/enable hold path
+         do not count as consumption)
+RTL005   unreachable logic: a ``Mux`` arm behind a constant select, or an
+         AND with a constant-zero operand (the term is always zero)
+RTL006   unconnected input port: declared but never read by any logic
+RTL007   undriven wire or output port
+=======  ==================================================================
+
+:func:`structural_facts` derives the cycle/driver/undriven facts exactly
+once; ``build_rissp`` consumes the same facts for its build-time gate and
+hands them to ``core_fusable`` so the fuse check does not re-derive them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..rtl.ir import (Binary, Const, Expr, Module, Mux, Op, SHIFT_OPS,
+                      expr_signals)
+from .findings import Finding
+
+#: Driver kinds, in reporting order.
+_DRIVER_KINDS = ("assign", "register", "regfile-storage", "regfile-read",
+                 "input")
+
+
+@dataclass
+class StructuralFacts:
+    """Single-derivation structural facts about one module.
+
+    ``order`` is the combinational topological order (empty when ``cycle``
+    is non-empty); ``drivers`` maps every driven signal to its driver
+    kinds; ``conflicts``/``undriven`` are the error-class facts that both
+    the build-time gate and :func:`lint_module` report from.
+    """
+
+    module: str
+    order: tuple[str, ...] = ()
+    cycle: tuple[str, ...] = ()
+    drivers: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    conflicts: tuple[tuple[str, tuple[str, ...]], ...] = ()
+    undriven: tuple[str, ...] = ()
+
+    @property
+    def comb_driven(self) -> frozenset[str]:
+        """Names with a combinational assign driver (what ``core_fusable``
+        consumes instead of re-probing ``module.assigns``)."""
+        return frozenset(name for name, kinds in self.drivers.items()
+                         if "assign" in kinds)
+
+    def error_findings(self) -> list[Finding]:
+        """The error-class findings (RTL001/RTL002/RTL007) — the subset a
+        structurally bad core fails the build with."""
+        out: list[Finding] = []
+        if self.cycle:
+            out.append(Finding(
+                "rtl", "RTL001", f"{self.module}:{self.cycle[0]}",
+                "combinational loop: " + " -> ".join(self.cycle)))
+        for name, kinds in self.conflicts:
+            out.append(Finding(
+                "rtl", "RTL002", f"{self.module}:{name}",
+                "signal driven by " + " and ".join(kinds)))
+        for name in self.undriven:
+            out.append(Finding(
+                "rtl", "RTL007", f"{self.module}:{name}",
+                "wire or output port has no driver"))
+        return out
+
+
+def structural_facts(module: Module) -> StructuralFacts:
+    """Derive drivers, conflicts, undriven signals and the combinational
+    order (or the cycle path) in one deterministic pass."""
+    drivers: dict[str, list[str]] = {}
+
+    def drive(name: str, kind: str) -> None:
+        drivers.setdefault(name, []).append(kind)
+
+    for name in module.assigns:
+        drive(name, "assign")
+    for name in module.registers:
+        drive(name, "register")
+    regfile_driven: set[str] = set()
+    if module.regfile is not None:
+        for name in module.regfile.storage_signals:
+            drive(name, "regfile-storage")
+            regfile_driven.add(name)
+        for _, data in module.regfile.read_ports:
+            if data not in module.assigns:
+                drive(data, "regfile-read")
+                regfile_driven.add(data)
+    for port in module.inputs():
+        drive(port.name, "input")
+
+    conflicts = tuple(
+        (name, tuple(sorted(kinds, key=_DRIVER_KINDS.index)))
+        for name, kinds in sorted(drivers.items()) if len(kinds) > 1)
+
+    undriven = tuple(
+        [port.name for port in module.outputs()
+         if port.name not in module.assigns] +
+        [wire for wire in module.wires
+         if wire not in module.assigns and wire not in regfile_driven])
+
+    order, cycle = _comb_order(module)
+    return StructuralFacts(
+        module=module.name,
+        order=order,
+        cycle=cycle,
+        drivers={name: tuple(kinds) for name, kinds in drivers.items()},
+        conflicts=conflicts,
+        undriven=undriven,
+    )
+
+
+def _comb_order(module: Module) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """(topo order, ()) on an acyclic module; ((), cycle path) otherwise.
+
+    Deterministic: visits signals and dependencies in sorted order, so the
+    reported cycle path is stable across runs and worker counts.
+    """
+    order: list[str] = []
+    state: dict[str, int] = {}  # 0=unvisited, 1=visiting, 2=done
+    path: list[str] = []
+    cycle: list[str] = []
+
+    def visit(name: str) -> None:
+        if cycle or name not in module.assigns:
+            return
+        mark = state.get(name, 0)
+        if mark == 2:
+            return
+        if mark == 1:
+            start = path.index(name)
+            cycle.extend(path[start:] + [name])
+            return
+        state[name] = 1
+        path.append(name)
+        for dep in sorted(expr_signals(module.assigns[name])):
+            visit(dep)
+            if cycle:
+                return
+        path.pop()
+        state[name] = 2
+        order.append(name)
+
+    for name in sorted(module.assigns):
+        visit(name)
+        if cycle:
+            return (), tuple(cycle)
+    return tuple(order), ()
+
+
+# ------------------------------------------------------------ expression walk
+
+
+def _iter_nodes(expr: Expr) -> Iterator[Expr]:
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, Binary):
+            stack.extend((node.a, node.b))
+        elif isinstance(node, Mux):
+            stack.extend((node.sel, node.a, node.b))
+        elif hasattr(node, "parts"):
+            stack.extend(node.parts)  # Cat
+        elif hasattr(node, "a"):
+            stack.append(node.a)  # Not / Slice / Ext
+        # Const / Sig are leaves
+
+
+def _owned_exprs(module: Module) -> Iterator[tuple[str, Expr]]:
+    """Every expression in the module, tagged with its owning signal."""
+    for name in sorted(module.assigns):
+        yield name, module.assigns[name]
+    for name in sorted(module.registers):
+        reg = module.registers[name]
+        if reg.next is not None:
+            yield name, reg.next
+        if reg.enable is not None:
+            yield name, reg.enable
+
+
+def _shift_amount_bits(operand_width: int) -> int:
+    """Bits needed to express every useful shift amount (0..width-1)."""
+    return max(1, (operand_width - 1).bit_length())
+
+
+def lint_module(module: Module,
+                facts: StructuralFacts | None = None) -> list[Finding]:
+    """All RTL findings for one module (error class + style class)."""
+    if facts is None:
+        facts = structural_facts(module)
+    findings = facts.error_findings()
+    loc = f"{module.name}:"
+
+    # ---- consumption map (RTL004 dead signals / RTL006 unused inputs).
+    # A signal is consumed when some *other* signal's logic reads it, or
+    # the regfile primitive or an output port depends on it; a register
+    # referenced only by its own next/enable hold path is still dead.
+    consumed: set[str] = set()
+    for owner, expr in _owned_exprs(module):
+        consumed.update(name for name in expr_signals(expr) if name != owner)
+    if module.regfile is not None:
+        for addr, _ in module.regfile.read_ports:
+            consumed.add(addr)
+        if module.regfile.write_port is not None:
+            consumed.update(module.regfile.write_port)
+
+    for name in sorted(module.wires):
+        if name not in consumed:
+            findings.append(Finding(
+                "rtl", "RTL004", loc + name,
+                "dead wire: no signal, register or regfile port reads it"))
+    for name in sorted(module.registers):
+        if name not in consumed:
+            findings.append(Finding(
+                "rtl", "RTL004", loc + name,
+                "dead register: written every cycle but never read "
+                "outside its own hold path"))
+    for port in module.inputs():
+        if port.name not in consumed:
+            findings.append(Finding(
+                "rtl", "RTL006", loc + port.name,
+                "input port declared but never read"))
+
+    # ---- expression-level rules (RTL003 / RTL005).
+    for owner, root in _owned_exprs(module):
+        for node in _iter_nodes(root):
+            if isinstance(node, Binary) and node.op in SHIFT_OPS \
+                    and not isinstance(node.b, Const):
+                needed = _shift_amount_bits(node.a.width)
+                if node.b.width > needed:
+                    findings.append(Finding(
+                        "rtl", "RTL003", loc + owner,
+                        f"{node.op.value} amount is {node.b.width} bits "
+                        f"but {needed} suffice for a {node.a.width}-bit "
+                        f"operand; amounts >= {node.a.width} silently "
+                        f"truncate the result to zero"))
+            elif isinstance(node, Mux) and isinstance(node.sel, Const):
+                dead_arm = "false (b)" if node.sel.value else "true (a)"
+                findings.append(Finding(
+                    "rtl", "RTL005", loc + owner,
+                    f"mux select is constant {node.sel.value}; the "
+                    f"{dead_arm} arm is unreachable"))
+            elif isinstance(node, Binary) and node.op is Op.AND and (
+                    (isinstance(node.a, Const) and node.a.value == 0) or
+                    (isinstance(node.b, Const) and node.b.value == 0)):
+                findings.append(Finding(
+                    "rtl", "RTL005", loc + owner,
+                    "AND with a constant-zero operand: the term is "
+                    "always zero"))
+    return sorted(set(findings))

@@ -44,7 +44,7 @@ from .verify.fuzz import FUZZ_BASE_SEED
 
 #: Stage names, in the order a multi-stage invocation runs them.
 STAGES = ("cosim", "mutation", "compliance", "bench", "fleet",
-          "scenarios")
+          "scenarios", "lint")
 
 
 def _cfg(default, help_text: str, **extra):
@@ -116,6 +116,11 @@ class FarmConfig:
     coverage_out: str = _cfg(
         "", "write the schema-validated scenario coverage report to "
             "this path")
+    lint_subsets: tuple[str, ...] = _cfg(
+        (), "subset-lattice entries the lint stage stitches and lints "
+            "(Table 3 names / rv32e; empty = the whole lattice)")
+    lint_out: str = _cfg(
+        "", "write the schema-validated lint report to this path")
     json_out: str = _cfg(
         "", "write stage results as JSON to this path")
     telemetry: str = _cfg(
@@ -379,9 +384,40 @@ def _stage_scenarios(config: FarmConfig) -> tuple[bool, dict]:
     return ok, payload
 
 
+def _stage_lint(config: FarmConfig) -> tuple[bool, dict]:
+    from .analysis import write_lint_report
+    from .farm import lint_campaign
+
+    result = lint_campaign(
+        subsets=tuple(config.lint_subsets) or None,
+        workers=config.workers)
+    for finding in result["findings"]:
+        _echo(f"  {finding.rule} {finding.location}: {finding.detail}")
+    for finding, waiver in result["waived"]:
+        _echo(f"  waived {finding.rule} {finding.location} "
+              f"({waiver.reason})")
+    targets = result["targets"]
+    _echo(f"lint: {targets['blocks']} blocks + {targets['cores']} cores "
+          f"+ {targets['gen_sources']} generated sources + contract scan "
+          f"across {result['tasks']} tasks -> "
+          f"{len(result['findings'])} findings, "
+          f"{len(result['waived'])} waived")
+    payload = {"findings": [f.to_doc() for f in result["findings"]],
+               "waived": len(result["waived"]),
+               "targets": targets, "tasks": result["tasks"]}
+    if config.lint_out:
+        config_doc = {"subsets": list(config.lint_subsets),
+                      "workers": config.workers}
+        path = write_lint_report(config.lint_out, result, config_doc)
+        _echo(f"lint report written to {path}")
+        payload["artifact"] = str(path)
+    return not result["findings"], payload
+
+
 _STAGE_RUNNERS = {"cosim": _stage_cosim, "mutation": _stage_mutation,
                   "compliance": _stage_compliance, "bench": _stage_bench,
-                  "fleet": _stage_fleet, "scenarios": _stage_scenarios}
+                  "fleet": _stage_fleet, "scenarios": _stage_scenarios,
+                  "lint": _stage_lint}
 
 
 def _run_stage(config: FarmConfig, stage: str) -> tuple[bool, dict]:

@@ -53,7 +53,8 @@ class RisspFlow:
 
     def generate(self, name: str, source: str | None = None,
                  run_verification: bool = False,
-                 run_physical: bool = False) -> RisspResult:
+                 run_physical: bool = False,
+                 lint: bool = True) -> RisspResult:
         """Run the full flow for one application.
 
         ``run_verification`` additionally executes the RISCOF-analog
@@ -64,6 +65,10 @@ class RisspFlow:
         story.  All three ride the decoded-op cache
         (:mod:`repro.sim.decoded`), so the reference side runs at fast-path
         speed.
+
+        ``lint`` gates the stitched core on the structural lint
+        (:mod:`repro.analysis`): a bad core fails here, at generation time,
+        with the finding list — not later in cosim.
         """
         workload = WORKLOADS.get(name) if source is None else None
         soc_spec = workload.soc_spec if workload is not None else None
@@ -82,7 +87,7 @@ class RisspFlow:
         profile = profile_program(name, program, opt_level)
         core = build_rissp(profile.core_subset(), self.library,
                            name=f"rissp_{name}",
-                           reset_pc=program.entry)
+                           reset_pc=program.entry, lint=lint)
         synth = synthesize(core, self.techlib, seed=name)
         result = RisspResult(name=name, profile=profile, core=core,
                              synth=synth, program=program,

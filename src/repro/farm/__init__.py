@@ -29,6 +29,8 @@ from .campaigns import (
     fleet_exercise_target,
     fleet_lane_value,
     fleet_throughput_metrics,
+    lint_campaign,
+    lint_targets,
     mutation_exercise_target,
     sharded_compliance_mismatches,
     sharded_mutant_kill_matrix,
@@ -48,17 +50,19 @@ from .tasks import (
     CosimTask,
     FleetShardTask,
     FuzzCosimTask,
+    LintTask,
     MutantTask,
 )
 
 __all__ = [
     "ComplianceTask", "CoreMaterializeError", "CoreSpec", "CosimTask",
     "FLEET_EXERCISE_PROGRAM", "FarmTaskError", "FleetShardTask",
-    "FuzzCosimTask", "MUTATION_EXERCISE_PROGRAM",
+    "FuzzCosimTask", "LintTask", "MUTATION_EXERCISE_PROGRAM",
     "MUTATION_EXERCISE_SUBSET", "MutantTask", "cosim_campaign",
     "execute_task", "execute_task_telemetry", "farm_scaling_metrics",
     "fleet_campaign", "fleet_exercise_target", "fleet_lane_value",
-    "fleet_throughput_metrics", "mutation_exercise_target", "run_tasks",
+    "fleet_throughput_metrics", "lint_campaign", "lint_targets",
+    "mutation_exercise_target", "run_tasks",
     "sharded_compliance_mismatches", "sharded_mutant_kill_matrix",
     "telemetry_probe", "workload_target",
 ]

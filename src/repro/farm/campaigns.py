@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import os
 import time
+from typing import Iterable, Sequence
 
 from ..isa.program import Program
 from ..rtl.ir import Module
@@ -32,12 +33,14 @@ from .tasks import (
     CosimTask,
     FleetShardTask,
     FuzzCosimTask,
+    LintTask,
     MutantTask,
 )
 
 # ------------------------------------------------------------- mutation
 
-def sharded_mutant_kill_matrix(core: Module, program: Program, backends,
+def sharded_mutant_kill_matrix(core: Module, program: Program,
+                               backends: Sequence[str],
                                limit: int = 24,
                                max_instructions: int = 2_000,
                                workers: int = 1
@@ -58,7 +61,8 @@ def sharded_mutant_kill_matrix(core: Module, program: Program, backends,
 
 # ----------------------------------------------------------- compliance
 
-def sharded_compliance_mismatches(core: Module, targets, workers: int = 1,
+def sharded_compliance_mismatches(core: Module, targets: Iterable[str],
+                                  workers: int = 1,
                                   shards: int = 0) -> list[str]:
     """Farm path of :func:`repro.verify.riscof.run_compliance`: the
     target list split into ``shards`` contiguous groups (0 = one group
@@ -89,6 +93,88 @@ def sharded_compliance_mismatches(core: Module, targets, workers: int = 1,
     return merged
 
 
+# ----------------------------------------------------------------- lint
+
+#: Blocks linted per task in the sweep (small groups keep the pool busy).
+LINT_BLOCK_GROUP = 8
+
+
+def lint_targets(subsets: Sequence[str] | None = None) -> list[LintTask]:
+    """Deterministic lint target enumeration: every block in the shipped
+    library (grouped), then one stitched core per named subset-lattice
+    entry (Table 3 order) plus the full-ISA ``rv32e`` baseline.
+
+    ``subsets`` restricts the lattice portion to the named entries (the
+    CI leg lints a sample; the default is the whole lattice).  Cores ship
+    as fingerprint-free :class:`CoreSpec` descriptions — the subset *is*
+    the target definition, so the parent never builds them.
+    """
+    from ..core.subset_analysis import ALWAYS_INCLUDED
+    from ..data.paper import TABLE3_SUBSETS
+    from ..isa.instructions import INSTRUCTIONS
+    from ..rtl.library import default_library
+
+    tasks: list[LintTask] = []
+    mnemonics = sorted(default_library().mnemonics)
+    for start in range(0, len(mnemonics), LINT_BLOCK_GROUP):
+        group = tuple(mnemonics[start:start + LINT_BLOCK_GROUP])
+        tasks.append(LintTask(
+            task_id=f"lint-blocks[{start // LINT_BLOCK_GROUP:02d}]",
+            blocks=group))
+    lattice = dict(TABLE3_SUBSETS)
+    lattice["rv32e"] = tuple(d.mnemonic for d in INSTRUCTIONS)
+    chosen = list(lattice) if subsets is None else list(subsets)
+    for name in chosen:
+        subset = tuple(sorted(set(lattice[name]) | set(ALWAYS_INCLUDED)))
+        tasks.append(LintTask(
+            task_id=f"lint-core[{name}]",
+            core=CoreSpec(mnemonics=subset, name=f"rissp_{name}")))
+    return tasks
+
+
+def lint_campaign(subsets: Sequence[str] | None = None,
+                  workers: int = 1) -> dict:
+    """Farm-sharded static-analysis sweep: RTL lint over blocks + the
+    subset lattice, the generated-source audit of all three codegen
+    paths, and the repo-contract scan — merged in task order, then
+    deduplicated and waived (both order-insensitive), so the result is
+    bit-identical at any worker count."""
+    from ..analysis import (apply_waivers, audit_compiled, dedup_findings,
+                            lint_contracts)
+    from ..rtl.compiled import compile_core, compile_fleet, compile_module
+
+    tasks = lint_targets(subsets)
+    findings = []
+    for task_findings in run_tasks(tasks, workers=workers):
+        findings.extend(task_findings)
+
+    # The generated-source audit runs in-parent on one representative
+    # core (the mutation exercise target): compile all three ways, audit
+    # each against its own exec namespace.
+    core, _ = mutation_exercise_target()
+    gen_sources = 0
+    for kind, compiled in (("module", compile_module(core)),
+                           ("core", compile_core(core)),
+                           ("fleet", compile_fleet(core))):
+        findings.extend(audit_compiled(compiled, kind, label=kind))
+        gen_sources += 1
+
+    contract_findings = lint_contracts()
+    findings.extend(contract_findings)
+
+    kept, waived = apply_waivers(dedup_findings(findings))
+    blocks = sum(len(t.blocks) for t in tasks)
+    cores = sum(1 for t in tasks if t.core is not None)
+    return {
+        "findings": kept,
+        "waived": waived,
+        "targets": {"blocks": blocks, "cores": cores,
+                    "gen_sources": gen_sources,
+                    "contract_scan": 1},
+        "tasks": len(tasks),
+    }
+
+
 # ---------------------------------------------------------------- cosim
 
 def workload_target(name: str) -> tuple[Module, Program, object]:
@@ -108,7 +194,7 @@ def workload_target(name: str) -> tuple[Module, Program, object]:
     return core, program, workload.soc_spec
 
 
-def cosim_campaign(workloads=(), fuzz_chunks: int = 0,
+def cosim_campaign(workloads: Sequence[str] = (), fuzz_chunks: int = 0,
                    fuzz_seed: int = FUZZ_BASE_SEED,
                    backend: str | None = "fused",
                    max_instructions: int = 2_000_000,
@@ -245,13 +331,14 @@ def fleet_throughput_metrics(instances: int = 1024, workers: int = 1,
     With ``workers > 1`` the sharded campaign is also timed and its
     merged rows checked bit-identical to the serial rows.
     """
-    from ..rtl.core_sim import RisspSim
+    from ..rtl.core_sim import RisspSim, RunResult
     from ..rtl.fleet import FleetSim
     from ..sim.tracing import RvfiTrace
 
     core, program = fleet_exercise_target()
 
-    def single_run(lane: int, trace: bool):
+    def single_run(lane: int,
+                   trace: bool) -> tuple[RisspSim, RunResult]:
         sim = RisspSim(core, program, mem_size=FLEET_MEM_SIZE,
                        backend="fused", trace=trace)
         sim.rtl.regfile_data[FLEET_ID_REGISTER] = fleet_lane_value(lane)
@@ -465,8 +552,9 @@ def mutation_exercise_target() -> tuple[Module, Program]:
             assemble(MUTATION_EXERCISE_PROGRAM))
 
 
-def farm_scaling_metrics(worker_counts=(1, 2, 4), limit: int = 32,
-                         backends=("fused",),
+def farm_scaling_metrics(worker_counts: Sequence[int] = (1, 2, 4),
+                         limit: int = 32,
+                         backends: Sequence[str] = ("fused",),
                          max_instructions: int = 4_000) -> dict:
     """Campaign wall-clock vs worker count, for ``BENCH_farm_scaling``.
 

@@ -25,8 +25,23 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Protocol
 
 from .. import obs
+
+
+class FarmTask(Protocol):
+    """What the runner needs from a task: identity, description, run.
+
+    The concrete tasks (:mod:`repro.farm.tasks`) are frozen dataclasses
+    that satisfy this structurally — the runner never imports them."""
+
+    @property
+    def task_id(self) -> str: ...
+
+    def describe(self) -> str: ...
+
+    def run(self) -> object: ...
 
 
 class FarmTaskError(RuntimeError):
@@ -44,11 +59,11 @@ class FarmTaskError(RuntimeError):
         self.task_id = task_id
         self.description = description
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple:
         return (type(self), (self.args[0], self.task_id, self.description))
 
 
-def execute_task(task):
+def execute_task(task: FarmTask) -> object:
     """Run one task, wrapping any failure with its description.
 
     Top-level so it is picklable as the pool's callable; also used
@@ -65,7 +80,9 @@ def execute_task(task):
             task.task_id, task.describe()) from exc
 
 
-def execute_task_telemetry(task, submitted_wall: float):
+def execute_task_telemetry(task: FarmTask,
+                           submitted_wall: float
+                           ) -> tuple[object, dict]:
     """Run one task under a fresh worker-local telemetry session.
 
     Top-level so it is picklable as the pool's callable.  Returns
@@ -92,7 +109,8 @@ def execute_task_telemetry(task, submitted_wall: float):
     }
 
 
-def run_tasks(tasks, workers: int = 1) -> list:
+def run_tasks(tasks: Iterable[FarmTask],
+              workers: int = 1) -> list:
     """Execute tasks; returns their results in task order.
 
     ``workers`` caps the process count (never more processes than tasks);
@@ -135,7 +153,8 @@ def run_tasks(tasks, workers: int = 1) -> list:
     return _merge_snapshots(parent, results)
 
 
-def _merge_snapshots(parent, pairs) -> list:
+def _merge_snapshots(parent: obs.Telemetry,
+                     pairs: Iterable[tuple[object, dict]]) -> list:
     """Fold task snapshots into the parent session (submission order)."""
     results = []
     for result, snapshot in pairs:

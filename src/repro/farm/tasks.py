@@ -321,3 +321,37 @@ class ComplianceTask:
         for mnemonic in self.mnemonics:
             mismatches.extend(check_compliance_mnemonic(core, mnemonic))
         return mismatches
+
+
+@dataclass(frozen=True)
+class LintTask:
+    """One shard of the static RTL lint sweep (PR 10).
+
+    Lints a set of library blocks (``blocks``) and/or one subset-lattice
+    core (``core``, rebuilt worker-side through the fingerprint-checked
+    :meth:`CoreSpec.build` memo).  ``run()`` returns the sorted, deduped
+    pre-waiver finding records — a pure function of the target structure,
+    so the merged sweep is bit-identical at any worker count.
+    """
+
+    task_id: str
+    blocks: tuple[str, ...] = ()
+    core: CoreSpec | None = None
+
+    def describe(self) -> str:
+        target = f"core={self.core.name}" if self.core is not None \
+            else f"blocks={','.join(self.blocks)}"
+        return f"lint {self.task_id}: {target}"
+
+    def run(self) -> list:
+        from ..analysis import lint_module
+        from ..rtl.library import default_library
+
+        findings = []
+        if self.blocks:
+            library = default_library()
+            for mnemonic in self.blocks:
+                findings.extend(lint_module(library.entry(mnemonic).module))
+        if self.core is not None:
+            findings.extend(lint_module(self.core.build()))
+        return sorted(set(findings))

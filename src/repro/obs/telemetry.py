@@ -60,6 +60,7 @@ from __future__ import annotations
 import os
 import time
 from contextlib import contextmanager
+from typing import Iterator
 
 #: The canonical counter registry.  Every :class:`Telemetry` session
 #: carries exactly these keys (all zero at start); instrumented sites
@@ -145,7 +146,7 @@ class Telemetry:
         self.counters[name] += amount
 
     @contextmanager
-    def span(self, name: str, **labels):
+    def span(self, name: str, **labels: object) -> Iterator[dict]:
         """Record one labeled span (wall-clock start for timeline
         placement, monotonic-clock duration for accuracy)."""
         record = {"name": name,
@@ -193,7 +194,7 @@ def bump(name: str, amount: int = 1) -> None:
 
 
 @contextmanager
-def session():
+def session() -> Iterator[Telemetry]:
     """Open a telemetry session for the duration of the ``with`` block.
 
     Nestable: an inner session shadows the outer one (the farm's serial
@@ -210,7 +211,8 @@ def session():
 
 
 @contextmanager
-def span(name: str, **labels):
+def span(name: str,
+         **labels: object) -> Iterator[dict | None]:
     """Span on the active session; a no-op context when telemetry is
     off."""
     active = _ACTIVE

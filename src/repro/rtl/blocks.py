@@ -196,8 +196,11 @@ def build_block(mnemonic: str) -> Module:
         else:  # sb
             byte = rs2_data.slice(7, 0)
             wdata = cat(byte, byte, byte, byte)
+            # Shift amount stays at the lane's natural 2 bits: a wider
+            # amount could encode shifts >= 4 that silently truncate the
+            # strobe to zero (RTL003).
             one = const(1, 4)
-            wstrb = one.shl(lane.zext(4))
+            wstrb = one.shl(lane)
         m.assign(m.output("dmem_wdata", 32), wdata)
         m.assign(m.output("dmem_wstrb", 4), wstrb)
         m.assign(next_pc, seq_pc)

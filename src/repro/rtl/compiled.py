@@ -568,23 +568,33 @@ class CompiledCore:
     namespace: dict = None
 
 
-def core_fusable(module: Module) -> bool:
+def core_fusable(module: Module, facts=None) -> bool:
     """True when ``module`` exposes the RISSP harness interface the fused
     loop is generated against: a storage-exposed register file with two
     combinationally-assigned read ports and a write port, the imem/dmem
     input ports, the :data:`CORE_INTERFACE` outputs and a committed ``pc``
     register.  Anything else (legacy read ports included) falls back to
-    the per-cycle harness."""
+    the per-cycle harness.
+
+    ``facts`` is an optional ``repro.analysis.StructuralFacts`` for the
+    same module (``build_rissp`` derives it once for its build-time lint
+    gate): when given, the acyclic combinational order must already have
+    been proven and the driver map replaces re-probing ``module.assigns``.
+    """
+    if facts is not None and facts.cycle:
+        return False
+    comb_driven = facts.comb_driven if facts is not None \
+        else frozenset(module.assigns)
     spec = module.regfile
     if spec is None or spec.write_port is None or len(spec.read_ports) != 2:
         return False
     if not spec.storage_signals:
         return False
-    if any(data not in module.assigns for _, data in spec.read_ports):
+    if any(data not in comb_driven for _, data in spec.read_ports):
         return False
     names = CORE_INTERFACE + tuple(spec.write_port) \
         + tuple(addr for addr, _ in spec.read_ports)
-    if any(name not in module.assigns for name in names):
+    if any(name not in comb_driven for name in names):
         return False
     for port_name in ("imem_rdata", "dmem_rdata"):
         port = module.ports.get(port_name)
@@ -596,7 +606,7 @@ def core_fusable(module: Module) -> bool:
     # The trap slice must be all-or-nothing: the generated loop wires the
     # mtvec register, the ``trap`` output, the mret word class and the
     # interrupt fire check together.
-    if ("mtvec" in module.registers) != ("trap" in module.assigns):
+    if ("mtvec" in module.registers) != ("trap" in comb_driven):
         return False
     return True
 
@@ -1137,6 +1147,10 @@ class CompiledFleet:
     #: arrays and a per-instance ``RisspSim``'s ``env``.
     registers: tuple
     source: str
+    #: The exec namespace the batched loop runs in (grafted decode memo
+    #: included) — the generated-source auditor whitelists exactly these
+    #: bindings as the loop's legal global loads.
+    namespace: dict = None
 
 
 def _generate_fleet_source(a: _CoreAnalysis) -> str:
@@ -1364,6 +1378,6 @@ def compile_fleet(module: Module) -> CompiledFleet:
     exec(compile(source, f"<rtl-fleet:{module.name}>", "exec"), namespace)
     compiled = CompiledFleet(run_fleet=namespace["run_fleet"],
                              registers=tuple(module.registers),
-                             source=source)
+                             source=source, namespace=namespace)
     _fleet_cache[module] = (key, compiled)
     return compiled

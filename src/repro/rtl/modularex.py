@@ -57,8 +57,14 @@ def _onehot_mux(entries: list[tuple[Expr, Expr]], default: Expr) -> Expr:
     sels = [sel for sel, _ in entries]
     terms = [val & sel.sext(width) for sel, val in entries]
     if entries:
-        none = _balanced_or(sels).invert()
-        terms.append(default & none.sext(width))
+        # A constant-zero default contributes a `0 & none` term that is
+        # identically zero — synthesis would sweep it, and RTL005 flags it
+        # as unreachable logic, so it is never emitted (the no-select case
+        # already ORs to zero).  Non-trivial defaults (seq_pc) keep the
+        # explicit default arm.
+        if not (isinstance(default, Const) and default.value == 0):
+            none = _balanced_or(sels).invert()
+            terms.append(default & none.sext(width))
         return _balanced_or(terms)
     return default
 

@@ -44,7 +44,8 @@ def build_rissp(mnemonics: list[str],
                 name: str = "rissp",
                 reset_pc: int = 0,
                 require_verified: bool = True,
-                with_traps: bool | None = None) -> Module:
+                with_traps: bool | None = None,
+                lint: bool = True) -> Module:
     """Build a complete single-cycle RISSP for an instruction subset.
 
     Args:
@@ -58,6 +59,11 @@ def build_rissp(mnemonics: list[str],
             mret return).  Defaults to auto: on iff ``mret`` is in the
             subset, so the paper's trap-free RISSPs synthesize exactly as
             before.
+        lint: run the structural lint gate (``repro.analysis``) on the
+            stitched core — a combinational loop, driver conflict or
+            undriven signal fails the build with the finding list instead
+            of surfacing later in cosim.  The derived facts are handed to
+            ``core_fusable`` so the fuse check does not re-derive them.
 
     Returns the stitched :class:`Module` with ``meta['mnemonics']`` set.
     """
@@ -165,13 +171,27 @@ def build_rissp(mnemonics: list[str],
     core.meta["mnemonics"] = ex.meta["mnemonics"]
     core.meta["modularex"] = ex
     core.meta["trap_unit"] = trap_unit
-    core.check()
+    facts = None
+    if lint:
+        # Structural lint gate: derive the cycle/driver/undriven facts
+        # once and fail the build with the full finding list (instead of
+        # check()'s first-error-only IrError).  The same facts feed the
+        # fusable check below, so nothing is derived twice.
+        from ..analysis.rtl_lint import structural_facts
+        facts = structural_facts(core)
+        errors = facts.error_findings()
+        if errors:
+            details = "; ".join(
+                f"{f.rule} {f.location}: {f.detail}" for f in errors)
+            raise IrError(f"{name}: structural lint failed — {details}")
+    else:
+        core.check()
     # Every stitched RISSP must satisfy the fused-loop harness interface
     # (storage-exposed RF, imem/dmem ports, the CORE_INTERFACE outputs) —
     # assert the contract at build time so a stitching change that would
     # silently demote RisspSim to the per-cycle path fails loudly instead.
     from .compiled import core_fusable
-    if not core_fusable(core):
+    if not core_fusable(core, facts=facts):
         raise IrError(f"{name}: stitched core lost the fused harness "
                       f"interface")
     core.meta["fusable"] = True

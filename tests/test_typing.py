@@ -1,0 +1,34 @@
+"""The pinned mypy gate over repro.analysis / repro.farm / repro.obs.
+
+CI installs the pinned mypy and runs this for real; a local checkout
+without mypy skips rather than fails — the container deliberately ships
+no type checker, and the config is the contract either way.
+"""
+
+import configparser
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def test_mypy_config_is_pinned_to_the_three_packages():
+    parser = configparser.ConfigParser()
+    parser.read(ROOT / "mypy.ini")
+    assert parser["mypy"]["python_version"] == "3.11"
+    files = parser["mypy"]["files"]
+    assert {part.strip() for part in files.split(",")} == {
+        "src/repro/analysis", "src/repro/farm", "src/repro/obs"}
+    strict = parser["mypy-repro.analysis.*,repro.farm.*,repro.obs.*"]
+    assert strict["disallow_untyped_defs"] == "True"
+
+
+def test_mypy_strict_scope_passes():
+    pytest.importorskip("mypy")
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "mypy.ini"],
+        cwd=ROOT, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
